@@ -1,0 +1,24 @@
+# Convenience targets for the MROM/HADAS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples series check all
+
+install:
+	$(PYTHON) setup.py develop || pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+series: bench
+	@echo; for f in benchmarks/out/*.txt; do echo "--- $$f"; cat $$f; echo; done
+
+examples:
+	@for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; echo; done
+
+check: test bench
+
+all: install check examples

@@ -1,0 +1,114 @@
+"""FIG-2: the HADAS operations over the simulated internetwork.
+
+Regenerates the figure's topology live and prices its protocol verbs:
+Link (IOO Ambassador installation), Import/Export (APO Ambassador
+shipped as data), remote invocation through an Ambassador, and — after a
+functionality split — the same query answered locally. Simulated-time
+rows show the protocol economics; pytest-benchmark times the in-process
+machinery (what the paper's planned performance evaluation would have
+measured on one JVM).
+"""
+
+
+from repro.apps import sample_database
+from repro.hadas import IOO
+from repro.net import Network, Site, WAN
+from repro.sim import Simulator
+
+from .series import emit
+
+
+def build_world():
+    network = Network(Simulator())
+    haifa = Site(network, "haifa", "technion.ee")
+    boston = Site(network, "boston", "mit.lcs")
+    network.topology.connect("haifa", "boston", *WAN)
+    ioo_h, ioo_b = IOO(haifa), IOO(boston)
+    db = sample_database()
+    apo = ioo_h.integrate(
+        "employees",
+        db,
+        operations={
+            "salary_of": db.salary_of,
+            "headcount": db.headcount,
+            "departments": db.departments,
+        },
+    )
+    return network, ioo_h, ioo_b, apo
+
+
+def test_fig2_series(benchmark):
+    network, _ioo_h, ioo_b, apo = build_world()
+    rows = []
+
+    t0 = network.now
+    ioo_b.link("haifa")
+    rows.append(("Link (IOO ambassador installed)", network.now - t0))
+
+    t0 = network.now
+    amb = ioo_b.import_apo("haifa", "employees")
+    rows.append(("Import/Export (APO ambassador)", network.now - t0))
+
+    t0 = network.now
+    amb.invoke("salary_of", ["moshe"])
+    rows.append(("forwarded query (1 WAN round trip)", network.now - t0))
+
+    t0 = network.now
+    apo.broadcast_add_data("cached_departments", ["engineering", "research", "sales"])
+    apo.broadcast_add_method(
+        "departments_local", "return self.get('cached_departments')"
+    )
+    rows.append(("functionality split (2 meta-updates)", network.now - t0))
+
+    t0 = network.now
+    amb.invoke("departments_local")
+    rows.append(("local query after split", network.now - t0))
+
+    emit(
+        "fig2_hadas_ops",
+        "FIG-2: HADAS operation costs (simulated seconds, WAN link)",
+        ["operation", "sim_seconds"],
+        rows,
+    )
+    costs = dict(rows)
+    # shape: import ships more than a link handshake; a local query after
+    # the split is free of network time entirely
+    assert costs["local query after split"] == 0.0
+    assert costs["forwarded query (1 WAN round trip)"] > 0.1  # 2x 80ms + payload
+    benchmark(lambda: amb.invoke("departments_local"))
+
+
+def test_ambassador_forwarded_invoke(benchmark):
+    _network, _ioo_h, ioo_b, _apo = build_world()
+    ioo_b.link("haifa")
+    amb = ioo_b.import_apo("haifa", "employees")
+    benchmark(lambda: amb.invoke("salary_of", ["moshe"]))
+
+
+def test_ambassador_local_invoke_after_split(benchmark):
+    _network, _ioo_h, ioo_b, apo = build_world()
+    ioo_b.link("haifa")
+    amb = ioo_b.import_apo("haifa", "employees")
+    apo.broadcast_add_method("constant", "return 42")
+    benchmark(lambda: amb.invoke("constant"))
+
+
+def test_link_plus_import_machinery(benchmark):
+    def full_handshake():
+        _network, _ioo_h, ioo_b, _apo = build_world()
+        ioo_b.link("haifa")
+        ioo_b.import_apo("haifa", "employees")
+
+    benchmark(full_handshake)
+
+
+def test_interop_program(benchmark):
+    _network, _ioo_h, ioo_b, _apo = build_world()
+    ioo_b.link("haifa")
+    ioo_b.import_apo("haifa", "employees")
+    ioo_b.add_program(
+        "avg",
+        "db = self.get('imports')['employees']\n"
+        "return db.invoke('headcount', [])",
+    )
+    benchmark(lambda: ioo_b.run_program("avg"))

@@ -1,0 +1,103 @@
+"""PERF-1: the price of structural mutability.
+
+Section 3: "structural mutability bears some price on performance,
+because it implies that technically there must be an internal mechanism
+to lookup the location of an item before accessing it ... whereas in
+static structures the location is determined at compile time as a fixed
+offset."
+
+Series: native Python attribute dispatch vs MROM invocation of a
+fixed-section method vs an extensible-section method, at growing
+container populations — plus the fixed/extensible split ablation (does a
+big extensible section slow down fixed lookups? it must not).
+"""
+
+import pytest
+
+from repro.baselines import StaticCounter
+from repro.core import MROMObject, Principal
+
+from .series import emit, time_per_call
+
+OWNER = Principal("mrom://bench/1.1", "bench", "owner")
+
+
+def build_counter(extra_fixed: int = 0, extra_ext: int = 0) -> MROMObject:
+    obj = MROMObject(display_name="counter", owner=OWNER, extensible_meta=True)
+    obj.define_fixed_data("count", 0)
+    obj.define_fixed_method(
+        "increment",
+        "self.set('count', self.get('count') + (args[0] if args else 1))\n"
+        "return self.get('count')",
+    )
+    for index in range(extra_fixed):
+        obj.define_fixed_method(f"fixed_pad{index}", "return 0")
+    obj.seal()
+    view = obj.self_view()
+    view.add_method("increment_ext", "self.set('count', self.get('count') + 1)\nreturn self.get('count')")
+    for index in range(extra_ext):
+        view.add_data(f"ext_pad{index}", index)
+    return obj
+
+
+def test_native_dispatch(benchmark):
+    counter = StaticCounter()
+    benchmark(lambda: counter.increment(1))
+
+
+def test_mrom_fixed_method(benchmark):
+    obj = build_counter()
+    benchmark(lambda: obj.invoke("increment", [1], caller=OWNER))
+
+
+def test_mrom_extensible_method(benchmark):
+    obj = build_counter()
+    benchmark(lambda: obj.invoke("increment_ext", [], caller=OWNER))
+
+
+def test_perf1_series(benchmark):
+    static = StaticCounter()
+    obj = build_counter()
+    native = time_per_call(lambda: static.increment(1))
+    fixed = time_per_call(lambda: obj.invoke("increment", [1], caller=OWNER))
+    extensible = time_per_call(lambda: obj.invoke("increment_ext", [], caller=OWNER))
+    emit(
+        "perf1_reflective_overhead",
+        "PERF-1: lookup cost of mutability (who wins, by what factor)",
+        ["model", "us/call", "vs_native"],
+        [
+            ("native-python", native * 1e6, 1.0),
+            ("mrom-fixed", fixed * 1e6, fixed / native),
+            ("mrom-extensible", extensible * 1e6, extensible / native),
+        ],
+    )
+    # the paper's predicted shape: native is cheapest; MROM pays a
+    # bounded per-invocation lookup/dispatch cost
+    assert native < fixed
+    assert native < extensible
+    benchmark(lambda: obj.invoke("increment", [1], caller=OWNER))
+
+
+def test_perf1_split_ablation(benchmark):
+    """A crowded extensible section must not tax fixed-section lookups."""
+    lean = build_counter()
+    crowded = build_counter(extra_ext=1000)
+    lean_time = time_per_call(lambda: lean.invoke("increment", [1], caller=OWNER))
+    crowded_time = time_per_call(
+        lambda: crowded.invoke("increment", [1], caller=OWNER)
+    )
+    emit(
+        "perf1_split_ablation",
+        "PERF-1 ablation: fixed lookup vs extensible population",
+        ["extensible_items", "us/call"],
+        [(2, lean_time * 1e6), (1002, crowded_time * 1e6)],
+    )
+    # hash-based containers: within noise of each other (generous bound)
+    assert crowded_time < lean_time * 3
+    benchmark(lambda: crowded.invoke("increment", [1], caller=OWNER))
+
+
+@pytest.mark.parametrize("population", [10, 100, 1000])
+def test_lookup_at_population(benchmark, population):
+    obj = build_counter(extra_fixed=population)
+    benchmark(lambda: obj.invoke("increment", [1], caller=OWNER))

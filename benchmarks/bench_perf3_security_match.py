@@ -1,0 +1,83 @@
+"""PERF-3: the cost of the Match phase (security coupled with
+encapsulation, checked at every invocation).
+
+Series: self-invocation (Match bypassed), allow-all ACL, ACLs of growing
+length (the caller matching the last entry — worst case for the ordered
+scan), and a domain-pattern ACL.
+"""
+
+import pytest
+
+from repro.core import (
+    AccessControlList,
+    AclEntry,
+    MROMObject,
+    Permission,
+    Principal,
+    allow_all,
+)
+
+from .series import emit, time_per_call
+
+OWNER = Principal("mrom://bench/1.1", "bench.dom", "owner")
+CALLER = Principal("mrom://bench/2.2", "bench.dom.sub", "caller")
+
+
+def build_service(acl: AccessControlList) -> MROMObject:
+    obj = MROMObject(display_name="svc", owner=OWNER)
+    obj.define_fixed_method("op", "return 1", acl=acl)
+    obj.seal()
+    return obj
+
+
+def acl_with_entries(count: int) -> AccessControlList:
+    entries = [
+        AclEntry(f"mrom://other/{index}.0", Permission.INVOKE)
+        for index in range(count - 1)
+    ]
+    entries.append(AclEntry(CALLER.guid, Permission.INVOKE))
+    return AccessControlList(entries)
+
+
+def test_match_bypassed_for_self(benchmark):
+    obj = build_service(allow_all())
+    benchmark(lambda: obj.invoke("op", caller=obj.principal))
+
+
+def test_match_allow_all(benchmark):
+    obj = build_service(allow_all())
+    benchmark(lambda: obj.invoke("op", caller=CALLER))
+
+
+@pytest.mark.parametrize("entries", [1, 8, 64])
+def test_match_with_acl_entries(benchmark, entries):
+    obj = build_service(acl_with_entries(entries))
+    benchmark(lambda: obj.invoke("op", caller=CALLER))
+
+
+def test_perf3_series(benchmark):
+    from repro.core import domain_acl
+
+    variants = [
+        ("self (match bypassed)", build_service(allow_all()), None),
+        ("allow-all", build_service(allow_all()), CALLER),
+        ("acl-1-entry", build_service(acl_with_entries(1)), CALLER),
+        ("acl-8-entries", build_service(acl_with_entries(8)), CALLER),
+        ("acl-64-entries", build_service(acl_with_entries(64)), CALLER),
+        ("domain-pattern", build_service(domain_acl("bench.dom")), CALLER),
+    ]
+    rows = []
+    baseline = None
+    for label, obj, caller in variants:
+        principal = caller if caller is not None else obj.principal
+        cost = time_per_call(lambda o=obj, p=principal: o.invoke("op", caller=p))
+        if baseline is None:
+            baseline = cost
+        rows.append((label, cost * 1e6, cost / baseline))
+    emit(
+        "perf3_security_match",
+        "PERF-3: Match-phase cost per invocation",
+        ["variant", "us/call", "vs_self"],
+        rows,
+    )
+    benchmark(lambda: variants[1][1].invoke("op", caller=CALLER))

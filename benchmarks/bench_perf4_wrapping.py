@@ -1,0 +1,93 @@
+"""PERF-4: the cost of wrapping (pre-/post-procedures, Section 3.1).
+
+Series: a bare method vs pre only, post only, pre+post; portable
+(sandboxed source) vs native wrapper procedures; and the charging pattern
+(a level-1 meta-invoke carrying the pre) for comparison.
+"""
+
+from repro.core import MROMObject, Principal, allow_all
+
+from .series import emit, time_per_call
+
+OWNER = Principal("mrom://bench/1.1", "bench", "owner")
+
+
+def build(pre=None, post=None) -> MROMObject:
+    obj = MROMObject(display_name="svc", owner=OWNER, extensible_meta=True)
+    obj.define_fixed_method("op", "return args[0] + 1", pre=pre, post=post)
+    obj.seal()
+    return obj
+
+
+def test_bare(benchmark):
+    obj = build()
+    benchmark(lambda: obj.invoke("op", [1], caller=OWNER))
+
+
+def test_with_pre(benchmark):
+    obj = build(pre="return True")
+    benchmark(lambda: obj.invoke("op", [1], caller=OWNER))
+
+
+def test_with_pre_and_post(benchmark):
+    obj = build(pre="return True", post="return result > 0")
+    benchmark(lambda: obj.invoke("op", [1], caller=OWNER))
+
+
+def test_with_native_wrappers(benchmark):
+    obj = build(
+        pre=lambda self, args, ctx: True,
+        post=lambda self, args, result, ctx: True,
+    )
+    benchmark(lambda: obj.invoke("op", [1], caller=OWNER))
+
+
+def test_perf4_series(benchmark):
+    charging = build()
+    charging.environment["credit"] = 10**9
+    charging.invoke(
+        "addMethod",
+        [
+            "invoke",
+            "return ctx.proceed()",
+            {
+                "acl": allow_all().describe(),
+                "pre": "self.env['credit'] = self.env['credit'] - 1\nreturn True",
+            },
+        ],
+        caller=OWNER,
+    )
+    variants = [
+        ("bare", build()),
+        ("pre (portable)", build(pre="return True")),
+        ("post (portable)", build(post="return True")),
+        ("pre+post (portable)", build(pre="return True", post="return True")),
+        (
+            "pre+post (native)",
+            build(
+                pre=lambda self, args, ctx: True,
+                post=lambda self, args, result, ctx: True,
+            ),
+        ),
+        ("charging meta-level", charging),
+    ]
+    rows = []
+    baseline = None
+    for label, obj in variants:
+        cost = time_per_call(lambda o=obj: o.invoke("op", [1], caller=OWNER))
+        if baseline is None:
+            baseline = cost
+        rows.append((label, cost * 1e6, cost / baseline))
+    emit(
+        "perf4_wrapping",
+        "PERF-4: wrapping cost per invocation",
+        ["variant", "us/call", "vs_bare"],
+        rows,
+    )
+    # shape: each wrapper adds cost; the per-object charging level costs
+    # more than a per-method pre (it runs the full tower machinery)
+    bare = rows[0][1]
+    pre_post = rows[3][1]
+    meta = rows[5][1]
+    assert bare < pre_post < meta
+    benchmark(lambda: variants[1][1].invoke("op", [1], caller=OWNER))

@@ -1,0 +1,120 @@
+"""PERF-5: move the code or move the questions?
+
+The paper's opening motivation: mobile code "can be used to overcome
+low-bandwidth connections by shifting interactive and other front-end
+computation closer to the user". This bench regenerates the trade-off on
+the simulated internetwork: a client issues N queries against a remote
+service, either by remote invocation (every query crosses the link) or by
+migrating the self-contained service object once and querying locally.
+
+Series: completion time (simulated seconds) for each strategy across
+link presets (LAN / WAN / MODEM) and query counts, plus the crossover
+point per link — the shape to check: migration wins sooner as the link
+gets worse, and for chatty interactions it wins by a wide factor.
+"""
+
+from repro.mobility import MobilityManager
+from repro.net import LAN, MODEM, Network, Site, WAN
+from repro.sim import Simulator
+
+from .series import emit
+
+LINKS = {"LAN": LAN, "WAN": WAN, "MODEM": MODEM}
+QUERY_COUNTS = [1, 2, 5, 10, 20, 50, 100]
+TABLE_ROWS = 200  # service payload size driver
+
+
+def build_world(link):
+    network = Network(Simulator())
+    server = Site(network, "server", "dom.server")
+    client = Site(network, "client", "dom.client")
+    network.topology.connect("server", "client", *link)
+    sender = MobilityManager(server)
+    MobilityManager(client)
+    return network, server, client, sender
+
+
+def build_service(server):
+    table = {f"key{index}": f"value-{index:06d}" for index in range(TABLE_ROWS)}
+    service = server.create_object(
+        display_name="table", owner=server.principal
+    )
+    service.define_fixed_data("table", table)
+    service.define_fixed_method("lookup", "return self.get('table')[args[0]]")
+    service.seal()
+    server.register_object(service, name="svc")
+    return service
+
+
+def rpc_completion_time(link, queries: int) -> float:
+    network, server, client, _sender = build_world(link)
+    build_service(server)
+    ref = client.remote_resolve("server", "svc")
+    start = network.now
+    for index in range(queries):
+        ref.invoke("lookup", [f"key{index % TABLE_ROWS}"])
+    return network.now - start
+
+
+def migrate_completion_time(link, queries: int) -> float:
+    network, server, client, sender = build_world(link)
+    service = build_service(server)
+    start = network.now
+    sender.migrate(service, "client")
+    local = client.local_object(service.guid)
+    for index in range(queries):
+        local.invoke("lookup", [f"key{index % TABLE_ROWS}"])
+    return network.now - start
+
+
+def test_perf5_series(benchmark):
+    rows = []
+    crossovers = {}
+    for label, link in LINKS.items():
+        for queries in QUERY_COUNTS:
+            rpc = rpc_completion_time(link, queries)
+            migrate = migrate_completion_time(link, queries)
+            winner = "migrate" if migrate < rpc else "rpc"
+            if winner == "migrate" and label not in crossovers:
+                crossovers[label] = queries
+            rows.append((label, queries, rpc, migrate, winner))
+    emit(
+        "perf5_migration_sweep",
+        "PERF-5: completion time (simulated s), rpc vs migrate-then-local",
+        ["link", "queries", "rpc_s", "migrate_s", "winner"],
+        rows,
+    )
+    emit(
+        "perf5_crossover",
+        "PERF-5: first query count at which migration wins",
+        ["link", "crossover_queries"],
+        [(label, crossovers.get(label, ">100")) for label in LINKS],
+    )
+    by_cell = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+    # single query: migration can't win (it ships far more bytes)
+    assert by_cell[("WAN", 1)][0] < by_cell[("WAN", 1)][1]
+    # chatty interaction: migration wins on every link
+    for label in LINKS:
+        rpc, migrate = by_cell[(label, 100)]
+        assert migrate < rpc
+    # the worse the link's latency, the earlier the crossover pays off:
+    # at 10 queries migration already wins on WAN and MODEM
+    assert by_cell[("WAN", 10)][1] < by_cell[("WAN", 10)][0]
+    assert by_cell[("MODEM", 10)][1] < by_cell[("MODEM", 10)][0]
+    benchmark(lambda: rpc_completion_time(WAN, 5))
+
+
+def test_rpc_machinery(benchmark):
+    _network, server, client, _sender = build_world(WAN)
+    build_service(server)
+    ref = client.remote_resolve("server", "svc")
+    benchmark(lambda: ref.invoke("lookup", ["key0"]))
+
+
+def test_migration_machinery(benchmark):
+    def migrate_once():
+        _network, server, _client, sender = build_world(LAN)
+        service = build_service(server)
+        sender.migrate(service, "client")
+
+    benchmark(migrate_once)

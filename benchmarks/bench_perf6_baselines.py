@@ -1,0 +1,160 @@
+"""PERF-6: dynamic invocation across the Section-2 object models.
+
+Each baseline re-implements one comparator's dynamic-invocation
+mechanics; this bench regenerates the comparison the paper makes
+qualitatively — what each model *can* do, and what its dynamic call
+costs — as a capability matrix plus a latency series.
+"""
+
+from repro.baselines import (
+    Component,
+    InterfaceDef,
+    InterfaceRepository,
+    JClass,
+    JField,
+    JMethod,
+    OperationDef,
+    ORB,
+    Servant,
+    StaticCounter,
+)
+from repro.core import Kind, MROMObject, Principal
+
+from .series import emit, time_per_call
+
+OWNER = Principal("mrom://bench/1.1", "bench", "owner")
+
+
+def build_mrom():
+    obj = MROMObject(display_name="counter", owner=OWNER, extensible_meta=True)
+    obj.define_fixed_data("count", 0)
+    obj.define_fixed_method(
+        "increment",
+        "self.set('count', self.get('count') + args[0])\nreturn self.get('count')",
+    )
+    obj.seal()
+    return obj
+
+
+def build_corba():
+    repository = InterfaceRepository()
+    interface = InterfaceDef("Counter")
+    interface.add_operation(OperationDef("increment", (Kind.INTEGER,), Kind.INTEGER))
+    repository.register(interface)
+    orb = ORB(repository)
+    state = {"count": 0}
+
+    def increment(step):
+        state["count"] += step
+        return state["count"]
+
+    orb.bind("Counter", Servant("counter", {"increment": increment}))
+    return orb
+
+
+def build_dcom():
+    component = Component("counter")
+    state = {"count": 0}
+
+    def increment(step):
+        state["count"] += step
+        return state["count"]
+
+    component.register_interface("IID_Counter", {"increment": increment})
+    return component.unknown().query_interface("IID_Counter")
+
+
+def build_java():
+    def increment(obj, step):
+        field = obj.get_class().get_field("count")
+        field.set(obj, field.get(obj) + step)
+        return field.get(obj)
+
+    jclass = JClass(
+        "Counter",
+        methods={"increment": JMethod("increment", ("int",), "int", increment)},
+        fields={"count": JField("count", "int")},
+    )
+    return jclass.new_instance(count=0)
+
+
+def test_static(benchmark):
+    counter = StaticCounter()
+    benchmark(lambda: counter.increment(1))
+
+
+def test_mrom(benchmark):
+    obj = build_mrom()
+    benchmark(lambda: obj.invoke("increment", [1], caller=OWNER))
+
+
+def test_corba_dii(benchmark):
+    orb = build_corba()
+
+    def call():
+        return orb.create_request("Counter", "increment").add_argument(1).invoke()
+
+    benchmark(call)
+
+
+def test_dcom(benchmark):
+    pointer = build_dcom()
+    benchmark(lambda: pointer.call("increment", 1))
+
+
+def test_java_reflect(benchmark):
+    instance = build_java()
+    benchmark(lambda: instance.invoke("increment", 1))
+
+
+def test_perf6_series(benchmark):
+    static = StaticCounter()
+    mrom = build_mrom()
+    orb = build_corba()
+    dcom_ptr = build_dcom()
+    java_obj = build_java()
+
+    calls = {
+        "static": lambda: static.increment(1),
+        "java-reflect": lambda: java_obj.invoke("increment", 1),
+        "dcom-qi": lambda: dcom_ptr.call("increment", 1),
+        "corba-dii": lambda: orb.create_request("Counter", "increment")
+        .add_argument(1)
+        .invoke(),
+        "mrom": lambda: mrom.invoke("increment", [1], caller=OWNER),
+    }
+    timings = {label: time_per_call(fn) for label, fn in calls.items()}
+
+    # the capability matrix the paper argues in prose (Section 2)
+    capabilities = {
+        "static": ("no", "no", "no", "no"),
+        "java-reflect": ("yes", "no", "no", "no"),
+        "dcom-qi": ("partial", "interfaces-only", "no", "no"),
+        "corba-dii": ("repository", "repository-only", "no", "no"),
+        "mrom": ("yes", "yes", "yes", "yes"),
+    }
+    rows = [
+        (
+            label,
+            timings[label] * 1e6,
+            timings[label] / timings["static"],
+            *capabilities[label],
+        )
+        for label in calls
+    ]
+    emit(
+        "perf6_baselines",
+        "PERF-6: dynamic invocation across object models",
+        [
+            "model",
+            "us/call",
+            "vs_static",
+            "self-repr",
+            "mutability",
+            "meta-mutability",
+            "per-item-security",
+        ],
+        rows,
+    )
+    assert timings["static"] < timings["mrom"]
+    benchmark(calls["mrom"])

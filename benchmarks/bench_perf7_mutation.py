@@ -1,0 +1,91 @@
+"""PERF-7: throughput of the mutation meta-methods.
+
+The reflective surface — add/get/set/delete of data items and methods —
+at container populations of 10 / 100 / 1000 items, to confirm the
+structure scales (hash containers: population-independent costs).
+"""
+
+import pytest
+
+from repro.core import MROMObject, Principal
+
+from .series import emit, time_per_call
+
+OWNER = Principal("mrom://bench/1.1", "bench", "owner")
+
+
+def build_populated(population: int) -> MROMObject:
+    obj = MROMObject(display_name="populated", owner=OWNER, extensible_meta=True)
+    obj.seal()
+    view = obj.self_view()
+    for index in range(population):
+        view.add_data(f"item{index}", index)
+    return obj
+
+
+def add_delete_cycle(obj: MROMObject) -> None:
+    obj.invoke("addDataItem", ["cycle", 1], caller=OWNER)
+    obj.invoke("deleteDataItem", ["cycle"], caller=OWNER)
+
+
+def add_delete_method_cycle(obj: MROMObject) -> None:
+    obj.invoke("addMethod", ["cycle", "return 1"], caller=OWNER)
+    obj.invoke("deleteMethod", ["cycle"], caller=OWNER)
+
+
+@pytest.mark.parametrize("population", [10, 100, 1000])
+def test_add_delete_data_item(benchmark, population):
+    obj = build_populated(population)
+    benchmark(lambda: add_delete_cycle(obj))
+
+
+@pytest.mark.parametrize("population", [10, 100, 1000])
+def test_get_data_item(benchmark, population):
+    obj = build_populated(population)
+    target = f"item{population // 2}"
+    benchmark(lambda: obj.invoke("getDataItem", [target], caller=OWNER))
+
+
+def test_set_data_item_properties(benchmark):
+    obj = build_populated(100)
+    _desc, handle = obj.invoke("getDataItem", ["item5"], caller=OWNER)
+    benchmark(
+        lambda: obj.invoke(
+            "setDataItem", [handle, {"metadata": {"touched": True}}], caller=OWNER
+        )
+    )
+
+
+def test_add_delete_method(benchmark):
+    obj = build_populated(10)
+    benchmark(lambda: add_delete_method_cycle(obj))
+
+
+def test_perf7_series(benchmark):
+    rows = []
+    for population in (10, 100, 1000):
+        obj = build_populated(population)
+        target = f"item{population // 2}"
+        add_delete = time_per_call(lambda o=obj: add_delete_cycle(o))
+        get_item = time_per_call(
+            lambda o=obj, t=target: o.invoke("getDataItem", [t], caller=OWNER)
+        )
+        value_get = time_per_call(
+            lambda o=obj, t=target: o.get_data(t, caller=OWNER)
+        )
+        rows.append(
+            (population, add_delete * 1e6, get_item * 1e6, value_get * 1e6)
+        )
+    emit(
+        "perf7_mutation",
+        "PERF-7: mutation meta-method cost vs container population",
+        ["population", "add+del_us", "getDataItem_us", "get_value_us"],
+        rows,
+    )
+    # population independence (hash containers): 1000 items costs within
+    # 3x of 10 items for every column
+    small, large = rows[0], rows[-1]
+    for column in (1, 2, 3):
+        assert large[column] < small[column] * 3 + 2.0
+    obj = build_populated(100)
+    benchmark(lambda: add_delete_cycle(obj))

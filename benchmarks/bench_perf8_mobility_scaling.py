@@ -1,0 +1,109 @@
+"""PERF-8 (ablation): what migration itself costs as objects grow.
+
+DESIGN.md's substitution table claims source-carried code + eager
+verification preserves the JVM's verify-then-run economics; this bench
+quantifies the pipeline: pack -> wire-encode -> admission-verify ->
+unpack -> first-invocation compile, as the object's method count and
+data payload grow. Also prices the eager-vs-lazy verification choice
+(HostPolicy ablation).
+"""
+
+from repro.core import MROMObject, Principal
+from repro.mobility import pack, pack_bytes, unpack
+from repro.net.marshal import unmarshal
+from repro.security import HostPolicy
+
+from .series import emit, time_per_call
+
+OWNER = Principal("mrom://bench/1.1", "bench", "owner")
+
+BODY = (
+    "total = 0\n"
+    "for value in args:\n"
+    "    total = total + value\n"
+    "return total"
+)
+
+
+def build(methods: int, payload_rows: int) -> MROMObject:
+    obj = MROMObject(display_name=f"m{methods}-p{payload_rows}", owner=OWNER)
+    obj.define_fixed_data(
+        "payload", {f"row{index}": "x" * 40 for index in range(payload_rows)}
+    )
+    for index in range(methods):
+        obj.define_fixed_method(f"op{index}", BODY)
+    obj.seal()
+    return obj
+
+
+def test_perf8_pipeline_series(benchmark):
+    shapes = [(2, 10), (8, 10), (32, 10), (8, 100), (8, 1000)]
+    policy = HostPolicy()
+    rows = []
+    for methods, payload in shapes:
+        obj = build(methods, payload)
+        wire = pack_bytes(obj)
+        package = pack(obj)
+        pack_cost = time_per_call(lambda o=obj: pack_bytes(o))
+        unpack_cost = time_per_call(lambda p=package: unpack(p))
+        admit_cost = time_per_call(lambda p=package: policy.admit(p, "src"))
+        decode_cost = time_per_call(lambda w=wire: unmarshal(w))
+        rows.append(
+            (
+                methods,
+                payload,
+                len(wire),
+                pack_cost * 1e6,
+                decode_cost * 1e6,
+                admit_cost * 1e6,
+                unpack_cost * 1e6,
+            )
+        )
+    emit(
+        "perf8_mobility_scaling",
+        "PERF-8: migration pipeline cost vs object shape",
+        ["methods", "payload", "wire_bytes", "pack_us", "decode_us",
+         "admit_us", "unpack_us"],
+        rows,
+    )
+    by_shape = {(r[0], r[1]): r for r in rows}
+    # wire size grows with both axes
+    assert by_shape[(32, 10)][2] > by_shape[(2, 10)][2]
+    assert by_shape[(8, 1000)][2] > by_shape[(8, 10)][2]
+    obj = build(8, 10)
+    benchmark(lambda: pack_bytes(obj))
+
+
+def test_perf8_eager_vs_lazy_admission(benchmark):
+    obj = build(16, 10)
+    package = pack(obj)
+    eager = HostPolicy(verify_code_eagerly=True)
+    lazy = HostPolicy(verify_code_eagerly=False)
+    eager_cost = time_per_call(lambda: eager.admit(package, "src"))
+    lazy_cost = time_per_call(lambda: lazy.admit(package, "src"))
+    first_call = time_per_call(
+        lambda: unpack(package).invoke("op0", [1, 2], caller=OWNER)
+    )
+    emit(
+        "perf8_admission_ablation",
+        "PERF-8 ablation: eager vs lazy code verification (16 methods)",
+        ["variant", "us"],
+        [
+            ("admit (eager verify)", eager_cost * 1e6),
+            ("admit (structural only)", lazy_cost * 1e6),
+            ("unpack + first compiled call", first_call * 1e6),
+        ],
+    )
+    # eager verification costs real work at admission; lazy defers it to
+    # first invocation — the classic verify-now vs verify-on-use trade
+    assert lazy_cost < eager_cost
+    benchmark(lambda: eager.admit(package, "src"))
+
+
+def test_pack_unpack_round_trip(benchmark):
+    obj = build(8, 100)
+
+    def round_trip():
+        unpack(pack(obj))
+
+    benchmark(round_trip)

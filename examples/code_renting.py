@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Section 3's "code renting" (after Yourdon): pay-per-invocation.
+
+A vendor at Haifa rents out a translation service object. The object is
+deployed to the customer's site — the *code* moves, so every call runs
+locally — but its ``invoke`` mechanism carries a level-1 meta-invoke whose
+pre-procedure contacts the vendor's charging object before every call.
+Out of credit: the pre-procedure vetoes, and the service stops until the
+customer tops up. The vendor never trusts the customer's runtime: the
+charging state lives at the vendor's site, and the rented object's
+meta-methods admit only the vendor.
+"""
+
+from repro.core import Principal, PreProcedureVeto, allow_all
+from repro.mobility import MobilityManager
+from repro.net import Network, Site, WAN
+from repro.sim import Simulator
+
+VOCABULARY = {"shalom": "peace", "or": "light", "emet": "truth"}
+
+
+def main() -> None:
+    network = Network(Simulator())
+    haifa = Site(network, "haifa", "technion.ee")
+    boston = Site(network, "boston", "mit.lcs")
+    network.topology.connect("haifa", "boston", *WAN)
+    vendor_shipping = MobilityManager(haifa)
+    MobilityManager(boston)
+
+    vendor = Principal("mrom://haifa/77.1", "technion.ee", "vendor")
+    customer = Principal("mrom://boston/88.1", "mit.lcs", "customer")
+
+    print("== vendor side: the charging object stays home ==")
+    charger = haifa.create_object(display_name="charger", owner=vendor)
+    charger.define_fixed_data("credit", 3)
+    charger.define_fixed_data("collected", 0)
+    charger.define_fixed_method(
+        "charge",
+        "if self.get('credit') <= 0:\n"
+        "    return False\n"
+        "self.set('credit', self.get('credit') - 1)\n"
+        "self.set('collected', self.get('collected') + 1)\n"
+        "return True",
+    )
+    charger.define_fixed_method(
+        "top_up",
+        "self.set('credit', self.get('credit') + args[0])\n"
+        "return self.get('credit')",
+    )
+    charger.seal()
+    haifa.register_object(charger)
+    print("  charger ready with", charger.get_data("credit"), "credits")
+
+    print("\n== vendor side: build and deploy the rented object ==")
+    service = haifa.create_object(
+        display_name="translator", owner=vendor, extensible_meta=True
+    )
+    service.define_fixed_data("charger", haifa.ref_to(charger))
+    service.define_fixed_data("vocabulary", dict(VOCABULARY))
+    service.define_fixed_method(
+        "translate",
+        "return self.get('vocabulary').get(args[0], '?')",
+    )
+    service.seal()
+    service.invoke(
+        "addMethod",
+        [
+            "invoke",
+            "return ctx.proceed()",
+            {
+                "acl": allow_all().describe(),
+                "pre": "return self.get('charger').invoke('charge', [])",
+            },
+        ],
+        caller=vendor,
+    )
+    vendor_shipping.migrate(service, "boston")
+    rented = boston.local_object(service.guid)
+    print("  translator now lives at", rented.environment["install_context"]["site"])
+
+    print("\n== customer side: use it until the credit runs out ==")
+    for word in ("shalom", "or", "emet", "shalom"):
+        try:
+            print(f"  translate({word!r}) ->", rented.invoke("translate", [word], caller=customer))
+        except PreProcedureVeto:
+            print(f"  translate({word!r}) -> REFUSED: out of credit")
+    print("  vendor collected:", charger.get_data("collected"))
+
+    print("\n== customer tops up; service resumes ==")
+    charger.invoke("top_up", [2], caller=vendor)
+    print("  translate('emet') ->", rented.invoke("translate", ["emet"], caller=customer))
+    print("  remaining credit:", charger.get_data("credit"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Section 5's worked example: the database shutdown, end to end.
+
+A database APO at Haifa exports Ambassadors to Boston and Paris. Before
+maintenance, the administrator invokes a method that *changes the
+invocation mechanism in all its Ambassadors* so every query echoes a
+maintenance notice — remote users get instant, meaningful answers instead
+of timeouts, and neither the database nor its clients ever coordinate
+directly. Afterwards the notice is lifted and queries flow again.
+"""
+
+from repro.apps import sample_database
+from repro.hadas import IOO
+from repro.net import Network, Site, WAN
+from repro.sim import Simulator
+
+
+def main() -> None:
+    network = Network(Simulator())
+    haifa = Site(network, "haifa", "technion.ee")
+    boston = Site(network, "boston", "mit.lcs")
+    paris = Site(network, "paris", "inria.fr")
+    network.topology.connect("haifa", "boston", *WAN)
+    network.topology.connect("haifa", "paris", *WAN)
+
+    ioos = {"haifa": IOO(haifa), "boston": IOO(boston), "paris": IOO(paris)}
+
+    db = sample_database()
+    apo = ioos["haifa"].integrate(
+        "employees",
+        db,
+        operations={
+            "salary_of": db.salary_of,
+            "by_department": lambda d: [e.to_mapping() for e in db.by_department(d)],
+            "headcount": db.headcount,
+        },
+        doc="the corporate employee database",
+    )
+
+    print("== deployment: Link then Import at each remote site ==")
+    for city in ("boston", "paris"):
+        ioos[city].link("haifa")
+        ambassador = ioos[city].import_apo("haifa", "employees")
+        print(f"  {city}: installed {ambassador.invoke('whoami')}")
+
+    print("\n== normal operation ==")
+    for city in ("boston", "paris"):
+        amb = ioos[city].imported("employees")
+        print(f"  {city} asks salary_of(moshe) ->", amb.invoke("salary_of", ["moshe"]))
+
+    print("\n== administrator: prepare for maintenance ==")
+    notice = "database is down for maintenance, back at 06:00"
+    updated = apo.broadcast_maintenance(notice)
+    db.shut_down()
+    print(f"  invocation semantics swapped in {updated} ambassadors")
+
+    print("\n== during maintenance: instant meaningful answers ==")
+    for city in ("boston", "paris"):
+        amb = ioos[city].imported("employees")
+        print(f"  {city} asks salary_of(moshe) ->", amb.invoke("salary_of", ["moshe"]))
+        print(f"  {city} asks headcount()     ->", amb.invoke("headcount"))
+    print("  (the database itself served", db.queries_served, "queries so far,")
+    print("   and none were attempted while it was down)")
+
+    print("\n== administrator: maintenance over ==")
+    db.start_up()
+    apo.broadcast_lift_maintenance()
+    for city in ("boston", "paris"):
+        amb = ioos[city].imported("employees")
+        print(f"  {city} asks salary_of(moshe) ->", amb.invoke("salary_of", ["moshe"]))
+
+    print("\nnetwork totals:", network)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Figure 2, live: the HADAS external view.
+
+Builds the figure's topology over the simulated internetwork — IOOs with
+Home (APOs), Vicinity (IOO Ambassadors), and deployed APO Ambassadors —
+then renders each IOO's state and runs an interoperability program across
+two imports. The printed layout mirrors the figure.
+"""
+
+from repro.apps import Calculator, TextIndex, sample_database
+from repro.hadas import IOO
+from repro.net import LAN, Network, Site, WAN
+from repro.sim import Simulator
+
+
+def render(ioo: IOO) -> None:
+    print(f"+-- IOO {ioo.site.site_id} ({ioo.site.domain})")
+    print(f"|   Home:     {sorted(ioo.home) or '(empty)'}")
+    vicinity = {
+        site: entry.ambassador.invoke("info")["domain"]
+        for site, entry in ioo.vicinity.items()
+    }
+    print(f"|   Vicinity: {vicinity or '(empty)'}")
+    ambassadors = [
+        f"{name} (of {amb.invoke('whoami')['origin_site']})"
+        for name, amb in ioo.imports.items()
+    ]
+    print(f"|   AMBs:     {ambassadors or '(none)'}")
+    print(f"|   Interop:  {ioo.programs() or '(none)'}")
+    print("+--")
+
+
+def main() -> None:
+    network = Network(Simulator())
+    sites = {
+        "haifa": Site(network, "haifa", "technion.ee"),
+        "boston": Site(network, "boston", "mit.lcs"),
+        "paris": Site(network, "paris", "inria.fr"),
+    }
+    network.topology.connect("haifa", "boston", *WAN)
+    network.topology.connect("haifa", "paris", *WAN)
+    network.topology.connect("boston", "paris", *LAN)
+    ioos = {name: IOO(site) for name, site in sites.items()}
+
+    # Home containers: each site integrates a local application
+    db = sample_database()
+    ioos["haifa"].integrate(
+        "employees", db,
+        operations={"payroll_total": db.payroll_total, "headcount": db.headcount},
+    )
+    calc = Calculator()
+    ioos["paris"].integrate("calc", calc, operations={"evaluate": calc.evaluate})
+    index = TextIndex()
+    index.add_document("icdcs97", "a reflective model for mobile software objects")
+    ioos["boston"].integrate(
+        "library", index, operations={"search": index.search}
+    )
+
+    # Configuration: links (each installs a peer's IOO Ambassador here)
+    ioos["boston"].link("haifa")
+    ioos["boston"].link("paris")
+    ioos["paris"].link("haifa")
+
+    # Imports: APO Ambassadors settle in foreign territories
+    ioos["boston"].import_apo("haifa", "employees")
+    ioos["boston"].import_apo("paris", "calc")
+    ioos["paris"].import_apo("haifa", "employees", local_name="db")
+
+    # Coordination: an interoperability program across two imports
+    ioos["boston"].add_program(
+        "payroll_with_bonus",
+        "db = self.get('imports')['employees']\n"
+        "calc = self.get('imports')['calc']\n"
+        "total = db.invoke('payroll_total', [])\n"
+        "return calc.invoke('evaluate', ['(' + str(total) + ') * 110 / 100'])",
+        doc="total payroll at Haifa, +10% bonus, computed at Paris",
+    )
+
+    print("HADAS external view (compare with Figure 2):\n")
+    for ioo in ioos.values():
+        render(ioo)
+        print()
+
+    result = ioos["boston"].run_program("payroll_with_bonus")
+    print("interop program 'payroll_with_bonus' ->", result)
+    print("\nsimulated time:", f"{network.now:.3f}s;", network)
+
+
+if __name__ == "__main__":
+    main()

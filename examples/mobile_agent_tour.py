@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A mobile agent tours the internetwork, gathering data as it goes.
+
+The agent is a self-contained MROM object: its code (portable source),
+its itinerary results, and its probe logic all travel with it. At each
+stop the host installs it, the agent inspects what that site offers (via
+an installation-context binding), records its findings in its own data
+items, and hops on. Back home, the origin reads the full report locally.
+"""
+
+from repro.mobility import AgentTour, Itinerary, MobilityManager
+from repro.net import LAN, Network, Site, WAN
+from repro.security import HostPolicy
+from repro.sim import Simulator
+
+INVENTORY = {
+    "tokyo": ["market-feed", "translation"],
+    "zurich": ["clearing", "market-feed"],
+    "nairobi": ["weather", "logistics"],
+}
+
+
+def main() -> None:
+    network = Network(Simulator())
+    home = Site(network, "home", "origin.example")
+    managers = {"home": MobilityManager(home)}
+    for name in INVENTORY:
+        site = Site(network, name, f"host.{name}")
+        # each host exposes its service inventory to arriving guests and
+        # guards its door with an admission policy
+        managers[name] = MobilityManager(site, policy=HostPolicy(max_items=32))
+        site_obj = site.create_object(display_name="services")
+        site_obj.define_fixed_data("inventory", INVENTORY[name])
+        site_obj.define_fixed_method("list_services", "return self.get('inventory')")
+        site_obj.seal()
+        site.register_object(site_obj, name="services")
+        network.topology.connect("home", name, *WAN)
+    network.topology.connect("tokyo", "zurich", *LAN)
+    network.topology.connect("zurich", "nairobi", *WAN)
+
+    print("== build the agent at home ==")
+    agent = home.create_object(display_name="scout", owner=home.principal)
+    agent.define_fixed_data("findings", [])
+    agent.define_fixed_method(
+        "visit",
+        # the host hands the agent a 'services' binding at install time?
+        # no — the agent *discovers* the local services object by name,
+        # through the directory reference its tour driver passes in
+        "site = args[0]\n"
+        "directory = args[1]\n"
+        "services = directory.invoke('list_services', [])\n"
+        "log = self.get('findings')\n"
+        "log.append({'site': site, 'services': services})\n"
+        "self.set('findings', log)\n"
+        "return services",
+    )
+    agent.define_fixed_method("report", "return self.get('findings')")
+    agent.seal()
+    home.register_object(agent)
+
+    print("== send it around ==")
+    # (AgentTour drives fixed-argument tours; here each stop needs its own
+    # directory reference, so we drive the hops with the same primitives)
+    itinerary = Itinerary.through("tokyo", "zurich", "nairobi")
+    records = []
+    ref = managers["home"].migrate(agent, itinerary.stops[0])
+    current = itinerary.stops[0]
+    for stop in itinerary:
+        if stop != current:
+            ref = managers["home"].forward(current, ref.guid, stop)
+            current = stop
+        directory = home.remote_resolve(stop, "services")
+        found = ref.invoke("visit", [stop, directory], caller=agent.owner)
+        records.append((stop, found))
+        print(f"  at {stop} ({network.now:7.3f}s): found {found}")
+    managers["home"].forward(current, ref.guid, "home")
+
+    print("\n== back home: read the report locally ==")
+    returned = home.local_object(agent.guid)
+    for entry in returned.invoke("report", caller=agent.owner):
+        print(f"  {entry['site']}: {', '.join(entry['services'])}")
+
+    market_feeds = [
+        entry["site"]
+        for entry in returned.invoke("report", caller=agent.owner)
+        if "market-feed" in entry["services"]
+    ]
+    print("\nsites offering market-feed:", market_feeds)
+    print("total simulated time:", f"{network.now:.3f}s;", network)
+
+
+if __name__ == "__main__":
+    main()

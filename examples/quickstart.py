@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: the MROM object model in five minutes.
+
+Covers each of the paper's requirements in order: self-representation,
+mutability, self-containment (pack/unpack), security, weak typing, and
+identity. Run with ``python examples/quickstart.py``.
+"""
+
+from repro.core import (
+    AccessDeniedError,
+    HtmlText,
+    Kind,
+    MROMObject,
+    Principal,
+    allow_all,
+    coerce,
+    describe,
+    interrogate,
+)
+from repro.mobility import pack, unpack
+
+
+def main() -> None:
+    print("== 1. build an object: fixed core + extensible surface ==")
+    owner = Principal("mrom://demo/1.1", "technion.ee", "owner")
+    account = MROMObject(
+        display_name="account", owner=owner, extensible_meta=True
+    )
+    account.define_fixed_data("balance", 100, kind=Kind.INTEGER)
+    account.define_fixed_method(
+        "withdraw",
+        "self.set('balance', self.get('balance') - args[0])\n"
+        "return self.get('balance')",
+        pre="return args[0] > 0 and args[0] <= self.get('balance')",
+        post="return result >= 0",
+    )
+    account.seal()
+    print("withdraw 30 ->", account.invoke("withdraw", [30], caller=owner))
+
+    print("\n== 2. self-representation: interrogate the object ==")
+    for name, signature in interrogate(account, viewer=owner).items():
+        if not signature["meta"]:
+            print(f"  method {name}: {signature['doc'] or '(no doc)'}")
+    print("  items visible to a stranger:",
+          describe(account).names())
+
+    print("\n== 3. mutability: reshape the object at run time ==")
+    account.invoke(
+        "addMethod",
+        ["interest", "self.set('balance', self.get('balance') + "
+                     "self.get('balance') // 10)\nreturn self.get('balance')",
+         {"acl": allow_all().describe()}],
+        caller=owner,
+    )
+    print("after interest ->", account.invoke("interest", caller=owner))
+    description = account.invoke("addDataItem", ["currency", "NIS"], caller=owner)
+    print("added data item:", description["name"], "in", description["section"])
+
+    print("\n== 4. security coupled with encapsulation ==")
+    stranger = Principal("mrom://elsewhere/9.9", "unknown.domain", "stranger")
+    try:
+        account.invoke("addDataItem", ["evil", 1], caller=stranger)
+    except AccessDeniedError as exc:
+        print("stranger blocked:", exc)
+
+    print("\n== 5. weak typing: generic coercion ==")
+    scraped = HtmlText("<td>salary: <b>4,500</b> NIS</td>".replace(",", ""))
+    print("HTML", repr(str(scraped)), "->", coerce(scraped, Kind.INTEGER))
+
+    print("\n== 6. self-containment: the object travels as data ==")
+    package = pack(account)
+    clone = unpack(package)
+    print("identity travels:", clone.guid == account.guid)
+    print("behaviour travels:", clone.invoke("withdraw", [7], caller=owner))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A service marketplace: discovery, import, negotiation, rolling update.
+
+The bottom-up construction story of the paper's conclusion, end to end:
+a client site knows nothing but its Links. It *discovers* services by
+capability across the vicinity, *imports* the best match, *negotiates*
+the arriving Ambassador into the interface its own programs expect, and
+later receives a *rolling interface update* pushed by the origin —
+without ever being recompiled, redeployed, or even restarted.
+"""
+
+from repro.apps import sample_database
+from repro.hadas import (
+    FleetUpdater,
+    InterfaceRequirement,
+    InterfaceRevision,
+    IOO,
+    negotiate,
+)
+from repro.hadas.trader import Trader
+from repro.net import Network, Site, WAN
+from repro.sim import Simulator
+
+
+def main() -> None:
+    network = Network(Simulator())
+    sites = {
+        name: Site(network, name, f"dom.{name}")
+        for name in ("client", "hr-corp", "hr-startup")
+    }
+    network.topology.connect("client", "hr-corp", *WAN)
+    network.topology.connect("client", "hr-startup", *WAN)
+    ioos = {name: IOO(site) for name, site in sites.items()}
+    traders = {name: Trader(ioo) for name, ioo in ioos.items()}
+
+    # two competing providers expose HR databases with different spellings
+    corp_db = sample_database()
+    corp = ioos["hr-corp"].integrate("corp-hr", corp_db)
+    corp.expose(
+        "salary_of", corp_db.salary_of,
+        doc="salary by employee name", tags=["hr", "salary"],
+        params=[{"name": "name", "kind": "text"}],
+    )
+    startup_db = sample_database()
+    startup = ioos["hr-startup"].integrate("startup-hr", startup_db)
+    startup.expose(
+        "comp_lookup", startup_db.salary_of,
+        doc="total compensation lookup", tags=["hr", "salary"],
+        params=[{"name": "who", "kind": "text"}],
+    )
+
+    print("== 1. discovery: who offers 'hr'+'salary'? ==")
+    ioos["client"].link("hr-corp")
+    ioos["client"].link("hr-startup")
+    offers = traders["client"].discover(tags=["hr", "salary"])
+    for offer in offers:
+        print(f"  {offer.site}/{offer.apo}.{offer.operation} — {offer.doc}")
+
+    print("\n== 2. import the startup's service ==")
+    ambassador = ioos["client"].import_apo("hr-startup", "startup-hr")
+    print("  installed:", ambassador.invoke("whoami"))
+
+    print("\n== 3. negotiation: our programs expect 'salary_of' ==")
+    requirements = [InterfaceRequirement("salary_of", arity=1, tags=("salary",))]
+    report = negotiate(
+        ambassador, requirements,
+        host=sites["client"].principal,
+        updater=ambassador.owner,
+    )
+    print("  " + report.summary())
+    print("  salary_of('moshe') ->", ambassador.invoke("salary_of", ["moshe"]))
+
+    print("\n== 4. the client's program runs against the negotiated name ==")
+    ioos["client"].add_program_mpl(
+        """
+        method team_cost(names) {
+          let hr = imports["startup-hr"]
+          let total = 0
+          for name in names {
+            total = total + hr.salary_of(name)
+          }
+          return total
+        }
+        """
+    )
+    cost = ioos["client"].run_program("team_cost", [["moshe", "dana", "yael"]])
+    print("  team_cost(engineering trio) ->", cost)
+
+    print("\n== 5. the origin pushes a rolling interface update ==")
+    updater = FleetUpdater(startup)
+    rollout = updater.rollout(
+        InterfaceRevision(
+            1,
+            add_methods={
+                "salary_band": (
+                    "salary = self.call('comp_lookup', args[0])\n"
+                    "if salary >= 6000:\n"
+                    "    return 'senior'\n"
+                    "if salary >= 4500:\n"
+                    "    return 'mid'\n"
+                    "return 'junior'"
+                )
+            },
+        )
+    )
+    print(f"  revision r1 rolled out to {len(rollout.updated)} ambassador(s)")
+    for name in ("moshe", "dana", "avi"):
+        print(f"  salary_band({name}) ->", ambassador.invoke("salary_band", [name]))
+
+    print("\nnetwork totals:", network)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — reproduction of "A Reflective Model for Mobile Software Objects".
+
+Holder & Ben-Shaul, ICDCS 1997. The package provides:
+
+* :mod:`repro.core` — MROM, the mutable reflective object model;
+* :mod:`repro.naming` — decentralized identity and naming;
+* :mod:`repro.sim` / :mod:`repro.net` — deterministic simulated internetwork;
+* :mod:`repro.mobility` — sandbox, packing, migration, itineraries;
+* :mod:`repro.persistence` — self-contained object persistence;
+* :mod:`repro.security` — trust domains, host/guest policies, audit;
+* :mod:`repro.concurrency` — synchronization and atomic mutation;
+* :mod:`repro.baselines` — CORBA-DII / DCOM / Java-reflection comparators;
+* :mod:`repro.apps` — synthetic legacy applications;
+* :mod:`repro.hadas` — the HADAS interoperability framework;
+* :mod:`repro.lang` — MPL, a small mobile-programming language.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,14 @@
+"""Synthetic legacy applications wrapped by HADAS APOs (see DESIGN.md)."""
+
+from .calculator import Calculator, CalculatorError
+from .employee_db import Employee, EmployeeDatabase, sample_database
+from .textindex import TextIndex
+
+__all__ = [
+    "Employee",
+    "EmployeeDatabase",
+    "sample_database",
+    "Calculator",
+    "CalculatorError",
+    "TextIndex",
+]

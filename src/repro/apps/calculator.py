@@ -1,0 +1,133 @@
+"""A synthetic legacy application: an arithmetic expression service.
+
+A second integration target for HADAS APOs — chosen because its inputs
+arrive as *text* (often scraped out of HTML in the paper's network-centric
+setting), which exercises the weak-typing/coercion path end to end.
+
+The evaluator is a classic recursive-descent parser over
+``+ - * / % ( )`` and integer/real literals, with named memory slots.
+No MROM dependency; the HADAS layer wraps it.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["CalculatorError", "Calculator"]
+
+
+class CalculatorError(ValueError):
+    """Malformed expression or evaluation failure."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*|\.\d+|\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>[-+*/%()]))"
+)
+
+
+def _tokenize(expression: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(expression):
+        match = _TOKEN_RE.match(expression, position)
+        if match is None:
+            raise CalculatorError(
+                f"bad character {expression[position]!r} at {position}"
+            )
+        if match.group("number") is not None:
+            tokens.append(("number", match.group("number")))
+        elif match.group("name") is not None:
+            tokens.append(("name", match.group("name")))
+        else:
+            tokens.append(("op", match.group("op")))
+        position = match.end()
+    return tokens
+
+
+class Calculator:
+    """Expression evaluator with named memory.
+
+    >>> calc = Calculator()
+    >>> calc.evaluate("2 + 3 * 4")
+    14
+    >>> calc.store("rate", 1.17)
+    >>> calc.evaluate("100 * rate")
+    117.0
+    """
+
+    def __init__(self) -> None:
+        self._memory: dict[str, float | int] = {}
+        self.evaluations = 0
+
+    # -- memory ------------------------------------------------------------
+
+    def store(self, name: str, value: "float | int") -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise CalculatorError(f"memory accepts numbers, not {type(value).__name__}")
+        self._memory[name] = value
+
+    def recall(self, name: str) -> "float | int":
+        try:
+            return self._memory[name]
+        except KeyError:
+            raise CalculatorError(f"nothing stored under {name!r}") from None
+
+    def clear(self) -> None:
+        self._memory.clear()
+
+    def names(self) -> list[str]:
+        return sorted(self._memory)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, expression: str) -> "float | int":
+        self.evaluations += 1
+        tokens = _tokenize(expression)
+        value, rest = self._parse_sum(tokens)
+        if rest:
+            raise CalculatorError(f"trailing tokens: {rest!r}")
+        return value
+
+    def _parse_sum(self, tokens):
+        value, tokens = self._parse_product(tokens)
+        while tokens and tokens[0] == ("op", "+") or tokens and tokens[0] == ("op", "-"):
+            operator = tokens[0][1]
+            right, tokens = self._parse_product(tokens[1:])
+            value = value + right if operator == "+" else value - right
+        return value, tokens
+
+    def _parse_product(self, tokens):
+        value, tokens = self._parse_atom(tokens)
+        while tokens and tokens[0][0] == "op" and tokens[0][1] in "*/%":
+            operator = tokens[0][1]
+            right, tokens = self._parse_atom(tokens[1:])
+            try:
+                if operator == "*":
+                    value = value * right
+                elif operator == "/":
+                    value = value / right
+                else:
+                    value = value % right
+            except ZeroDivisionError:
+                raise CalculatorError("division by zero") from None
+        return value, tokens
+
+    def _parse_atom(self, tokens):
+        if not tokens:
+            raise CalculatorError("unexpected end of expression")
+        kind, text = tokens[0]
+        if kind == "number":
+            literal = float(text) if "." in text else int(text)
+            return literal, tokens[1:]
+        if kind == "name":
+            return self.recall(text), tokens[1:]
+        if (kind, text) == ("op", "-"):
+            value, rest = self._parse_atom(tokens[1:])
+            return -value, rest
+        if (kind, text) == ("op", "("):
+            value, rest = self._parse_sum(tokens[1:])
+            if not rest or rest[0] != ("op", ")"):
+                raise CalculatorError("missing closing parenthesis")
+            return value, rest[1:]
+        raise CalculatorError(f"unexpected token {text!r}")

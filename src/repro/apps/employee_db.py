@@ -1,0 +1,132 @@
+"""A synthetic legacy application: an employee database engine.
+
+This stands in for the "real applications, both legacy and native-HADAS"
+that APOs encapsulate (Section 5) — and specifically for the paper's
+worked example: "a database APO whose methods return employees
+information". It is a plain Python object with no knowledge of MROM;
+the HADAS integration layer wraps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Employee", "EmployeeDatabase", "sample_database"]
+
+
+@dataclass(frozen=True)
+class Employee:
+    """One row of the database."""
+
+    name: str
+    department: str
+    salary: int
+    manager: str = ""
+
+    def to_mapping(self) -> dict:
+        return {
+            "name": self.name,
+            "department": self.department,
+            "salary": self.salary,
+            "manager": self.manager,
+        }
+
+
+class EmployeeDatabase:
+    """An in-memory table with the query surface the example needs."""
+
+    def __init__(self, rows: Iterable[Employee] = ()):
+        self._rows: dict[str, Employee] = {}
+        self.queries_served = 0
+        self.online = True
+        for row in rows:
+            self.insert(row)
+
+    # -- updates ---------------------------------------------------------
+
+    def insert(self, employee: Employee) -> None:
+        if employee.name in self._rows:
+            raise KeyError(f"employee {employee.name!r} already exists")
+        self._rows[employee.name] = employee
+
+    def remove(self, name: str) -> Employee:
+        return self._rows.pop(name)
+
+    def give_raise(self, name: str, amount: int) -> int:
+        current = self.lookup(name)
+        updated = Employee(
+            current.name, current.department, current.salary + amount,
+            current.manager,
+        )
+        self._rows[name] = updated
+        return updated.salary
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup(self, name: str) -> Employee:
+        self.queries_served += 1
+        try:
+            return self._rows[name]
+        except KeyError:
+            raise KeyError(f"no employee named {name!r}") from None
+
+    def salary_of(self, name: str) -> int:
+        return self.lookup(name).salary
+
+    def by_department(self, department: str) -> list[Employee]:
+        self.queries_served += 1
+        return sorted(
+            (row for row in self._rows.values() if row.department == department),
+            key=lambda row: row.name,
+        )
+
+    def departments(self) -> list[str]:
+        self.queries_served += 1
+        return sorted({row.department for row in self._rows.values()})
+
+    def payroll_total(self, department: str | None = None) -> int:
+        self.queries_served += 1
+        return sum(
+            row.salary
+            for row in self._rows.values()
+            if department is None or row.department == department
+        )
+
+    def headcount(self) -> int:
+        self.queries_served += 1
+        return len(self._rows)
+
+    def reports_to(self, manager: str) -> list[str]:
+        self.queries_served += 1
+        return sorted(
+            row.name for row in self._rows.values() if row.manager == manager
+        )
+
+    # -- administration ---------------------------------------------------------
+
+    def shut_down(self) -> None:
+        """Take the engine offline (the maintenance scenario)."""
+        self.online = False
+
+    def start_up(self) -> None:
+        self.online = True
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+def sample_database() -> EmployeeDatabase:
+    """A small but non-trivial dataset used by examples and tests."""
+    return EmployeeDatabase(
+        [
+            Employee("moshe", "engineering", 4500, manager="dana"),
+            Employee("dana", "engineering", 7200),
+            Employee("yael", "engineering", 5100, manager="dana"),
+            Employee("avi", "sales", 3900, manager="rina"),
+            Employee("rina", "sales", 6000),
+            Employee("noa", "research", 5600),
+            Employee("eli", "research", 4800, manager="noa"),
+            Employee("tamar", "sales", 4100, manager="rina"),
+        ]
+    )

@@ -1,0 +1,97 @@
+"""A synthetic legacy application: a document index (search tool).
+
+The third integration target — modelled on the external tools software-
+engineering environments wrap (the paper cites Oz and FIELD as wrapping-
+heavy systems). An inverted index over named documents, with tf scoring:
+exactly the kind of pre-existing tool a HADAS site integrates, wraps with
+pre/post procedures, and exports Ambassadors for.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+
+__all__ = ["TextIndex"]
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def _terms(text: str) -> list[str]:
+    return _WORD_RE.findall(text.lower())
+
+
+class TextIndex:
+    """An inverted index with tf-idf ranking.
+
+    >>> index = TextIndex()
+    >>> index.add_document("a", "mobile objects travel the network")
+    >>> index.add_document("b", "static objects stay put")
+    >>> [hit for hit, _score in index.search("mobile network")]
+    ['a']
+    """
+
+    def __init__(self) -> None:
+        self._documents: dict[str, Counter] = {}
+        self._postings: dict[str, set[str]] = {}
+        self.searches_served = 0
+
+    # -- corpus management ---------------------------------------------------
+
+    def add_document(self, name: str, text: str) -> int:
+        """Index a document; returns its term count."""
+        if name in self._documents:
+            raise KeyError(f"document {name!r} already indexed")
+        counts = Counter(_terms(text))
+        self._documents[name] = counts
+        for term in counts:
+            self._postings.setdefault(term, set()).add(name)
+        return sum(counts.values())
+
+    def remove_document(self, name: str) -> None:
+        counts = self._documents.pop(name, None)
+        if counts is None:
+            raise KeyError(f"document {name!r} is not indexed")
+        for term in counts:
+            holders = self._postings.get(term)
+            if holders is not None:
+                holders.discard(name)
+                if not holders:
+                    del self._postings[term]
+
+    def documents(self) -> list[str]:
+        return sorted(self._documents)
+
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    # -- search ------------------------------------------------------------------
+
+    def search(self, query: str, limit: int = 10) -> list[tuple[str, float]]:
+        """Rank documents for *query* by tf-idf; best first."""
+        self.searches_served += 1
+        terms = _terms(query)
+        if not terms or not self._documents:
+            return []
+        corpus = len(self._documents)
+        scores: dict[str, float] = {}
+        for term in terms:
+            holders = self._postings.get(term, ())
+            if not holders:
+                continue
+            idf = math.log((1 + corpus) / (1 + len(holders))) + 1.0
+            for name in holders:
+                tf = self._documents[name][term]
+                scores[name] = scores.get(name, 0.0) + tf * idf
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:limit]
+
+    def term_frequency(self, name: str, term: str) -> int:
+        try:
+            return self._documents[name][term.lower()]
+        except KeyError:
+            raise KeyError(f"document {name!r} is not indexed") from None
+
+    def __len__(self) -> int:
+        return len(self._documents)

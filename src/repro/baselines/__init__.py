@@ -1,0 +1,41 @@
+"""Related-work baselines (Section 2 comparators), re-implemented.
+
+Each module reproduces the *dynamic invocation* mechanics of one model
+the paper compares MROM against, with exactly the capabilities and
+limitations the paper attributes to it.
+"""
+
+from .corba_dii import (
+    CorbaError,
+    InterfaceDef,
+    InterfaceRepository,
+    OperationDef,
+    ORB,
+    Request,
+    Servant,
+)
+from .dcom import Component, DcomError, IID_IUNKNOWN, InterfacePointer
+from .java_reflect import JavaReflectError, JClass, JField, JMethod, JObject
+from .static_object import StaticCounter, StaticRecord, StaticService
+
+__all__ = [
+    "StaticCounter",
+    "StaticRecord",
+    "StaticService",
+    "InterfaceRepository",
+    "InterfaceDef",
+    "OperationDef",
+    "Servant",
+    "ORB",
+    "Request",
+    "CorbaError",
+    "Component",
+    "InterfacePointer",
+    "IID_IUNKNOWN",
+    "DcomError",
+    "JClass",
+    "JObject",
+    "JMethod",
+    "JField",
+    "JavaReflectError",
+]

@@ -1,0 +1,185 @@
+"""Baseline 1: the CORBA Dynamic Invocation Interface model.
+
+Per the paper's related-work analysis (Section 2): "DII allows dynamic
+lookup of a desired interface in an interface repository, and getting all
+the required information from the repository so that a request on an
+object that implements the interface can be built. This feature, along
+with the ability to dynamically change the repository, allows dynamic
+changes in the meaning of a certain interface." But "reflection is not
+explicitly supported ... and the core object semantics, such as the
+invocation mechanism, is not subject to any manipulations", and "CORBA
+does not limit an interface to be implemented only by one object".
+
+So this re-implementation provides exactly: an
+:class:`InterfaceRepository` (dynamically updatable), interface
+definitions with typed operations, servants bound to interfaces
+(many-to-many), and request objects built from repository metadata — and
+deliberately provides **no** object-level mutation and **no** way to
+touch the invocation mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.errors import MROMError
+from ..core.values import Kind, coerce
+
+__all__ = [
+    "CorbaError",
+    "OperationDef",
+    "InterfaceDef",
+    "InterfaceRepository",
+    "Servant",
+    "ORB",
+    "Request",
+]
+
+
+class CorbaError(MROMError):
+    """DII-model failure (unknown interface, bad request, ...)."""
+
+
+@dataclass(frozen=True)
+class OperationDef:
+    """One operation signature in an interface definition."""
+
+    name: str
+    parameter_kinds: tuple[Kind, ...] = ()
+    result_kind: Kind = Kind.ANY
+
+
+@dataclass
+class InterfaceDef:
+    """A named set of operation signatures."""
+
+    name: str
+    operations: dict[str, OperationDef] = field(default_factory=dict)
+
+    def add_operation(self, operation: OperationDef) -> None:
+        self.operations[operation.name] = operation
+
+    def operation(self, name: str) -> OperationDef:
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise CorbaError(
+                f"interface {self.name!r} has no operation {name!r}"
+            ) from None
+
+
+class InterfaceRepository:
+    """The dynamically changeable repository of interface definitions."""
+
+    def __init__(self) -> None:
+        self._interfaces: dict[str, InterfaceDef] = {}
+
+    def register(self, interface: InterfaceDef, replace: bool = False) -> None:
+        if interface.name in self._interfaces and not replace:
+            raise CorbaError(f"interface {interface.name!r} already registered")
+        self._interfaces[interface.name] = interface
+
+    def lookup(self, name: str) -> InterfaceDef:
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise CorbaError(f"unknown interface {name!r}") from None
+
+    def interfaces(self) -> tuple[str, ...]:
+        return tuple(sorted(self._interfaces))
+
+
+class Servant:
+    """An object implementing one or more interfaces.
+
+    Implementations are plain callables; they are fixed at construction —
+    the model's immutability the paper contrasts MROM against.
+    """
+
+    def __init__(self, name: str, implementations: Mapping[str, Callable]):
+        self.name = name
+        self._implementations = dict(implementations)
+
+    def supports(self, interface: InterfaceDef) -> bool:
+        return all(op in self._implementations for op in interface.operations)
+
+    def implementation(self, operation: str) -> Callable:
+        try:
+            return self._implementations[operation]
+        except KeyError:
+            raise CorbaError(
+                f"servant {self.name!r} does not implement {operation!r}"
+            ) from None
+
+
+class Request:
+    """A dynamically built invocation, CORBA-DII style.
+
+    Built from repository metadata; arguments are coerced to the declared
+    parameter kinds when added; :meth:`invoke` runs it.
+    """
+
+    def __init__(self, servant: Servant, operation: OperationDef):
+        self._servant = servant
+        self._operation = operation
+        self._arguments: list[Any] = []
+        self.result: Any = None
+
+    def add_argument(self, value: Any) -> "Request":
+        index = len(self._arguments)
+        kinds = self._operation.parameter_kinds
+        if index >= len(kinds):
+            raise CorbaError(
+                f"operation {self._operation.name!r} takes "
+                f"{len(kinds)} argument(s)"
+            )
+        self._arguments.append(coerce(value, kinds[index]))
+        return self
+
+    def invoke(self) -> Any:
+        expected = len(self._operation.parameter_kinds)
+        if len(self._arguments) != expected:
+            raise CorbaError(
+                f"operation {self._operation.name!r} needs {expected} "
+                f"argument(s), got {len(self._arguments)}"
+            )
+        raw = self._servant.implementation(self._operation.name)(*self._arguments)
+        self.result = coerce(raw, self._operation.result_kind)
+        return self.result
+
+
+class ORB:
+    """Binds servants to interfaces and builds DII requests."""
+
+    def __init__(self, repository: InterfaceRepository):
+        self.repository = repository
+        self._bindings: dict[str, list[Servant]] = {}
+
+    def bind(self, interface_name: str, servant: Servant) -> None:
+        interface = self.repository.lookup(interface_name)
+        if not servant.supports(interface):
+            raise CorbaError(
+                f"servant {servant.name!r} does not support {interface_name!r}"
+            )
+        self._bindings.setdefault(interface_name, []).append(servant)
+
+    def resolve(self, interface_name: str) -> Servant:
+        servants = self._bindings.get(interface_name)
+        if not servants:
+            raise CorbaError(f"no servant bound to {interface_name!r}")
+        return servants[0]
+
+    def servants_for(self, interface_name: str) -> Sequence[Servant]:
+        """Several objects may implement one interface — "providing
+        several semantics to the same interface"."""
+        return tuple(self._bindings.get(interface_name, ()))
+
+    def create_request(
+        self, interface_name: str, operation_name: str, servant: Servant | None = None
+    ) -> Request:
+        """The DII sequence: repository lookup, then request building."""
+        interface = self.repository.lookup(interface_name)
+        operation = interface.operation(operation_name)
+        target = servant if servant is not None else self.resolve(interface_name)
+        return Request(target, operation)

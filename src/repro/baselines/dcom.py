@@ -1,0 +1,158 @@
+"""Baseline 2: the DCOM component model (QueryInterface-style reflection).
+
+Per the paper (Section 2): "An interface in DCOM is a set of functions
+bounded to a certain object which implements them. Each object may
+introduce several interfaces and a user may query any one of them using
+the QueryInterface function ... However, while an object's interface can
+be changed in runtime (e.g., a new interface can be added) object's
+implementation can not ... there is no notion of a fixed behavior for an
+object since objects are entities unknown to their users (only the
+interfaces are known). Thus, an object that supports a certain interface
+in a particular time can be changed and appear later without support for
+that interface, introducing inconsistency."
+
+This re-implementation captures precisely those properties:
+
+* :class:`Component` objects are opaque; users only hold
+  :class:`InterfacePointer` values obtained via ``query_interface``;
+* interfaces can be **added and removed** at run time (no fixed section —
+  the inconsistency the paper criticizes is reproducible in tests);
+* function implementations are frozen at interface-registration time
+  ("changes require recompilation");
+* IUnknown semantics: every interface answers ``query_interface``,
+  and reference counting governs lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..core.errors import MROMError
+
+__all__ = ["DcomError", "IID_IUNKNOWN", "Component", "InterfacePointer"]
+
+
+class DcomError(MROMError):
+    """DCOM-model failure (E_NOINTERFACE, released pointer, ...)."""
+
+
+#: The interface identity every component must answer.
+IID_IUNKNOWN = "IID_IUnknown"
+
+
+class InterfacePointer:
+    """What a client holds: one interface of an unknown object.
+
+    Calls are routed through the function table captured when the
+    interface was registered. If the component dropped the interface
+    after this pointer was handed out, calls fail — the documented DCOM
+    inconsistency.
+    """
+
+    def __init__(self, component: "Component", iid: str):
+        self._component = component
+        self.iid = iid
+        self._released = False
+
+    # -- IUnknown -----------------------------------------------------------
+
+    def query_interface(self, iid: str) -> "InterfacePointer":
+        self._ensure_usable()
+        return self._component._query_interface(iid)
+
+    def add_ref(self) -> int:
+        self._ensure_usable()
+        return self._component._add_ref()
+
+    def release(self) -> int:
+        self._ensure_usable()
+        self._released = True
+        return self._component._release()
+
+    # -- calls through the function table ------------------------------------
+
+    def call(self, function: str, *args: Any) -> Any:
+        self._ensure_usable()
+        table = self._component._table_for(self.iid)
+        if function not in table:
+            raise DcomError(
+                f"interface {self.iid!r} has no function {function!r}"
+            )
+        return table[function](*args)
+
+    def functions(self) -> tuple[str, ...]:
+        """The only self-representation DCOM offers: the function names of
+        an interface you already hold."""
+        self._ensure_usable()
+        return tuple(sorted(self._component._table_for(self.iid)))
+
+    def _ensure_usable(self) -> None:
+        if self._released:
+            raise DcomError(f"interface pointer {self.iid!r} was released")
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "live"
+        return f"InterfacePointer({self.iid!r}, {state})"
+
+
+class Component:
+    """An opaque COM-style object: a bag of interfaces plus IUnknown."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._tables: dict[str, dict[str, Callable]] = {IID_IUNKNOWN: {}}
+        self._refs = 0
+        self.destroyed = False
+
+    # -- interface management (runtime-addable, implementations frozen) -----
+
+    def register_interface(self, iid: str, table: Mapping[str, Callable]) -> None:
+        if iid in self._tables:
+            raise DcomError(f"interface {iid!r} already registered")
+        self._tables[iid] = dict(table)  # frozen copy: no later edits
+
+    def revoke_interface(self, iid: str) -> None:
+        """Drop an interface — future QueryInterface calls fail with
+        E_NOINTERFACE even for clients who saw it earlier."""
+        if iid == IID_IUNKNOWN:
+            raise DcomError("cannot revoke IUnknown")
+        if self._tables.pop(iid, None) is None:
+            raise DcomError(f"interface {iid!r} is not registered")
+
+    def interfaces(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    # -- plumbing used by pointers -------------------------------------------
+
+    def _query_interface(self, iid: str) -> InterfacePointer:
+        if iid not in self._tables:
+            raise DcomError(f"E_NOINTERFACE: {iid!r}")
+        self._refs += 1
+        return InterfacePointer(self, iid)
+
+    def _table_for(self, iid: str) -> dict[str, Callable]:
+        try:
+            return self._tables[iid]
+        except KeyError:
+            raise DcomError(
+                f"interface {iid!r} vanished (revoked after pointer handed out)"
+            ) from None
+
+    def _add_ref(self) -> int:
+        self._refs += 1
+        return self._refs
+
+    def _release(self) -> int:
+        self._refs -= 1
+        if self._refs <= 0:
+            self.destroyed = True
+        return max(self._refs, 0)
+
+    # -- entry point -------------------------------------------------------------
+
+    def unknown(self) -> InterfacePointer:
+        """The initial IUnknown pointer a client starts from."""
+        return self._query_interface(IID_IUNKNOWN)
+
+    def __repr__(self) -> str:
+        return f"Component({self.name!r}, {len(self._tables)} interfaces, refs={self._refs})"

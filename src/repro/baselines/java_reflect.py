@@ -1,0 +1,148 @@
+"""Baseline 3: JDK 1.1-style core reflection (introspection only).
+
+Per the paper (Section 2): "some level of reflection is supported in JDK
+1.1 as part of the API. Though supplying facilities for querying object's
+structure, such as to examine its methods and their signatures, this API
+does not support mutability, e.g., it does not allow operations on
+existing objects that may change their semantics."
+
+So: classes are immutable descriptions, objects are instances of exactly
+one class forever, ``get_methods``/``get_fields`` expose signatures, and
+reflective invocation exists — but there is no ``add``/``set``/``delete``
+anything. The missing mutation API is the point of this baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Any, Callable, Mapping
+
+from ..core.errors import MROMError
+
+__all__ = ["JavaReflectError", "JMethod", "JField", "JClass", "JObject"]
+
+
+class JavaReflectError(MROMError):
+    """Reflection failure (NoSuchMethod, IllegalAccess, ...)."""
+
+
+@dataclass(frozen=True)
+class JMethod:
+    """An immutable method description (java.lang.reflect.Method)."""
+
+    name: str
+    parameter_types: tuple[str, ...]
+    return_type: str
+    implementation: Callable
+
+    def signature(self) -> str:
+        params = ", ".join(self.parameter_types)
+        return f"{self.return_type} {self.name}({params})"
+
+    def invoke(self, instance: "JObject", *args: Any) -> Any:
+        """Reflective invocation — the one dynamic thing JDK 1.1 allows."""
+        if len(args) != len(self.parameter_types):
+            raise JavaReflectError(
+                f"IllegalArgument: {self.name} takes "
+                f"{len(self.parameter_types)} argument(s)"
+            )
+        return self.implementation(instance, *args)
+
+
+@dataclass(frozen=True)
+class JField:
+    """An immutable field description (java.lang.reflect.Field)."""
+
+    name: str
+    type_name: str
+
+    def get(self, instance: "JObject") -> Any:
+        return instance._state[self.name]
+
+    def set(self, instance: "JObject", value: Any) -> None:
+        # field *values* are assignable; field *sets* are not extendable
+        if self.name not in instance._state:
+            raise JavaReflectError(f"NoSuchField: {self.name}")
+        instance._state[self.name] = value
+
+
+class JClass:
+    """An immutable class object.
+
+    Built once; afterwards its structure cannot change — there is no
+    method on this type that mutates it, deliberately.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        methods: Mapping[str, JMethod] = (),
+        fields: Mapping[str, JField] = (),
+        superclass: "JClass | None" = None,
+    ):
+        self.name = name
+        self.superclass = superclass
+        merged_methods = dict(superclass._methods) if superclass else {}
+        merged_methods.update(dict(methods))
+        merged_fields = dict(superclass._fields) if superclass else {}
+        merged_fields.update(dict(fields))
+        self._methods = MappingProxyType(merged_methods)
+        self._fields = MappingProxyType(merged_fields)
+
+    # -- the JDK 1.1 core-reflection surface ---------------------------------
+
+    def get_methods(self) -> tuple[JMethod, ...]:
+        return tuple(self._methods[name] for name in sorted(self._methods))
+
+    def get_method(self, name: str) -> JMethod:
+        try:
+            return self._methods[name]
+        except KeyError:
+            raise JavaReflectError(f"NoSuchMethod: {self.name}.{name}") from None
+
+    def get_fields(self) -> tuple[JField, ...]:
+        return tuple(self._fields[name] for name in sorted(self._fields))
+
+    def get_field(self, name: str) -> JField:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise JavaReflectError(f"NoSuchField: {self.name}.{name}") from None
+
+    def new_instance(self, **initial_state: Any) -> "JObject":
+        state = {name: None for name in self._fields}
+        for name, value in initial_state.items():
+            if name not in state:
+                raise JavaReflectError(f"NoSuchField: {self.name}.{name}")
+            state[name] = value
+        return JObject(self, state)
+
+    def is_assignable_from(self, other: "JClass") -> bool:
+        current: JClass | None = other
+        while current is not None:
+            if current is self:
+                return True
+            current = current.superclass
+        return False
+
+    def __repr__(self) -> str:
+        return f"JClass({self.name!r}, {len(self._methods)} methods)"
+
+
+class JObject:
+    """An instance: state plus a permanent class pointer."""
+
+    def __init__(self, jclass: JClass, state: dict):
+        self._jclass = jclass
+        self._state = state
+
+    def get_class(self) -> JClass:
+        """The only self-representation entry point."""
+        return self._jclass
+
+    def invoke(self, method_name: str, *args: Any) -> Any:
+        return self._jclass.get_method(method_name).invoke(self, *args)
+
+    def __repr__(self) -> str:
+        return f"JObject(class={self._jclass.name!r})"

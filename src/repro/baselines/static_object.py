@@ -1,0 +1,66 @@
+"""Baseline 0: a plain static object (direct Python dispatch).
+
+The reference point for PERF-1: the paper concedes that "structural
+mutability bears some price on performance, because it implies that
+technically there must be an internal mechanism to lookup the location of
+an item before accessing it ... whereas in static structures the location
+is determined at compile time as a fixed offset". :class:`StaticCounter`
+et al. are the "fixed offset" end of that comparison — ordinary classes
+with ordinary attribute dispatch and no reflection, security, or
+wrapping whatsoever.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StaticCounter", "StaticRecord", "StaticService"]
+
+
+class StaticCounter:
+    """The static twin of the test-suite's MROM counter."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def increment(self, step: int = 1) -> int:
+        self.count += step
+        return self.count
+
+    def peek(self) -> int:
+        return self.count
+
+
+class StaticRecord:
+    """A static data holder (get/set baseline)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object = None) -> None:
+        self.value = value
+
+    def get(self) -> object:
+        return self.value
+
+    def set(self, value: object) -> None:
+        self.value = value
+
+
+class StaticService:
+    """An N-method object for lookup-cost comparisons.
+
+    Methods ``op0`` .. ``op{n-1}`` are generated once at class-build time —
+    the static analog of an MROM object with *n* methods in a container.
+    """
+
+    def __init__(self, operations: int = 16):
+        self.calls = 0
+        for index in range(operations):
+            setattr(self, f"op{index}", self._make_op(index))
+
+    def _make_op(self, index: int):
+        def operation(x: int = 0) -> int:
+            self.calls += 1
+            return x + index
+
+        return operation

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run SCRIPT.mpl`` — execute an MPL program and print its output;
+* ``check SCRIPT.mpl`` — parse and compile without executing (the
+  verification a host performs before admitting MPL-borne code);
+* ``inspect PACKAGE.mrom`` — describe a packed object file without
+  executing any of its code (safe interrogation of an artifact at rest);
+* ``store list / show / verify`` — inspect a persistence store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.errors import MROMError
+from .core.introspection import describe
+from .lang import Interpreter, parse
+from .lang.compiler import compile_object_methods
+from .mobility.package import unpack_bytes
+from .persistence import ObjectStore
+
+__all__ = ["main"]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = Path(args.script).read_text(encoding="utf-8")
+    result = Interpreter().run(source)
+    for line in result.output:
+        print(line)
+    if args.show_value and result.value is not None:
+        print(f"=> {result.value!r}")
+    return 0
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from .lang.interp import MplSession
+
+    session = MplSession()
+    stream = sys.stdin
+    interactive = stream.isatty()
+    if interactive:
+        print("MPL session — a blank line at depth 0 quits; braces continue.")
+    buffer: list[str] = []
+    depth = 0
+    while True:
+        if interactive:
+            print("...> " if buffer else "mpl> ", end="", flush=True)
+        line = stream.readline()
+        if not line:
+            return 0
+        if not line.strip() and not buffer:
+            return 0
+        buffer.append(line)
+        depth += line.count("{") - line.count("}")
+        if depth > 0:
+            continue  # inside a declaration/block: keep reading
+        depth = 0
+        fragment, buffer = "".join(buffer), []
+        try:
+            value, output = session.feed(fragment)
+        except MROMError as exc:
+            print(f"error: {type(exc).__name__}: {exc}")
+            continue
+        for emitted in output:
+            print(emitted)
+        if value is not None and not output:
+            print(f"=> {value!r}")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    source = Path(args.script).read_text(encoding="utf-8")
+    program = parse(source)
+    compiled_methods = 0
+    for decl in program.objects:
+        compiled_methods += len(compile_object_methods(decl))
+    print(
+        f"ok: {len(program.objects)} object(s), {compiled_methods} method(s), "
+        f"{len(program.statements)} top-level statement(s)"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    wire = Path(args.package).read_bytes()
+    obj = unpack_bytes(wire)  # verification only; no guest code runs
+    description = describe(obj, viewer=obj.principal)
+    print(f"guid:          {description.guid}")
+    print(f"display name:  {description.display_name or '(none)'}")
+    print(f"domain:        {description.domain or '(none)'}")
+    print(f"owner:         {obj.owner.guid}")
+    print(f"meta:          {'extensible' if description.extensible_meta else 'fixed'}")
+    print(f"tower depth:   {description.tower_depth}")
+    counts = description.counts
+    print(
+        "items:         "
+        f"{counts['fixed_data']}+{counts['extensible_data']} data, "
+        f"{counts['fixed_methods']}+{counts['extensible_methods']} methods "
+        "(fixed+extensible)"
+    )
+    for item in description.items:
+        if item.metadata.get("meta"):
+            continue
+        marker = "M" if item.category == "method" else "D"
+        wrappers = "".join(
+            flag for flag, present in (("p", item.has_pre), ("q", item.has_post)) if present
+        )
+        suffix = f" [{wrappers}]" if wrappers else ""
+        print(f"  {marker} {item.section:<10} {item.name}{suffix}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ObjectStore(args.root)
+    if args.store_command == "list":
+        guids = store.guids()
+        if not guids:
+            print("(empty store)")
+            return 0
+        for guid in guids:
+            versions = store.versions(guid)
+            print(f"{guid}  versions: {versions}")
+        return 0
+    if args.store_command == "show":
+        obj = store.load(args.guid, version=args.version)
+        print(f"{obj.guid} ({obj.principal.display_name or 'unnamed'})")
+        for item, _category, section in obj.containers.iter_with_sections():
+            if item.metadata.get("meta"):
+                continue
+            print(f"  {section:<10} {item.category:<6} {item.name}")
+        return 0
+    if args.store_command == "verify":
+        clean = True
+        for guid in store.guids():
+            try:
+                store.load(guid)
+                print(f"ok      {guid}")
+            except MROMError as exc:
+                clean = False
+                print(f"CORRUPT {guid}: {exc}")
+        return 0 if clean else 1
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MROM / HADAS reproduction command-line tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="execute an MPL script")
+    run_parser.add_argument("script")
+    run_parser.add_argument(
+        "--show-value", action="store_true",
+        help="also print the value of the last statement",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    repl_parser = commands.add_parser(
+        "repl", help="interactive MPL session (reads statements from stdin)"
+    )
+    repl_parser.set_defaults(handler=_cmd_repl)
+
+    check_parser = commands.add_parser(
+        "check", help="parse and compile an MPL script without running it"
+    )
+    check_parser.add_argument("script")
+    check_parser.set_defaults(handler=_cmd_check)
+
+    inspect_parser = commands.add_parser(
+        "inspect", help="describe a packed object file (no code executes)"
+    )
+    inspect_parser.add_argument("package")
+    inspect_parser.set_defaults(handler=_cmd_inspect)
+
+    store_parser = commands.add_parser("store", help="inspect an object store")
+    store_parser.add_argument("--root", required=True)
+    store_commands = store_parser.add_subparsers(
+        dest="store_command", required=True
+    )
+    store_commands.add_parser("list", help="list stored objects")
+    show_parser = store_commands.add_parser("show", help="describe one object")
+    show_parser.add_argument("guid")
+    show_parser.add_argument("--version", type=int, default=None)
+    store_commands.add_parser("verify", help="checksum-verify every image")
+    store_parser.set_defaults(handler=_cmd_store)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except MROMError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Synchronization and atomicity (the paper's "advanced features")."""
+
+from .active import ActiveObject
+from .atomic import atomic, restore_mutable_state, snapshot_mutable_state
+from .sync import InvocationGate, SynchronizedObject
+
+__all__ = [
+    "atomic",
+    "snapshot_mutable_state",
+    "restore_mutable_state",
+    "SynchronizedObject",
+    "InvocationGate",
+    "ActiveObject",
+]

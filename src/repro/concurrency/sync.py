@@ -1,0 +1,111 @@
+"""Synchronization: serialized invocation for objects shared by threads.
+
+The paper's "advanced features" require "synchronization mechanisms to
+allow implementation of concurrent programming models". MROM objects are
+not thread-safe by construction (the simulated network is deterministic
+and single-threaded); when a host *does* share an object across threads,
+it wraps it in a :class:`SynchronizedObject`, which serializes
+invocations and value access behind one reentrant lock per object.
+
+Reentrancy matters: a method body calling ``self.call(...)`` re-enters
+the object on the same thread, which must not deadlock. A *non*-reentrant
+guard (:class:`InvocationGate`) is also provided for objects whose
+semantics forbid re-entry; it raises
+:class:`~repro.core.errors.ReentrancyError` instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Sequence
+
+from ..core.acl import Principal
+from ..core.errors import ReentrancyError
+from ..core.mobject import MROMObject
+
+__all__ = ["SynchronizedObject", "InvocationGate"]
+
+
+class SynchronizedObject:
+    """A thread-safe facade over an MROM object.
+
+    Exposes the invocation and value-access surface; structure access
+    (``containers``...) stays on the underlying object, because holding
+    the lock across arbitrary host code would invite deadlock.
+    """
+
+    def __init__(self, obj: MROMObject):
+        self.obj = obj
+        self._lock = threading.RLock()
+        self.contended = 0  # times the lock was not immediately available
+
+    @property
+    def guid(self) -> str:
+        return self.obj.guid
+
+    def invoke(
+        self,
+        method: str,
+        args: Sequence[Any] = (),
+        caller: Principal | None = None,
+    ) -> Any:
+        if not self._lock.acquire(blocking=False):
+            self.contended += 1
+            self._lock.acquire()
+        try:
+            return self.obj.invoke(method, args, caller=caller)
+        finally:
+            self._lock.release()
+
+    def get_data(self, name: str, caller: Principal | None = None) -> Any:
+        with self._lock:
+            return self.obj.get_data(name, caller=caller)
+
+    def set_data(self, name: str, value: Any, caller: Principal | None = None) -> None:
+        with self._lock:
+            self.obj.set_data(name, value, caller=caller)
+
+    def holding(self):
+        """Context manager: run a multi-step critical section atomically
+        with respect to other threads using this facade."""
+        return self._lock
+
+    def __repr__(self) -> str:
+        return f"SynchronizedObject({self.obj.guid}, contended={self.contended})"
+
+
+class InvocationGate:
+    """A non-reentrant invocation guard.
+
+    For objects whose invariants are violated by re-entry (e.g. an object
+    migrating itself mid-invocation), the gate turns re-entry — from the
+    same thread or another — into an immediate
+    :class:`~repro.core.errors.ReentrancyError`.
+    """
+
+    def __init__(self, obj: MROMObject):
+        self.obj = obj
+        self._busy = threading.Lock()
+        self._holder: int | None = None
+
+    def invoke(
+        self,
+        method: str,
+        args: Sequence[Any] = (),
+        caller: Principal | None = None,
+    ) -> Any:
+        me = threading.get_ident()
+        if self._holder == me:
+            raise ReentrancyError(
+                f"object {self.obj.guid} re-entered via method {method!r}"
+            )
+        if not self._busy.acquire(blocking=False):
+            raise ReentrancyError(
+                f"object {self.obj.guid} is busy (another thread inside)"
+            )
+        self._holder = me
+        try:
+            return self.obj.invoke(method, args, caller=caller)
+        finally:
+            self._holder = None
+            self._busy.release()

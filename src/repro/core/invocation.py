@@ -1,0 +1,305 @@
+"""Method invocation: the level-0 primitive and the meta-invoke tower.
+
+"Altogether, the basic method invocation mechanism consists of three
+phases: 1. Lookup — locate and fetch a method's handle. 2. Match — match
+security information. 3. Apply — invoke the operation on the method,
+consisting of the following phases: 3.1 Pre-proc, 3.2 Body, 3.3
+Post-proc." (Section 3.1.)
+
+Level 0 is deliberately *non-reflective*: its representation "is not
+visible ... is not accommodated for change, and can be implemented in a
+more efficient way" — here, plain Python control flow with no dynamic
+dispatch through the model itself. Reflective modification of invocation
+happens by stacking *meta-invoke levels* above it (Figure 1): each level
+is an ordinary MROM method (with its own ACL and pre/post procedures)
+whose body receives the pending target invocation through an
+:class:`InvocationContext` and forwards it downward with
+:meth:`InvocationContext.proceed`. Level 0 is "the stopping condition of
+the recursive invocation mechanism".
+
+Tracing: every invocation can produce an :class:`InvocationRecord`, a
+structured trace of (level, phase) events. The records are what the
+FIG-1 reproduction prints, and what the audit machinery in
+:mod:`repro.security` consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from .acl import Permission, Principal
+from .errors import (
+    InvocationDepthError,
+    PostProcedureError,
+    PreProcedureVeto,
+)
+from .items import MROMMethod
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .mobject import MROMObject
+
+__all__ = [
+    "Phase",
+    "TraceEvent",
+    "InvocationRecord",
+    "InvocationContext",
+    "Invoker",
+    "MAX_META_LEVELS",
+]
+
+#: Upper bound on the meta-invoke tower. The paper: "nothing in the model
+#: prevents the creation of arbitrary levels of invocation, although we
+#: have not encountered yet practical situations that demanded more than
+#: two". We allow plenty, but bound it to fail fast on accidental cycles.
+MAX_META_LEVELS = 32
+
+
+class Phase(enum.Enum):
+    """The phases of the level-0 invocation mechanism."""
+
+    LOOKUP = "lookup"
+    MATCH = "match"
+    PRE = "pre"
+    BODY = "body"
+    POST = "post"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of an invocation: which phase ran at which level."""
+
+    level: int
+    phase: Phase
+    method: str
+    note: str = ""
+
+    def __str__(self) -> str:
+        note = f" ({self.note})" if self.note else ""
+        return f"L{self.level} {self.phase.value:<6} {self.method}{note}"
+
+
+@dataclass
+class InvocationRecord:
+    """A structured trace of one top-level invocation."""
+
+    method: str
+    caller: str
+    events: list[TraceEvent] = field(default_factory=list)
+    outcome: str = "pending"  # "ok" | "veto" | "error" | "pending"
+
+    def log(self, level: int, phase: Phase, method: str, note: str = "") -> None:
+        self.events.append(TraceEvent(level, phase, method, note))
+
+    def phases_at_level(self, level: int) -> list[Phase]:
+        return [event.phase for event in self.events if event.level == level]
+
+    def levels(self) -> list[int]:
+        seen: list[int] = []
+        for event in self.events:
+            if event.level not in seen:
+                seen.append(event.level)
+        return seen
+
+    def render(self) -> str:
+        """Human-readable trace, one event per line (used by examples)."""
+        header = f"invoke {self.method!r} by {self.caller} -> {self.outcome}"
+        return "\n".join([header] + [f"  {event}" for event in self.events])
+
+
+class InvocationContext:
+    """What a method body (or meta-invoke body) sees about the invocation.
+
+    For an ordinary body, the context is descriptive: target name, caller,
+    level (always 0), the trace record, and the host-provided environment
+    bindings (the *installation context* a migrating object received).
+
+    For a meta-invoke body at level *k*, the context is also operative:
+    :meth:`proceed` continues the invocation at level *k-1*, ultimately
+    reaching the level-0 primitive. A meta level that never calls
+    ``proceed`` has absorbed the invocation (e.g. the database-shutdown
+    Ambassadors of Section 5 answer every query with a maintenance notice
+    without ever reaching the original bodies).
+    """
+
+    __slots__ = ("invoker", "caller", "method_name", "args", "level", "record")
+
+    def __init__(
+        self,
+        invoker: "Invoker",
+        caller: Principal,
+        method_name: str,
+        args: Sequence[Any],
+        level: int,
+        record: InvocationRecord,
+    ):
+        self.invoker = invoker
+        self.caller = caller
+        self.method_name = method_name
+        self.args = list(args)
+        self.level = level
+        self.record = record
+
+    @property
+    def target(self) -> str:
+        """Alias: the name of the method ultimately being invoked."""
+        return self.method_name
+
+    @property
+    def env(self) -> dict:
+        """Host-supplied installation-context bindings."""
+        return self.invoker.obj.environment
+
+    def proceed(self) -> Any:
+        """Continue the invocation one level down (meta levels only)."""
+        return self.invoker.descend(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvocationContext(method={self.method_name!r}, "
+            f"level={self.level}, caller={self.caller.guid})"
+        )
+
+
+class Invoker:
+    """The invocation engine bound to one MROM object.
+
+    Owns no state beyond its object reference; all structure lives in the
+    object's containers and meta-invoke chain, so replacing/augmenting the
+    chain at run time (meta-mutability) immediately affects dispatch.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: "MROMObject"):
+        self.obj = obj
+
+    # -- public entry -----------------------------------------------------
+
+    def invoke(
+        self,
+        caller: Principal,
+        method_name: str,
+        args: Sequence[Any] = (),
+    ) -> Any:
+        """Invoke *method_name* with MROM semantics, entering the tower at
+        its top level (or directly at level 0 when no tower exists)."""
+        chain = self.obj.meta_invoke_chain()
+        if len(chain) > MAX_META_LEVELS:
+            raise InvocationDepthError(
+                f"meta-invoke tower of depth {len(chain)} exceeds "
+                f"MAX_META_LEVELS={MAX_META_LEVELS}"
+            )
+        record = InvocationRecord(method=method_name, caller=caller.guid)
+        try:
+            if chain:
+                result = self._run_meta_level(
+                    len(chain), caller, method_name, args, record
+                )
+            else:
+                result = self.invoke_primitive(caller, method_name, args, record)
+        except PreProcedureVeto:
+            record.outcome = "veto"
+            self.obj.note_invocation(record)
+            raise
+        except Exception:
+            record.outcome = "error"
+            self.obj.note_invocation(record)
+            raise
+        record.outcome = "ok"
+        self.obj.note_invocation(record)
+        return result
+
+    # -- the meta tower -----------------------------------------------------
+
+    def descend(self, ctx: InvocationContext) -> Any:
+        """``ctx.proceed()``: continue at the next level down."""
+        next_level = ctx.level - 1
+        if next_level < 0:
+            raise InvocationDepthError("cannot proceed below level 0")
+        if next_level == 0:
+            return self.invoke_primitive(
+                ctx.caller, ctx.method_name, ctx.args, ctx.record
+            )
+        return self._run_meta_level(
+            next_level, ctx.caller, ctx.method_name, ctx.args, ctx.record
+        )
+
+    def _run_meta_level(
+        self,
+        level: int,
+        caller: Principal,
+        method_name: str,
+        args: Sequence[Any],
+        record: InvocationRecord,
+    ) -> Any:
+        """Run the meta-invoke method at *level* under level-0 mechanics.
+
+        The meta-invoke method is itself an MROM method: it is security-
+        matched against the original caller and wrapped by its own pre-
+        and post-procedures — "the method Mfoo is sent as a parameter to
+        meta_invoke, and is later invoked by it (following level 0
+        invocation)" (Figure 1).
+        """
+        meta_method = self.obj.meta_invoke_at(level)
+        ctx = InvocationContext(self, caller, method_name, args, level, record)
+        return self._apply_with_match(meta_method, caller, list(args), ctx, level)
+
+    # -- level 0: the primitive ------------------------------------------------
+
+    def invoke_primitive(
+        self,
+        caller: Principal,
+        method_name: str,
+        args: Sequence[Any],
+        record: InvocationRecord | None = None,
+    ) -> Any:
+        """The level-0 invocation mechanism: Lookup -> Match -> Apply."""
+        if record is None:
+            record = InvocationRecord(method=method_name, caller=caller.guid)
+        # Phase 1: Lookup — locate and fetch the method's handle.
+        method, section = self.obj.containers.lookup_method(method_name)
+        record.log(0, Phase.LOOKUP, method_name, section)
+        ctx = InvocationContext(self, caller, method_name, args, 0, record)
+        return self._apply_with_match(method, caller, list(args), ctx, 0)
+
+    def _apply_with_match(
+        self,
+        method: MROMMethod,
+        caller: Principal,
+        args: list,
+        ctx: InvocationContext,
+        level: int,
+    ) -> Any:
+        record = ctx.record
+        # Phase 2: Match — match security information. An object always
+        # trusts itself with itself (self-containment): its own principal
+        # bypasses the ACL, everyone else is checked.
+        if caller.guid != self.obj.guid:
+            method.check(caller, Permission.INVOKE)
+            record.log(level, Phase.MATCH, method.name, "checked")
+        else:
+            record.log(level, Phase.MATCH, method.name, "self")
+
+        self_view = self.obj.self_view()
+
+        # Phase 3.1: Pre-proc.
+        if method.pre is not None:
+            approved = method.pre.call_boolean(self_view, args, ctx)
+            record.log(level, Phase.PRE, method.name, "ok" if approved else "veto")
+            if not approved:
+                raise PreProcedureVeto(method.name)
+
+        # Phase 3.2: Body — transfer control to the body of the method.
+        result = method.body.call(self_view, args, ctx)
+        record.log(level, Phase.BODY, method.name)
+
+        # Phase 3.3: Post-proc.
+        if method.post is not None:
+            accepted = method.post.call_boolean(self_view, args, result, ctx)
+            record.log(level, Phase.POST, method.name, "ok" if accepted else "failed")
+            if not accepted:
+                raise PostProcedureError(method.name, result=result)
+
+        return result

@@ -1,0 +1,43 @@
+"""HADAS — Heterogeneous, Autonomous, Distributed Abstraction System.
+
+The interoperability framework of Section 5, built on MROM: IOOs with
+Home/Vicinity/Interop, APOs wrapping legacy applications, mobile
+Ambassadors, the Link and Import/Export protocols, and wrapping helpers.
+"""
+
+from .ambassador import build_apo_ambassador, build_ioo_ambassador
+from .apo import APO
+from .ioo import ExportError, IOO, LinkError, VicinityEntry
+from .mediation import (
+    attach_argument_mediator,
+    attach_result_mediator,
+    mediate_import,
+)
+from .negotiation import InterfaceRequirement, NegotiationReport, negotiate
+from .trader import ServiceOffer, Trader
+from .update import FleetUpdater, InterfaceRevision, UpdateReport
+from .wrapping import attach_assertions, attach_preparation, attach_usage_meter
+
+__all__ = [
+    "IOO",
+    "APO",
+    "VicinityEntry",
+    "LinkError",
+    "ExportError",
+    "InterfaceRequirement",
+    "NegotiationReport",
+    "negotiate",
+    "attach_argument_mediator",
+    "attach_result_mediator",
+    "mediate_import",
+    "FleetUpdater",
+    "InterfaceRevision",
+    "UpdateReport",
+    "Trader",
+    "ServiceOffer",
+    "build_apo_ambassador",
+    "build_ioo_ambassador",
+    "attach_assertions",
+    "attach_preparation",
+    "attach_usage_meter",
+]

@@ -1,0 +1,137 @@
+"""Mediation: bridging data-format mismatches at the invocation boundary.
+
+HADAS's communication level includes "middleware solutions for bridging
+and/or mediating syntactic mismatches in data formats, argument passing,
+etc." (Section 5), and the weak-typing requirement demands "generic
+coercion to facilitate the high level of abstraction (e.g., to transform
+a value that is represented as HTML text into an integer...)" (Section 1).
+
+The mechanism is wrapping: pre-procedures receive the *live* argument
+array — the same list the body will see — so a mediator pre can coerce
+arguments in place before the body runs, and a post-mediator wraps the
+result. Mediators attach at the importing site (they are native code;
+they never migrate with the object) through the ordinary ``setMethod``
+meta-operation, so only a principal the method's META ACL admits can
+install one.
+
+Typical use: a client imports an Ambassador whose operation expects an
+integer, but the client's data arrives as scraped HTML. One mediator
+later, the client calls the operation with whatever it has.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.acl import Principal
+from ..core.code import CodeRole, NativeCode
+from ..core.errors import CoercionError
+from ..core.mobject import MROMObject
+from ..core.values import Kind, coerce
+
+__all__ = ["attach_argument_mediator", "attach_result_mediator", "mediate_import"]
+
+
+def _set_component(
+    obj: MROMObject, method: str, role: str, component, updater: Principal
+) -> None:
+    _description, handle = obj.invoke("getMethod", [method], caller=updater)
+    obj.invoke("setMethod", [handle, {role: component}], caller=updater)
+
+
+def attach_argument_mediator(
+    obj: MROMObject,
+    method: str,
+    param_kinds: Sequence[Kind],
+    updater: Principal | None = None,
+    pad_missing: bool = False,
+) -> None:
+    """Coerce *method*'s arguments to *param_kinds* before every call.
+
+    Extra arguments beyond the declared kinds pass through untouched;
+    with *pad_missing*, absent trailing arguments become ``None``.
+    A value that cannot be coerced vetoes the invocation (the caller sees
+    :class:`~repro.core.errors.PreProcedureVeto` rather than a confused
+    body).
+    """
+    updater = updater if updater is not None else obj.owner
+    kinds = list(param_kinds)
+
+    def mediate(self_view, args, ctx) -> bool:
+        if pad_missing:
+            while len(args) < len(kinds):
+                args.append(None)
+        for index, kind in enumerate(kinds):
+            if index >= len(args):
+                break
+            try:
+                args[index] = coerce(args[index], kind)
+            except CoercionError:
+                return False
+        return True
+
+    _set_component(
+        obj, method, "pre",
+        NativeCode(mediate, role=CodeRole.PRE, label=f"{method}.mediator"),
+        updater,
+    )
+
+
+def attach_result_mediator(
+    obj: MROMObject,
+    method: str,
+    result_kind: Kind,
+    updater: Principal | None = None,
+) -> None:
+    """Present *method*'s result as *result_kind* to every caller.
+
+    Post-procedures observe but cannot replace the result, so result
+    mediation wraps the *body*: the original body moves under a private
+    continuation and a coercing body takes its place.
+    """
+    updater = updater if updater is not None else obj.owner
+    description, handle = obj.invoke("getMethod", [method], caller=updater)
+    components = description.get("components")
+    inner_name = f"{method}__unmediated"
+    if components is not None:
+        # portable original: park it under the continuation name
+        obj.invoke(
+            "addMethod",
+            [inner_name, components["body"]["source"],
+             {"metadata": {"doc": f"unmediated body of {method}"}}],
+            caller=updater,
+        )
+
+        def outer(self_view, args, ctx):
+            raw = self_view.call(inner_name, *args)
+            return coerce(raw, result_kind)
+
+    else:
+        raise CoercionError(method, result_kind.value, "method is not portable")
+    _set_component(
+        obj, method, "body",
+        NativeCode(outer, role=CodeRole.BODY, label=f"{method}.result-mediator"),
+        updater,
+    )
+
+
+def mediate_import(
+    ambassador: MROMObject,
+    signatures: dict,
+    updater: Principal | None = None,
+) -> list[str]:
+    """Bulk mediation from declared signatures.
+
+    *signatures* maps method name to ``{"params": [Kind, ...],
+    "returns": Kind | None}``. Returns the mediated method names.
+    """
+    mediated = []
+    for method, spec in signatures.items():
+        params = list(spec.get("params", []))
+        if params:
+            attach_argument_mediator(ambassador, method, params, updater=updater)
+        returns = spec.get("returns")
+        if returns is not None:
+            attach_result_mediator(ambassador, method, returns, updater=updater)
+        mediated.append(method)
+    return mediated

@@ -1,0 +1,166 @@
+"""Interface negotiation: adjusting a newcomer to the host's expectations.
+
+Two threads of the paper meet here:
+
+* "Mutability is necessary to enable objects to *adjust* to the new
+  context under which they are intended to operate ... particularly
+  important ... when some negotiation is needed in order to create the
+  initial interaction" (Section 1);
+* the HADAS methodology of placing "interface-related functionality in
+  the extensible section, which then can be adjusted to the interface
+  requirements of the object with which it interacts" (Section 3).
+
+The protocol implemented:
+
+1. the host states its expectations as :class:`InterfaceRequirement`
+   records (name, arity, tags);
+2. the newcomer is **interrogated** (self-representation) — requirements
+   matched by name and arity are satisfied as-is;
+3. unsatisfied requirements are matched against the newcomer's methods
+   by *capability tags*; each tag-match is bridged by adding an **alias
+   adapter** (a portable forwarding method) to the newcomer's extensible
+   section — the adjustment the paper describes, performed through the
+   ordinary meta-methods by a principal the object's ACLs admit;
+4. whatever remains is reported unsatisfiable; the host decides whether
+   to admit the object anyway.
+
+Adapters are honest extensible items: interrogating the object afterwards
+shows them, and the origin can delete them again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.acl import Principal, allow_all
+from ..core.errors import PolicyViolationError
+from ..core.introspection import interrogate
+from ..core.mobject import MROMObject
+
+__all__ = ["InterfaceRequirement", "NegotiationReport", "negotiate"]
+
+
+@dataclass(frozen=True)
+class InterfaceRequirement:
+    """One operation the host expects to be able to invoke."""
+
+    name: str
+    arity: int | None = None  # None = any arity
+    tags: tuple[str, ...] = ()  # capability tags acceptable as substitutes
+
+    def matches_signature(self, signature: dict) -> bool:
+        """Does an interrogation signature satisfy this requirement as-is?"""
+        if self.arity is None:
+            return True
+        params = signature.get("params", [])
+        # objects that do not declare params are weakly typed: accept
+        return not params or len(params) == self.arity
+
+    def matches_tags(self, signature: dict) -> bool:
+        if not self.tags:
+            return False
+        return bool(set(self.tags) & set(signature.get("tags", [])))
+
+
+@dataclass
+class NegotiationReport:
+    """The outcome of one negotiation."""
+
+    satisfied: list[str] = field(default_factory=list)
+    adapted: dict[str, str] = field(default_factory=dict)  # required -> actual
+    unsatisfiable: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.unsatisfiable
+
+    def summary(self) -> str:
+        parts = []
+        if self.satisfied:
+            parts.append(f"satisfied: {', '.join(self.satisfied)}")
+        if self.adapted:
+            bridges = ", ".join(f"{k}->{v}" for k, v in self.adapted.items())
+            parts.append(f"adapted: {bridges}")
+        if self.unsatisfiable:
+            parts.append(f"unsatisfiable: {', '.join(self.unsatisfiable)}")
+        return "; ".join(parts) or "nothing required"
+
+
+_ALIAS_TEMPLATE = (
+    "return self.call({target!r}, *args)"
+)
+
+
+def negotiate(
+    newcomer: MROMObject,
+    requirements: Sequence[InterfaceRequirement],
+    host: Principal,
+    updater: Principal | None = None,
+    strict: bool = False,
+) -> NegotiationReport:
+    """Adjust *newcomer* to the host's required interface.
+
+    *host* is the principal that will later invoke the object (used for
+    interrogation — only methods it may invoke count). *updater* is the
+    principal performing the adaptation (must be admitted by the
+    newcomer's ``addMethod`` ACL — typically the object's owner, or the
+    object itself when it exposes an adapt-yourself method). Defaults to
+    the newcomer's owner.
+
+    With *strict*, an incomplete negotiation raises
+    :class:`PolicyViolationError` instead of returning a report.
+    """
+    updater = updater if updater is not None else newcomer.owner
+    report = NegotiationReport()
+    protocol = interrogate(newcomer, viewer=host)
+    for requirement in requirements:
+        signature = protocol.get(requirement.name)
+        if signature is not None and requirement.matches_signature(signature):
+            report.satisfied.append(requirement.name)
+            continue
+        substitute = _find_substitute(requirement, protocol)
+        if substitute is not None:
+            _add_alias(newcomer, requirement.name, substitute, updater)
+            report.adapted[requirement.name] = substitute
+            continue
+        report.unsatisfiable.append(requirement.name)
+    if strict and not report.complete:
+        raise PolicyViolationError(
+            f"negotiation failed for {newcomer.guid}: {report.summary()}"
+        )
+    return report
+
+
+def _find_substitute(
+    requirement: InterfaceRequirement, protocol: dict
+) -> str | None:
+    candidates = [
+        name
+        for name, signature in protocol.items()
+        if not signature.get("meta")
+        and requirement.matches_tags(signature)
+        and requirement.matches_signature(signature)
+    ]
+    return sorted(candidates)[0] if candidates else None
+
+
+def _add_alias(
+    obj: MROMObject, alias: str, target: str, updater: Principal
+) -> None:
+    obj.invoke(
+        "addMethod",
+        [
+            alias,
+            _ALIAS_TEMPLATE.format(target=target),
+            {
+                "acl": allow_all().describe(),
+                "metadata": {
+                    "doc": f"negotiation adapter forwarding to {target!r}",
+                    "tags": ["adapter"],
+                    "adapts": target,
+                },
+            },
+        ],
+        caller=updater,
+    )

@@ -1,0 +1,216 @@
+"""Rolling interface updates for deployed Ambassador fleets.
+
+"updates in APO's functionality can be done dynamically without
+interference with ongoing computations that need the APO, by adding
+methods and data items to the APO and its Ambassador on the fly. Such
+dynamic update is possible, of course, only in the extensible sections."
+(Section 5.)
+
+:class:`InterfaceRevision` is a declarative update plan — methods and
+data to add, replace, or remove in an Ambassador's extensible section —
+with a monotonically increasing revision number. :class:`FleetUpdater`
+applies revisions to every deployed Ambassador of an APO:
+
+* changes travel through the ordinary meta-methods, as the origin
+  principal (the only one the Ambassadors admit);
+* per Ambassador, a revision is **all-or-nothing**: if any change fails
+  midway, the already-applied changes are compensated with inverse
+  operations (the sources needed for undo come from the META-privileged
+  ``getMethod`` description), and the Ambassador stays at its previous
+  revision;
+* the fleet rollout is **per-Ambassador isolated**: one failing
+  Ambassador (e.g. unreachable behind a partition) does not stop the
+  rest; the report records who ended up at which revision;
+* revisions apply **in order**: an Ambassador at revision *n* only
+  accepts revision *n+1*, so a rollout retried after a partial failure
+  converges instead of skipping steps.
+
+The Ambassador's current revision lives in its own extensible data item
+``interface_revision`` — self-describing, like everything else about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.acl import allow_all
+from ..core.errors import MROMError
+from ..net.rmi import RemoteRef
+from .apo import APO
+
+__all__ = ["InterfaceRevision", "UpdateReport", "FleetUpdater", "REVISION_ITEM"]
+
+REVISION_ITEM = "interface_revision"
+
+
+@dataclass(frozen=True)
+class InterfaceRevision:
+    """One declarative update to an Ambassador's extensible interface."""
+
+    number: int
+    add_methods: Mapping[str, str] = field(default_factory=dict)  # name -> source
+    replace_methods: Mapping[str, str] = field(default_factory=dict)
+    remove_methods: tuple = ()
+    add_data: Mapping[str, Any] = field(default_factory=dict)
+    remove_data: tuple = ()
+
+    def __post_init__(self):
+        if self.number < 1:
+            raise MROMError("revision numbers start at 1")
+        overlap = set(self.add_methods) & set(self.replace_methods)
+        if overlap:
+            raise MROMError(f"methods both added and replaced: {sorted(overlap)}")
+
+
+@dataclass
+class UpdateReport:
+    """Fleet-wide outcome of one revision rollout."""
+
+    revision: int
+    updated: list[str] = field(default_factory=list)  # ambassador guids
+    skipped: list[tuple[str, str]] = field(default_factory=list)  # (guid, why)
+    failed: list[tuple[str, str]] = field(default_factory=list)  # (guid, error)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failed
+
+
+class FleetUpdater:
+    """Applies revisions to every deployed Ambassador of one APO."""
+
+    def __init__(self, apo: APO):
+        self.apo = apo
+
+    # ------------------------------------------------------------------
+    # fleet level
+    # ------------------------------------------------------------------
+
+    def rollout(self, revision: InterfaceRevision) -> UpdateReport:
+        report = UpdateReport(revision=revision.number)
+        for guid, ref in self.apo.deployed.items():
+            try:
+                current = self.revision_of(ref)
+            except MROMError as exc:
+                report.failed.append((guid, f"unreachable: {exc}"))
+                continue
+            if current >= revision.number:
+                report.skipped.append((guid, f"already at r{current}"))
+                continue
+            if current != revision.number - 1:
+                report.skipped.append(
+                    (guid, f"at r{current}, needs r{revision.number - 1} first")
+                )
+                continue
+            try:
+                self.apply_one(ref, revision)
+            except MROMError as exc:
+                report.failed.append((guid, str(exc)))
+                continue
+            report.updated.append(guid)
+        return report
+
+    def revision_of(self, ref: RemoteRef) -> int:
+        """The Ambassador's current revision (0 = never updated)."""
+        caller = self.apo.principal
+        try:
+            return int(ref.get_data(REVISION_ITEM, caller=caller))
+        except MROMError as exc:
+            if _is_missing_item(exc):
+                return 0
+            raise
+
+    # ------------------------------------------------------------------
+    # single ambassador, all-or-nothing
+    # ------------------------------------------------------------------
+
+    def apply_one(self, ref: RemoteRef, revision: InterfaceRevision) -> None:
+        """Apply one revision to one Ambassador, compensating on failure."""
+        caller = self.apo.principal
+        undo: list[tuple] = []  # inverse operations, applied in reverse
+        try:
+            for name, source in revision.add_methods.items():
+                ref.invoke(
+                    "addMethod",
+                    [name, source, {"acl": allow_all().describe(),
+                                    "metadata": {"revision": revision.number}}],
+                    caller=caller,
+                )
+                undo.append(("deleteMethod", [name]))
+            for name, source in revision.replace_methods.items():
+                description, handle = ref.invoke("getMethod", [name], caller=caller)
+                old_source = _body_source(description, name)
+                ref.invoke("setMethod", [handle, {"body": source}], caller=caller)
+                undo.append(("restore-body", [name, old_source]))
+            for name in revision.remove_methods:
+                description, _handle = ref.invoke("getMethod", [name], caller=caller)
+                old_source = _body_source(description, name)
+                ref.invoke("deleteMethod", [name], caller=caller)
+                undo.append(
+                    ("addMethod",
+                     [name, old_source, {"acl": dict(description.get("acl", {}))}])
+                )
+            for name, value in revision.add_data.items():
+                ref.invoke("addDataItem", [name, value], caller=caller)
+                undo.append(("deleteDataItem", [name]))
+            for name in revision.remove_data:
+                old_value = ref.get_data(name, caller=caller)
+                ref.invoke("deleteDataItem", [name], caller=caller)
+                undo.append(("addDataItem", [name, old_value]))
+            self._set_revision(ref, revision.number, undo)
+        except MROMError as failure:
+            self._compensate(ref, undo)
+            raise MROMError(
+                f"revision r{revision.number} failed on {ref.guid}: {failure}"
+            ) from failure
+
+    def _set_revision(self, ref: RemoteRef, number: int, undo: list) -> None:
+        caller = self.apo.principal
+        if self.revision_of(ref) == 0 and number == 1:
+            ref.invoke("addDataItem", [REVISION_ITEM, number], caller=caller)
+            undo.append(("deleteDataItem", [REVISION_ITEM]))
+            return
+        # value change via delete+add (both owner-only meta operations)
+        previous = self.revision_of(ref)
+        ref.invoke("deleteDataItem", [REVISION_ITEM], caller=caller)
+        ref.invoke("addDataItem", [REVISION_ITEM, number], caller=caller)
+        undo.append(("reset-revision", [previous]))
+
+    def _compensate(self, ref: RemoteRef, undo: list) -> None:
+        caller = self.apo.principal
+        for operation, args in reversed(undo):
+            try:
+                if operation == "restore-body":
+                    name, old_source = args
+                    _description, handle = ref.invoke(
+                        "getMethod", [name], caller=caller
+                    )
+                    ref.invoke(
+                        "setMethod", [handle, {"body": old_source}], caller=caller
+                    )
+                elif operation == "reset-revision":
+                    (previous,) = args
+                    ref.invoke("deleteDataItem", [REVISION_ITEM], caller=caller)
+                    ref.invoke(
+                        "addDataItem", [REVISION_ITEM, previous], caller=caller
+                    )
+                else:
+                    ref.invoke(operation, args, caller=caller)
+            except MROMError:  # pragma: no cover - best effort
+                continue
+
+
+def _body_source(description: Mapping, name: str) -> str:
+    """The portable body source from a META-privileged description."""
+    components = description.get("components")
+    if not isinstance(components, Mapping) or "body" not in components:
+        raise MROMError(
+            f"method {name!r} carries no portable source; cannot plan undo"
+        )
+    return str(components["body"]["source"])
+
+
+def _is_missing_item(exc: MROMError) -> bool:
+    remote_type = getattr(exc, "remote_type", "")
+    return "NotFound" in remote_type or "NotFound" in type(exc).__name__

@@ -1,0 +1,94 @@
+"""Tool integration via wrapping: pre/post procedures in practice.
+
+"Wrapping refers to support for adjusting and/or integrating a
+computational object into the (new) environment under which it operates
+... To facilitate wrapping, each method can be wrapped with pre- and
+post-procedures, which are called before and after the invocation of the
+body of the method" (Section 3.1). The paper names software-engineering
+environments (Oz, FIELD) and workflow systems as the domains where this
+is routine.
+
+These helpers apply the pattern to HADAS components:
+
+* :func:`attach_assertions` — contract-style pre/post on an extensible
+  method (the paper cites class assertions in C++ as the model);
+* :func:`attach_preparation` — an environment-preparation step that runs
+  before the body and can veto it (the paper's example: generating and
+  installing a CORBA stub before first use);
+* :func:`attach_usage_meter` — a post-procedure counting completed calls
+  into a data item (the observable side of the "charging" idea).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.code import CodeRole, NativeCode
+from ..core.mobject import MROMObject
+
+__all__ = ["attach_assertions", "attach_preparation", "attach_usage_meter"]
+
+
+def _set_wrapper(obj: MROMObject, method: str, role: str, component: Any) -> None:
+    """Attach one wrapper through the meta-machinery (owner-privileged)."""
+    view = obj.self_view()
+    _description, handle = view.call("getMethod", method)
+    view.call("setMethod", handle, {role: component})
+
+
+def attach_assertions(
+    obj: MROMObject,
+    method: str,
+    pre_source: str | None = None,
+    post_source: str | None = None,
+) -> None:
+    """Contract-style assertions on an extensible method.
+
+    *pre_source*/*post_source* are portable procedure bodies (``self,
+    args, ctx`` / ``self, args, result, ctx``) returning a boolean.
+    """
+    if pre_source is not None:
+        _set_wrapper(obj, method, "pre", pre_source)
+    if post_source is not None:
+        _set_wrapper(obj, method, "post", post_source)
+
+
+def attach_preparation(
+    obj: MROMObject,
+    method: str,
+    prepare: Callable[[], bool],
+    once: bool = True,
+) -> None:
+    """Run a host-side preparation step before the method body.
+
+    *prepare* is a native callable (it touches the host environment —
+    compiling a stub, spawning a tool); returning False vetoes the call.
+    With *once* set, the preparation runs on the first invocation only.
+    """
+    state = {"done": False}
+
+    def pre(self_view, args, ctx) -> bool:
+        if once and state["done"]:
+            return True
+        approved = bool(prepare())
+        state["done"] = approved
+        return approved
+
+    _set_wrapper(obj, method, "pre", NativeCode(pre, role=CodeRole.PRE, label=f"{method}.prepare"))
+
+
+def attach_usage_meter(
+    obj: MROMObject, method: str, counter_item: str = "usage"
+) -> None:
+    """Count completed invocations of *method* in a data item.
+
+    The counter is created (extensible) if missing; the post-procedure
+    increments it and never fails the call.
+    """
+    if not obj.containers.has_data(counter_item):
+        obj.self_view().add_data(counter_item, 0)
+    post_source = (
+        f"self.set({counter_item!r}, self.get({counter_item!r}) + 1)\n"
+        "return True"
+    )
+    _set_wrapper(obj, method, "post", post_source)

@@ -1,0 +1,22 @@
+"""MPL — a small mobile-programming language around MROM (future work
+item of the paper, Section 6)."""
+
+from .ast_nodes import Program
+from .compiler import CompiledMethod, compile_member_source, compile_object_methods
+from .interp import Interpreter, MplSession, RunResult, build_object
+from .lexer import Token, tokenize
+from .parser import parse
+
+__all__ = [
+    "Interpreter",
+    "MplSession",
+    "RunResult",
+    "build_object",
+    "parse",
+    "tokenize",
+    "Token",
+    "Program",
+    "CompiledMethod",
+    "compile_object_methods",
+    "compile_member_source",
+]

@@ -1,0 +1,351 @@
+"""The MPL interpreter: declarations become MROM objects, statements run.
+
+Top-level script code executes directly over the AST with a workspace of
+variables; object declarations become live :class:`MROMObject` instances
+whose methods are the compiler's portable sources. MPL objects are
+therefore mobile out of the box: anything declared in MPL packs, ships
+and installs like any hand-built portable object.
+
+>>> from repro.lang import Interpreter
+>>> result = Interpreter().run('''
+... object counter {
+...   fixed data count = 0
+...   fixed method bump(step) { count = count + step
+...     return count }
+... }
+... let c = new counter
+... print c.bump(5)
+... ''')
+>>> result.output
+['5']
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.acl import Principal, owner_only
+from ..core.errors import MPLRuntimeError
+from ..core.mobject import MROMObject
+from ..core.values import Kind
+from ..net.rmi import RemoteRef
+from . import ast_nodes as ast
+from .compiler import BUILTINS, compile_object_methods
+from .parser import parse
+
+__all__ = ["Interpreter", "RunResult", "build_object"]
+
+_BUILTIN_IMPLS = {
+    "len": len, "str": str, "int": int, "float": float, "bool": bool,
+    "abs": abs, "min": min, "max": max, "sum": sum, "sorted": sorted,
+    "reversed": lambda value: list(reversed(value)), "range": lambda *a: list(range(*a)),
+    "round": round, "list": list, "dict": dict,
+}
+
+
+class RunResult:
+    """What a program run produced."""
+
+    def __init__(self):
+        self.value: Any = None  # value of the last top-level statement
+        self.output: list[str] = []  # everything `print` emitted
+        self.variables: dict[str, Any] = {}
+        self.objects: dict[str, ast.ObjectDecl] = {}
+
+    def __repr__(self) -> str:
+        return f"RunResult(value={self.value!r}, {len(self.output)} lines)"
+
+
+def build_object(
+    decl: ast.ObjectDecl,
+    owner: Principal | None = None,
+    guid: str | None = None,
+    display_name: str = "",
+) -> MROMObject:
+    """Instantiate one MPL object declaration as a live MROM object."""
+    obj = MROMObject(
+        guid=guid,
+        display_name=display_name or decl.name,
+        owner=owner,
+        extensible_meta=decl.extensible_meta,
+    )
+    effective_owner = obj.owner
+    evaluator = _Evaluator(Interpreter(owner=effective_owner), RunResult())
+
+    def initial_value(data_decl: ast.DataDecl):
+        if data_decl.initial is None:
+            return None
+        return evaluator.eval(data_decl.initial)
+
+    for data_decl in decl.data:
+        options = {
+            "kind": Kind(data_decl.kind),
+            "metadata": {"mpl": True},
+        }
+        if data_decl.private:
+            options["acl"] = owner_only(effective_owner)
+        if data_decl.fixed:
+            obj.define_fixed_data(data_decl.name, initial_value(data_decl), **options)
+    compiled_methods = compile_object_methods(decl)
+    for compiled in compiled_methods:
+        if not compiled.fixed:
+            continue
+        options = {"metadata": {"mpl": True}}
+        if compiled.private:
+            options["acl"] = owner_only(effective_owner)
+        obj.define_fixed_method(
+            compiled.name,
+            compiled.body_source,
+            pre=compiled.pre_source,
+            post=compiled.post_source,
+            **options,
+        )
+    obj.seal()
+    view = obj.self_view()
+    for data_decl in decl.data:
+        if not data_decl.fixed:
+            properties: dict = {"metadata": {"mpl": True}}
+            if data_decl.private:
+                properties["acl"] = owner_only(effective_owner).describe()
+            properties["kind"] = data_decl.kind
+            view.add_data(data_decl.name, initial_value(data_decl), properties)
+    for compiled in compiled_methods:
+        if compiled.fixed:
+            continue
+        properties = {"metadata": {"mpl": True}}
+        if compiled.private:
+            properties["acl"] = owner_only(effective_owner).describe()
+        if compiled.pre_source is not None:
+            properties["pre"] = compiled.pre_source
+        if compiled.post_source is not None:
+            properties["post"] = compiled.post_source
+        view.add_method(compiled.name, compiled.body_source, properties)
+    return obj
+
+
+class Interpreter:
+    """Parses and runs MPL programs.
+
+    *owner* is the principal script-created objects belong to and the
+    caller identity for every top-level invocation.
+    """
+
+    def __init__(self, owner: Principal | None = None):
+        self.owner = owner if owner is not None else Principal(
+            guid="mrom:mpl-script", domain="", display_name="mpl"
+        )
+
+    def run(
+        self, source: str, bindings: dict[str, Any] | None = None
+    ) -> RunResult:
+        """Run a program; *bindings* seeds the variable workspace (e.g.
+        remote references or pre-built objects handed in by the host)."""
+        program = parse(source)
+        result = RunResult()
+        result.objects = {decl.name: decl for decl in program.objects}
+        if bindings:
+            result.variables.update(bindings)
+        evaluator = _Evaluator(self, result)
+        for statement in program.statements:
+            result.value = evaluator.exec(statement)
+        return result
+
+
+class MplSession:
+    """A stateful MPL session: feed it program fragments, state persists.
+
+    The REPL substrate: variables, object declarations and instantiated
+    objects survive across :meth:`feed` calls, so a user (or a test)
+    builds a world incrementally.
+
+    >>> session = MplSession()
+    >>> _ = session.feed("object c { fixed data n = 0\\n"
+    ...                  "  fixed method bump() { n = n + 1\\nreturn n } }")
+    >>> _ = session.feed("let c1 = new c")
+    >>> session.feed("c1.bump()")[0]
+    1
+    >>> session.feed("c1.bump()")[0]
+    2
+    """
+
+    def __init__(self, owner: Principal | None = None, bindings: dict | None = None):
+        self.interpreter = Interpreter(owner=owner)
+        self.state = RunResult()
+        if bindings:
+            self.state.variables.update(bindings)
+
+    def feed(self, source: str) -> tuple[Any, list[str]]:
+        """Run one fragment; returns (last value, new output lines)."""
+        program = parse(source)
+        for decl in program.objects:
+            self.state.objects[decl.name] = decl
+        evaluator = _Evaluator(self.interpreter, self.state)
+        before = len(self.state.output)
+        value = None
+        for statement in program.statements:
+            value = evaluator.exec(statement)
+        self.state.value = value
+        return value, self.state.output[before:]
+
+    @property
+    def variables(self) -> dict:
+        return self.state.variables
+
+
+class _Evaluator:
+    """Direct AST evaluation for top-level script code."""
+
+    def __init__(self, interpreter: Interpreter, result: RunResult):
+        self.interpreter = interpreter
+        self.result = result
+
+    # -- statements ----------------------------------------------------------
+
+    def exec(self, node) -> Any:
+        if isinstance(node, ast.Let):
+            value = self.eval(node.value)
+            self.result.variables[node.name] = value
+            return value
+        if isinstance(node, ast.Assign):
+            if node.name not in self.result.variables:
+                raise MPLRuntimeError(
+                    f"assignment to undeclared variable {node.name!r} (use 'let')"
+                )
+            value = self.eval(node.value)
+            self.result.variables[node.name] = value
+            return value
+        if isinstance(node, ast.IndexAssign):
+            target = self.eval(node.target)
+            target[self.eval(node.index)] = self.eval(node.value)
+            return None
+        if isinstance(node, ast.Print):
+            value = self.eval(node.value)
+            self.result.output.append(_render(value))
+            return value
+        if isinstance(node, ast.If):
+            branch = node.then_body if self.eval(node.condition) else node.else_body
+            value = None
+            for statement in branch:
+                value = self.exec(statement)
+            return value
+        if isinstance(node, ast.While):
+            value = None
+            guard = 0
+            while self.eval(node.condition):
+                for statement in node.body:
+                    value = self.exec(statement)
+                guard += 1
+                if guard > 1_000_000:
+                    raise MPLRuntimeError("script loop exceeded 1e6 iterations")
+            return value
+        if isinstance(node, ast.ForEach):
+            value = None
+            for element in self.eval(node.iterable):
+                self.result.variables[node.name] = element
+                for statement in node.body:
+                    value = self.exec(statement)
+            return value
+        if isinstance(node, ast.Return):
+            raise MPLRuntimeError("'return' outside a method body")
+        if isinstance(node, ast.ExprStmt):
+            return self.eval(node.value)
+        raise MPLRuntimeError(f"cannot execute {type(node).__name__} at top level")
+
+    # -- expressions -----------------------------------------------------------
+
+    def eval(self, node) -> Any:
+        if isinstance(node, ast.Literal):
+            return node.value
+        if isinstance(node, ast.Name):
+            name = node.ident
+            if name in self.result.variables:
+                return self.result.variables[name]
+            if name in BUILTINS:
+                return _BUILTIN_IMPLS[name]
+            raise MPLRuntimeError(f"unknown name {name!r}")
+        if isinstance(node, ast.SelfRef):
+            raise MPLRuntimeError("'self' is only meaningful inside methods")
+        if isinstance(node, ast.NewObject):
+            decl = self.result.objects.get(node.decl_name)
+            if decl is None:
+                raise MPLRuntimeError(f"no object declaration {node.decl_name!r}")
+            return build_object(decl, owner=self.interpreter.owner)
+        if isinstance(node, ast.ListExpr):
+            return [self.eval(element) for element in node.elements]
+        if isinstance(node, ast.MapExpr):
+            return {self.eval(k): self.eval(v) for k, v in node.pairs}
+        if isinstance(node, ast.Unary):
+            operand = self.eval(node.operand)
+            return -operand if node.op == "-" else not operand
+        if isinstance(node, ast.Binary):
+            return self._binary(node)
+        if isinstance(node, ast.Index):
+            return self.eval(node.target)[self.eval(node.index)]
+        if isinstance(node, ast.MethodCall):
+            return self._call(node)
+        if isinstance(node, ast.FuncCall):
+            func = self.eval(node.func)
+            if not callable(func):
+                raise MPLRuntimeError(
+                    f"value of type {type(func).__name__} is not callable"
+                )
+            return func(*[self.eval(argument) for argument in node.args])
+        raise MPLRuntimeError(f"cannot evaluate {type(node).__name__}")
+
+    def _binary(self, node: ast.Binary) -> Any:
+        if node.op == "and":
+            left = self.eval(node.left)
+            return self.eval(node.right) if left else left
+        if node.op == "or":
+            left = self.eval(node.left)
+            return left if left else self.eval(node.right)
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        operations = {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: left / right,
+            "%": lambda: left % right,
+            "==": lambda: left == right,
+            "!=": lambda: left != right,
+            "<": lambda: left < right,
+            "<=": lambda: left <= right,
+            ">": lambda: left > right,
+            ">=": lambda: left >= right,
+        }
+        try:
+            return operations[node.op]()
+        except KeyError:
+            raise MPLRuntimeError(f"unknown operator {node.op!r}") from None
+
+    def _call(self, node: ast.MethodCall) -> Any:
+        if isinstance(node.target, ast.SelfRef):
+            raise MPLRuntimeError("'self' is only meaningful inside methods")
+        target = self.eval(node.target)
+        args = [self.eval(argument) for argument in node.args]
+        if isinstance(target, MROMObject):
+            return target.invoke(node.name, args, caller=self.interpreter.owner)
+        if isinstance(target, RemoteRef):
+            return target.invoke(node.name, args, caller=self.interpreter.owner)
+        if callable(target):  # a builtin fetched by name
+            raise MPLRuntimeError(
+                f"{node.name!r} is not invocable on a builtin function"
+            )
+        raise MPLRuntimeError(
+            f"cannot invoke {node.name!r} on a {type(target).__name__} value"
+        )
+
+
+def _render(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, MROMObject):
+        return f"<object {value.principal.display_name or value.guid}>"
+    if isinstance(value, RemoteRef):
+        return f"<remote {value.guid}@{value.site}>"
+    return str(value)

@@ -1,0 +1,155 @@
+"""The MPL lexer.
+
+MPL ("Mobile Programming Language") is the paper's future-work item made
+concrete: "One step further would be to build a programming language
+around MROM that facilitates 'mobile programming'." The surface syntax
+is small — object declarations with fixed/extensible sections, methods
+with ``requires``/``ensures`` wrapping clauses, and imperative script
+statements — and compiles onto the MROM machinery.
+
+Tokens: identifiers, keywords, integer/real/string literals, operators
+and punctuation. ``//`` starts a line comment. Newlines are tokens
+(statement separators); indentation is not significant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import MPLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "object", "fixed", "data", "method", "requires", "ensures",
+        "let", "return", "if", "else", "while", "for", "in", "print",
+        "true", "false", "null", "and", "or", "not", "self", "meta",
+        "extensible", "new", "public", "private",
+    }
+)
+
+_PUNCT = (
+    "==", "!=", "<=", ">=", "->",
+    "{", "}", "(", ")", "[", "]",
+    ",", ":", ".", "=", "+", "-", "*", "/", "%", "<", ">",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "keyword" | "int" | "real" | "string" | "punct" | "newline" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn MPL source text into a token list (ending with ``eof``)."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    paren_depth = 0  # newlines inside ( ) and [ ] join lines implicitly
+
+    def error(message: str) -> MPLSyntaxError:
+        return MPLSyntaxError(message, line=line, column=column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            if paren_depth == 0 and tokens and tokens[-1].kind not in ("newline",):
+                tokens.append(Token("newline", "\n", line, column))
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and source[index + 1].isdigit()
+        ):
+            start = index
+            start_column = column
+            seen_dot = False
+            while index < length and (source[index].isdigit() or source[index] == "."):
+                if source[index] == ".":
+                    if seen_dot:
+                        break
+                    # ``1.method()`` is punctuation, not a real literal
+                    if index + 1 >= length or not source[index + 1].isdigit():
+                        break
+                    seen_dot = True
+                index += 1
+                column += 1
+            text = source[start:index]
+            tokens.append(
+                Token("real" if "." in text else "int", text, line, start_column)
+            )
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            start_column = column
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+                column += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_column))
+            continue
+        if char in "\"'":
+            quote = char
+            start_column = column
+            index += 1
+            column += 1
+            pieces: list[str] = []
+            while True:
+                if index >= length or source[index] == "\n":
+                    raise error("unterminated string literal")
+                current = source[index]
+                if current == quote:
+                    index += 1
+                    column += 1
+                    break
+                if current == "\\":
+                    if index + 1 >= length:
+                        raise error("dangling escape at end of input")
+                    escape = source[index + 1]
+                    mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+                    if escape not in mapping:
+                        raise error(f"unknown escape \\{escape}")
+                    pieces.append(mapping[escape])
+                    index += 2
+                    column += 2
+                    continue
+                pieces.append(current)
+                index += 1
+                column += 1
+            tokens.append(Token("string", "".join(pieces), line, start_column))
+            continue
+        matched = False
+        for punct in _PUNCT:
+            if source.startswith(punct, index):
+                if punct in ("(", "["):
+                    paren_depth += 1
+                elif punct in (")", "]"):
+                    paren_depth = max(0, paren_depth - 1)
+                tokens.append(Token("punct", punct, line, column))
+                index += len(punct)
+                column += len(punct)
+                matched = True
+                break
+        if not matched:
+            raise error(f"unexpected character {char!r}")
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,347 @@
+"""The MPL recursive-descent parser.
+
+Grammar (newline-separated statements, ``//`` comments)::
+
+    program    := (object_decl | stmt)*
+    object_decl:= "object" IDENT ["extensible" "meta"] "{" member* "}"
+    member     := ["fixed"] ["private"] "data" IDENT [":" IDENT] ["=" expr]
+                | ["fixed"] ["private"] "method" IDENT "(" params ")"
+                  ["requires" expr] ["ensures" expr] block
+    block      := "{" stmt* "}"
+    stmt       := "let" IDENT "=" expr
+                | "return" [expr]
+                | "if" expr block ["else" block]
+                | "while" expr block
+                | "for" IDENT "in" expr block
+                | "print" expr
+                | IDENT "=" expr
+                | postfix "[" expr "]" "=" expr
+                | expr
+    expr       := or ( "or" or )*          -- usual precedence ladder
+    postfix    := atom ( "." IDENT "(" args ")" | "[" expr "]" )*
+    atom       := INT | REAL | STRING | "true" | "false" | "null"
+                | "self" | "new" IDENT | IDENT
+                | "(" expr ")" | "[" args "]" | "{" pairs "}"
+"""
+
+from __future__ import annotations
+
+from ..core.errors import MPLSyntaxError
+from . import ast_nodes as ast
+from .lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def error(self, message: str) -> MPLSyntaxError:
+        token = self.current
+        return MPLSyntaxError(message, line=token.line, column=token.column)
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def skip_newlines(self) -> None:
+        while self.current.kind == "newline":
+            self.advance()
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def at_keyword(self, *words: str) -> bool:
+        return self.current.kind == "keyword" and self.current.text in words
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.at(kind, text):
+            wanted = text if text is not None else kind
+            raise self.error(
+                f"expected {wanted!r}, found {self.current.text or self.current.kind!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> bool:
+        if self.at(kind, text):
+            self.advance()
+            return True
+        return False
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        objects: list[ast.ObjectDecl] = []
+        statements: list = []
+        self.skip_newlines()
+        while not self.at("eof"):
+            if self.at_keyword("object"):
+                objects.append(self.parse_object())
+            else:
+                statements.append(self.parse_statement())
+            self.skip_newlines()
+        return ast.Program(tuple(objects), tuple(statements))
+
+    # -- declarations --------------------------------------------------------
+
+    def parse_object(self) -> ast.ObjectDecl:
+        self.expect("keyword", "object")
+        name = self.expect("ident").text
+        extensible_meta = False
+        if self.accept("keyword", "extensible"):
+            self.expect("keyword", "meta")
+            extensible_meta = True
+        self.expect("punct", "{")
+        data: list[ast.DataDecl] = []
+        methods: list[ast.MethodDecl] = []
+        self.skip_newlines()
+        while not self.accept("punct", "}"):
+            fixed = self.accept("keyword", "fixed")
+            private = self.accept("keyword", "private")
+            if not fixed:
+                fixed = self.accept("keyword", "fixed")  # either order
+            if self.at_keyword("data"):
+                data.append(self.parse_data_decl(fixed, private))
+            elif self.at_keyword("method"):
+                methods.append(self.parse_method_decl(fixed, private))
+            else:
+                raise self.error("expected 'data' or 'method' in object body")
+            self.skip_newlines()
+        return ast.ObjectDecl(name, extensible_meta, tuple(data), tuple(methods))
+
+    def parse_data_decl(self, fixed: bool, private: bool) -> ast.DataDecl:
+        self.expect("keyword", "data")
+        name = self.expect("ident").text
+        kind = "any"
+        if self.accept("punct", ":"):
+            kind = self.advance().text
+        initial = None
+        if self.accept("punct", "="):
+            initial = self.parse_expression()
+        return ast.DataDecl(name, fixed=fixed, kind=kind, initial=initial,
+                            private=private)
+
+    def parse_method_decl(self, fixed: bool, private: bool) -> ast.MethodDecl:
+        self.expect("keyword", "method")
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params: list[str] = []
+        while not self.accept("punct", ")"):
+            params.append(self.expect("ident").text)
+            if not self.at("punct", ")"):
+                self.expect("punct", ",")
+        requires = None
+        ensures = None
+        self.skip_newlines()
+        while self.at_keyword("requires", "ensures"):
+            word = self.advance().text
+            clause = self.parse_expression()
+            if word == "requires":
+                requires = clause
+            else:
+                ensures = clause
+            self.skip_newlines()
+        body = self.parse_block()
+        return ast.MethodDecl(
+            name, fixed=fixed, params=tuple(params), body=body,
+            requires=requires, ensures=ensures, private=private,
+        )
+
+    def parse_block(self) -> tuple:
+        self.expect("punct", "{")
+        statements: list = []
+        self.skip_newlines()
+        while not self.accept("punct", "}"):
+            statements.append(self.parse_statement())
+            self.skip_newlines()
+        return tuple(statements)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self):
+        if self.accept("keyword", "let"):
+            name = self.expect("ident").text
+            self.expect("punct", "=")
+            return ast.Let(name, self.parse_expression())
+        if self.accept("keyword", "return"):
+            if self.at("newline") or self.at("punct", "}") or self.at("eof"):
+                return ast.Return(None)
+            return ast.Return(self.parse_expression())
+        if self.accept("keyword", "if"):
+            condition = self.parse_expression()
+            then_body = self.parse_block()
+            else_body: tuple = ()
+            self.skip_newlines()
+            if self.accept("keyword", "else"):
+                else_body = self.parse_block()
+            return ast.If(condition, then_body, else_body)
+        if self.accept("keyword", "while"):
+            condition = self.parse_expression()
+            return ast.While(condition, self.parse_block())
+        if self.accept("keyword", "for"):
+            name = self.expect("ident").text
+            self.expect("keyword", "in")
+            iterable = self.parse_expression()
+            return ast.ForEach(name, iterable, self.parse_block())
+        if self.accept("keyword", "print"):
+            return ast.Print(self.parse_expression())
+        # assignment vs expression: parse an expression, then look for '='
+        expression = self.parse_expression()
+        if self.accept("punct", "="):
+            value = self.parse_expression()
+            if isinstance(expression, ast.Name):
+                return ast.Assign(expression.ident, value)
+            if isinstance(expression, ast.Index):
+                return ast.IndexAssign(expression.target, expression.index, value)
+            raise self.error("invalid assignment target")
+        return ast.ExprStmt(expression)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expression(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.accept("keyword", "or"):
+            left = ast.Binary("or", left, self.parse_and())
+        return left
+
+    def parse_and(self):
+        left = self.parse_not()
+        while self.accept("keyword", "and"):
+            left = ast.Binary("and", left, self.parse_not())
+        return left
+
+    def parse_not(self):
+        if self.accept("keyword", "not"):
+            return ast.Unary("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self):
+        left = self.parse_additive()
+        while self.current.kind == "punct" and self.current.text in (
+            "==", "!=", "<", "<=", ">", ">=",
+        ):
+            op = self.advance().text
+            left = ast.Binary(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self):
+        left = self.parse_multiplicative()
+        while self.current.kind == "punct" and self.current.text in ("+", "-"):
+            op = self.advance().text
+            left = ast.Binary(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self):
+        left = self.parse_unary()
+        while self.current.kind == "punct" and self.current.text in ("*", "/", "%"):
+            op = self.advance().text
+            left = ast.Binary(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self):
+        if self.accept("punct", "-"):
+            return ast.Unary("-", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expression = self.parse_atom()
+        while True:
+            if self.accept("punct", "."):
+                name = self.advance()
+                if name.kind not in ("ident", "keyword"):
+                    raise self.error("expected a member name after '.'")
+                self.expect("punct", "(")
+                args: list = []
+                while not self.accept("punct", ")"):
+                    args.append(self.parse_expression())
+                    if not self.at("punct", ")"):
+                        self.expect("punct", ",")
+                expression = ast.MethodCall(expression, name.text, tuple(args))
+                continue
+            if self.accept("punct", "["):
+                index = self.parse_expression()
+                self.expect("punct", "]")
+                expression = ast.Index(expression, index)
+                continue
+            if self.at("punct", "("):
+                self.advance()
+                args: list = []
+                while not self.accept("punct", ")"):
+                    args.append(self.parse_expression())
+                    if not self.at("punct", ")"):
+                        self.expect("punct", ",")
+                expression = ast.FuncCall(expression, tuple(args))
+                continue
+            return expression
+
+    def parse_atom(self):
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.Literal(int(token.text))
+        if token.kind == "real":
+            self.advance()
+            return ast.Literal(float(token.text))
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.text)
+        if self.accept("keyword", "true"):
+            return ast.Literal(True)
+        if self.accept("keyword", "false"):
+            return ast.Literal(False)
+        if self.accept("keyword", "null"):
+            return ast.Literal(None)
+        if self.accept("keyword", "self"):
+            return ast.SelfRef()
+        if self.accept("keyword", "new"):
+            return ast.NewObject(self.expect("ident").text)
+        if token.kind == "ident":
+            self.advance()
+            return ast.Name(token.text)
+        if self.accept("punct", "("):
+            inner = self.parse_expression()
+            self.expect("punct", ")")
+            return inner
+        if self.accept("punct", "["):
+            elements: list = []
+            self.skip_newlines()
+            while not self.accept("punct", "]"):
+                elements.append(self.parse_expression())
+                self.skip_newlines()
+                if not self.at("punct", "]"):
+                    self.expect("punct", ",")
+                    self.skip_newlines()
+            return ast.ListExpr(tuple(elements))
+        if self.accept("punct", "{"):
+            pairs: list = []
+            self.skip_newlines()
+            while not self.accept("punct", "}"):
+                key = self.parse_expression()
+                self.expect("punct", ":")
+                pairs.append((key, self.parse_expression()))
+                self.skip_newlines()
+                if not self.at("punct", "}"):
+                    self.expect("punct", ",")
+                    self.skip_newlines()
+            return ast.MapExpr(tuple(pairs))
+        raise self.error(f"unexpected token {token.text or token.kind!r}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MPL source text into a :class:`~repro.lang.ast_nodes.Program`."""
+    parser = _Parser(tokenize(source))
+    return parser.parse_program()

@@ -1,0 +1,190 @@
+"""Multi-hop agent itineraries built on the forward primitive.
+
+The paper situates MROM in the mobile-agent lineage ("computational
+objects known as 'agents', which exhibit some level of autonomy ... goals,
+plans, itinerary"). An :class:`Itinerary` is the plan; :class:`AgentTour`
+executes it: the agent object hops site to site, its ``visit`` method runs
+at every stop with the stop's identity as argument, and whatever it
+accumulates in its own data items travels with it — the state *is* the
+object, which is exactly the self-containment requirement at work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core.errors import MobilityError
+from ..core.mobject import MROMObject
+from .transfer import MobilityManager
+
+__all__ = ["Itinerary", "AgentTour", "make_collector_agent"]
+
+
+@dataclass(frozen=True)
+class Itinerary:
+    """An ordered tour plan over site identifiers."""
+
+    stops: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.stops:
+            raise MobilityError("an itinerary needs at least one stop")
+
+    @classmethod
+    def through(cls, *stops: str) -> "Itinerary":
+        return cls(tuple(stops))
+
+    def __len__(self) -> int:
+        return len(self.stops)
+
+    def __iter__(self):
+        return iter(self.stops)
+
+
+@dataclass
+class HopRecord:
+    """One completed hop, for the tour report."""
+
+    site: str
+    visit_result: Any
+    arrived_at: float
+
+
+class AgentTour:
+    """Drive an agent object around an itinerary and back home.
+
+    The tour is orchestrated from the agent's home site (the pattern the
+    paper's Ambassadors follow: the origin owns and steers its deployed
+    objects), but the agent's code and accumulated state execute and
+    travel entirely on the visited sites.
+    """
+
+    def __init__(self, home: MobilityManager, visit_method: str = "visit"):
+        self.home = home
+        self.visit_method = visit_method
+
+    def run(
+        self,
+        agent: MROMObject,
+        itinerary: Itinerary,
+        visit_args: Sequence[Any] = (),
+        return_home: bool = True,
+    ) -> list[HopRecord]:
+        """Execute the tour; returns one :class:`HopRecord` per stop.
+
+        When *return_home* is set the agent ends up registered back at
+        the home site (so its accumulated data can be read locally).
+        """
+        site = self.home.site
+        records: list[HopRecord] = []
+        first = itinerary.stops[0]
+        ref = self.home.migrate(agent, first)
+        current = first
+        for stop in itinerary.stops:
+            if stop != current:
+                ref = self.home.forward(current, ref.guid, stop)
+                current = stop
+            result = ref.invoke(
+                self.visit_method,
+                [stop, *visit_args],
+                caller=agent.owner,
+            )
+            records.append(
+                HopRecord(site=stop, visit_result=result, arrived_at=site.network.now)
+            )
+        if return_home:
+            self.home.forward(current, ref.guid, site.site_id)
+        return records
+
+
+class AutonomousTour:
+    """A tour whose route the *agent* decides, hop by hop.
+
+    The paper's agents "exhibit some level of autonomy and/or intelligence
+    in the form of goals, plans, itinerary". :class:`AgentTour` executes a
+    fixed plan; here the plan lives inside the agent: after each visit the
+    home site asks the agent's ``next_stop`` method where it wants to go
+    (``null``/empty = come home). The origin still *executes* the hops —
+    it owns the agent and the forward right — but the *decisions* travel
+    with the object, in its own portable code and state.
+
+    A *leash* bounds the tour: an agent whose decision logic never
+    terminates is dragged home after ``max_hops`` hops rather than
+    wandering forever.
+    """
+
+    def __init__(
+        self,
+        home: MobilityManager,
+        visit_method: str = "visit",
+        decide_method: str = "next_stop",
+        max_hops: int = 16,
+    ):
+        self.home = home
+        self.visit_method = visit_method
+        self.decide_method = decide_method
+        self.max_hops = max_hops
+
+    def run(
+        self,
+        agent: MROMObject,
+        first_stop: str,
+        visit_args: Sequence[Any] = (),
+    ) -> list[HopRecord]:
+        site = self.home.site
+        records: list[HopRecord] = []
+        ref = self.home.migrate(agent, first_stop)
+        current = first_stop
+        for _hop in range(self.max_hops):
+            result = ref.invoke(
+                self.visit_method, [current, *visit_args], caller=agent.owner
+            )
+            records.append(
+                HopRecord(site=current, visit_result=result,
+                          arrived_at=site.network.now)
+            )
+            decision = ref.invoke(self.decide_method, [], caller=agent.owner)
+            if not decision:
+                break
+            next_stop = str(decision)
+            if next_stop == current:
+                break  # staying put ends the tour too
+            ref = self.home.forward(current, ref.guid, next_stop)
+            current = next_stop
+        self.home.forward(current, ref.guid, site.site_id)
+        return records
+
+
+def make_collector_agent(
+    home_site,
+    display_name: str = "collector",
+    probe_source: str = "return site",
+) -> MROMObject:
+    """A ready-made tour agent that accumulates per-stop observations.
+
+    *probe_source* is the portable body of the per-stop probe; it sees
+    ``site`` (the stop identifier) and ``args`` and returns the
+    observation to record. The default just records the stop name.
+    """
+    agent = home_site.create_object(
+        display_name=display_name,
+        extensible_meta=False,
+        owner=home_site.principal,  # the home site steers (and may forward) it
+    )
+    agent.define_fixed_data("observations", [])
+    agent.define_fixed_method(
+        "probe",
+        f"site = args[0]\n{probe_source}",
+    )
+    agent.define_fixed_method(
+        "visit",
+        "finding = self.call('probe', *args)\n"
+        "log = self.get('observations')\n"
+        "log.append([args[0], finding])\n"
+        "self.set('observations', log)\n"
+        "return finding",
+    )
+    agent.define_fixed_method("report", "return self.get('observations')")
+    agent.seal()
+    return agent

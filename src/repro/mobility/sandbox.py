@@ -1,0 +1,268 @@
+"""AST-whitelist sandbox for portable (mobile) method code.
+
+The paper's substrate was the JVM: method bodies travelled as verified
+bytecode. Our substitution carries method bodies as *source text* and
+verifies them here before compilation — the analog of JVM bytecode
+verification (see DESIGN.md, Substitutions).
+
+The verifier is a whitelist, not a blacklist: only explicitly permitted
+AST node types, builtins and attribute names are accepted. Anything else
+raises :class:`SandboxViolation` at *install* time, so a hostile object is
+rejected before any of its code runs.
+
+What portable code may do:
+
+* arithmetic, comparisons, boolean logic, string/collection literals;
+* local variables, ``if``/``while``/``for``, ``try``/``except``,
+  functions and lambdas, comprehensions;
+* call whitelisted builtins and any object the host handed it (the
+  ``self`` facade, the invocation context, installation-context bindings);
+* read/write attributes whose names do not start with an underscore.
+
+What it may not do:
+
+* import anything, define classes, touch dunder attributes, use
+  ``global``, ``yield``/``await``, or name any non-whitelisted builtin.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Mapping
+
+from ..core.errors import SandboxViolation
+
+__all__ = [
+    "ALLOWED_BUILTINS",
+    "validate_source",
+    "compile_restricted",
+    "build_function",
+]
+
+
+_ALLOWED_NODES: tuple[type, ...] = (
+    ast.Module,
+    ast.Interactive,
+    ast.Expression,
+    ast.FunctionDef,
+    ast.Lambda,
+    ast.arguments,
+    ast.arg,
+    ast.Return,
+    ast.Delete,
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.For,
+    ast.While,
+    ast.If,
+    ast.With,
+    ast.withitem,
+    ast.Raise,
+    ast.Try,
+    ast.ExceptHandler,
+    ast.Assert,
+    ast.Expr,
+    ast.Pass,
+    ast.Break,
+    ast.Continue,
+    ast.Nonlocal,
+    ast.BoolOp,
+    ast.NamedExpr,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.IfExp,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.comprehension,
+    ast.Compare,
+    ast.Call,
+    ast.keyword,
+    ast.FormattedValue,
+    ast.JoinedStr,
+    ast.Constant,
+    ast.Attribute,
+    ast.Subscript,
+    ast.Starred,
+    ast.Name,
+    ast.List,
+    ast.Tuple,
+    ast.Slice,
+    # operator tokens
+    ast.And, ast.Or,
+    ast.Add, ast.Sub, ast.Mult, ast.MatMult, ast.Div, ast.Mod, ast.Pow,
+    ast.LShift, ast.RShift, ast.BitOr, ast.BitXor, ast.BitAnd,
+    ast.FloorDiv,
+    ast.Invert, ast.Not, ast.UAdd, ast.USub,
+    ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+    ast.Is, ast.IsNot, ast.In, ast.NotIn,
+    ast.Load, ast.Store, ast.Del,
+)
+
+#: Builtins a mobile method body may name. Deliberately excludes anything
+#: that reaches the interpreter's internals (``getattr``/``setattr``,
+#: ``vars``, ``type``, ``eval``...) or the host machine (``open``,
+#: ``__import__``). ``print`` is allowed for didactic examples.
+ALLOWED_BUILTINS: dict[str, Any] = {
+    "abs": abs,
+    "all": all,
+    "any": any,
+    "bool": bool,
+    "bytes": bytes,
+    "chr": chr,
+    "dict": dict,
+    "divmod": divmod,
+    "enumerate": enumerate,
+    "filter": filter,
+    "float": float,
+    "format": format,
+    "frozenset": frozenset,
+    "hash": hash,
+    "int": int,
+    "isinstance": isinstance,
+    "iter": iter,
+    "len": len,
+    "list": list,
+    "map": map,
+    "max": max,
+    "min": min,
+    "next": next,
+    "ord": ord,
+    "pow": pow,
+    "print": print,
+    "range": range,
+    "repr": repr,
+    "reversed": reversed,
+    "round": round,
+    "set": set,
+    "sorted": sorted,
+    "str": str,
+    "sum": sum,
+    "tuple": tuple,
+    "zip": zip,
+    # exceptions portable code may raise/catch
+    "ArithmeticError": ArithmeticError,
+    "AssertionError": AssertionError,
+    "Exception": Exception,
+    "IndexError": IndexError,
+    "KeyError": KeyError,
+    "LookupError": LookupError,
+    "RuntimeError": RuntimeError,
+    "StopIteration": StopIteration,
+    "TypeError": TypeError,
+    "ValueError": ValueError,
+    "ZeroDivisionError": ZeroDivisionError,
+    "True": True,
+    "False": False,
+    "None": None,
+}
+
+_FORBIDDEN_NAMES = frozenset(
+    {
+        "eval", "exec", "compile", "open", "input", "__import__",
+        "getattr", "setattr", "delattr", "hasattr", "globals", "locals",
+        "vars", "dir", "type", "super", "object", "classmethod",
+        "staticmethod", "property", "memoryview", "breakpoint", "exit",
+        "quit", "help", "id", "callable",
+    }
+)
+
+
+class _Verifier(ast.NodeVisitor):
+    """Walk the AST, rejecting anything outside the whitelist."""
+
+    def __init__(self, source_name: str):
+        self.source_name = source_name
+
+    def _violation(self, node: ast.AST, construct: str, detail: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        where = f"{self.source_name}:{line}"
+        raise SandboxViolation(construct, f"{detail or 'not permitted'} at {where}")
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if not isinstance(node, _ALLOWED_NODES):
+            self._violation(node, type(node).__name__, "AST node type not whitelisted")
+        super().generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr.startswith("_"):
+            self._violation(node, f".{node.attr}", "underscore attribute access")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in _FORBIDDEN_NAMES:
+            self._violation(node, node.id, "forbidden builtin")
+        if node.id.startswith("__"):
+            self._violation(node, node.id, "dunder name")
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.decorator_list:
+            self._violation(node, "decorator", "decorators not permitted")
+        if node.name.startswith("_"):
+            self._violation(node, node.name, "underscore function name")
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if node.arg.startswith("__"):
+            self._violation(node, node.arg, "dunder parameter name")
+        self.generic_visit(node)
+
+
+def validate_source(source: str, source_name: str = "<portable>") -> ast.Module:
+    """Parse and verify mobile source text; returns the parsed module.
+
+    Raises :class:`SandboxViolation` for forbidden constructs and for
+    source that does not parse at all.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise SandboxViolation("syntax", f"{exc.msg} (line {exc.lineno})") from exc
+    _Verifier(source_name).visit(tree)
+    return tree
+
+
+def compile_restricted(source: str, source_name: str = "<portable>"):
+    """Validate then compile mobile source text to a code object."""
+    validate_source(source, source_name)
+    return compile(source, source_name, "exec")
+
+
+def build_function(
+    body_source: str,
+    parameters: Iterable[str],
+    function_name: str = "portable",
+    source_name: str = "<portable>",
+    extra_bindings: Mapping[str, Any] | None = None,
+):
+    """Compile a *function body* given as mobile source text.
+
+    The contract for portable method code in this reproduction: the
+    migrating artifact is the body text of a function whose parameter list
+    the runtime fixes (``self, args, ctx`` for bodies and pre-procedures,
+    ``self, args, result, ctx`` for post-procedures). This function wraps
+    the body in a ``def``, verifies it, executes the definition inside a
+    restricted namespace, and returns the resulting function object.
+
+    The returned function's globals contain *only* the whitelisted
+    builtins plus *extra_bindings* supplied by the host (the installation
+    context); there is no module, no filesystem, no import machinery.
+    """
+    params = ", ".join(parameters)
+    lines = body_source.splitlines() or ["pass"]
+    indented = "\n".join("    " + line for line in lines)
+    wrapped = f"def {function_name}({params}):\n{indented}\n"
+    code = compile_restricted(wrapped, source_name)
+    namespace: dict[str, Any] = {"__builtins__": dict(ALLOWED_BUILTINS)}
+    if extra_bindings:
+        for name, value in extra_bindings.items():
+            if name.startswith("_"):
+                raise SandboxViolation(name, "underscore binding injected by host")
+            namespace[name] = value
+    exec(code, namespace)  # noqa: S102 - executing *verified* code is the point
+    return namespace[function_name]

@@ -1,0 +1,202 @@
+"""The migration protocol: ship an object to another site as data.
+
+The sequence follows the paper's Import/Export narrative (Section 5):
+
+1. the sender packs the object (portable code as verified source);
+2. the package travels as an ordinary data message;
+3. the receiving :class:`MobilityManager` runs its *admission policy*
+   (the host restricting the guest — one half of the security duality);
+4. the object is unpacked, registered, handed an **installation
+   context** (host bindings in its environment), and — if it defines an
+   ``install`` method — invoked "which in turn installs itself";
+5. the sender receives a remote reference to the settled object.
+
+Two modes:
+
+* :meth:`MobilityManager.migrate` *moves* the object (unregisters the
+  local original — there is exactly one of it afterwards);
+* :meth:`MobilityManager.deploy_copy` ships an independent replica and
+  keeps the original (how an APO deploys Ambassadors to many sites).
+
+A ``forward`` request lets a remote party that is entitled to do so bounce
+an object onward to a third site — the hop primitive multi-site agent
+itineraries are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.acl import Principal
+from ..core.errors import MobilityError, PolicyViolationError
+from ..core.mobject import MROMObject
+from ..net.rmi import RemoteRef
+from ..net.site import Site
+from ..net.transport import Message
+from .package import pack, unpack
+
+__all__ = ["MobilityManager", "InstallReport"]
+
+#: signature: policy(package, src_site_id) -> None or raise PolicyViolationError
+AdmissionPolicy = Callable[[Mapping, str], None]
+
+
+class InstallReport(dict):
+    """What a completed transfer reports back (a plain mapping on the
+    wire): the settled object's guid, site, and its ``install`` result."""
+
+
+class MobilityManager:
+    """Attaches the migration protocol to a :class:`~repro.net.site.Site`."""
+
+    def __init__(self, site: Site, policy: AdmissionPolicy | None = None):
+        self.site = site
+        self.policy = policy
+        self.arrivals = 0
+        self.departures = 0
+        self.rejections = 0
+        site.add_handler("transfer", self._handle_transfer)
+        site.add_handler("forward", self._handle_forward)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+
+    def migrate(
+        self,
+        obj: MROMObject,
+        dst: str,
+        install_args: Sequence[Any] = (),
+    ) -> RemoteRef:
+        """Move *obj* to *dst*; the local original ceases to exist here.
+
+        The local object is unregistered only after the destination
+        acknowledged installation, so a rejected or failed transfer
+        leaves the object where it was.
+        """
+        report = self._ship(obj, dst, install_args)
+        if self.site.has_object(obj.guid):
+            self.site.unregister_object(obj.guid)
+        self.departures += 1
+        return RemoteRef(self.site, dst, str(report["guid"]))
+
+    def deploy_copy(
+        self,
+        obj: MROMObject,
+        dst: str,
+        install_args: Sequence[Any] = (),
+    ) -> RemoteRef:
+        """Ship an independent replica of *obj* to *dst*, keeping the
+        original registered here (the APO → Ambassador pattern)."""
+        report = self._ship(obj, dst, install_args)
+        self.departures += 1
+        return RemoteRef(self.site, dst, str(report["guid"]))
+
+    def _ship(
+        self, obj: MROMObject, dst: str, install_args: Sequence[Any]
+    ) -> Mapping:
+        package = pack(obj)
+        result = self.site.request(
+            dst,
+            "transfer",
+            {"package": package, "install_args": list(install_args)},
+        )
+        if not isinstance(result, Mapping):
+            raise MobilityError(f"malformed transfer report from {dst!r}")
+        return result
+
+    def forward(
+        self,
+        via: str,
+        guid: str,
+        dst: str,
+        install_args: Sequence[Any] = (),
+        caller: Principal | None = None,
+    ) -> RemoteRef:
+        """Ask site *via* to move its local object *guid* on to *dst*."""
+        report = self.site.request(
+            via,
+            "forward",
+            {
+                "target": guid,
+                "dst": dst,
+                "install_args": list(install_args),
+                "caller": self.site._caller_payload(caller),
+            },
+        )
+        if not isinstance(report, Mapping):
+            raise MobilityError(f"malformed forward report from {via!r}")
+        return RemoteRef(self.site, dst, str(report["guid"]))
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+
+    def _handle_transfer(self, message: Message) -> dict:
+        body = message.payload
+        package = body.get("package")
+        if not isinstance(package, Mapping):
+            raise MobilityError("transfer message carries no package")
+        install_args = self.site.import_value(body.get("install_args", []))
+        return self.install_package(package, install_args, src=message.src)
+
+    def install_package(
+        self,
+        package: Mapping,
+        install_args: Sequence[Any] = (),
+        src: str = "",
+    ) -> dict:
+        """Admit, unpack and install a package that arrived as data.
+
+        Shared by the transfer handler and by protocols that carry
+        packages inside their own replies (HADAS Link and Import/Export).
+        Wire references inside the package become live remote proxies
+        before the object is rebuilt.
+        """
+        if self.policy is not None:
+            try:
+                self.policy(package, src)
+            except PolicyViolationError:
+                self.rejections += 1
+                raise
+        obj = unpack(self.site.import_value(package))
+        return self._install(obj, install_args)
+
+    def _install(self, obj: MROMObject, install_args: Sequence[Any]) -> dict:
+        self.site.register_object(obj)
+        # the installation context: what the host tells the newcomer
+        obj.environment["install_context"] = {
+            "site": self.site.site_id,
+            "domain": self.site.domain,
+            "arrived_at": self.site.network.now,
+        }
+        self.arrivals += 1
+        install_result = None
+        if obj.containers.has_method("install"):
+            # "passes to it an installation context and invokes the
+            # Ambassador, which in turn installs itself"
+            install_result = obj.invoke(
+                "install", list(install_args), caller=self.site.principal
+            )
+        return InstallReport(
+            guid=obj.guid,
+            site=self.site.site_id,
+            install_result=install_result,
+        )
+
+    def _handle_forward(self, message: Message) -> Mapping:
+        body = message.payload
+        guid = str(body.get("target", ""))
+        dst = str(body.get("dst", ""))
+        obj = self.site.local_object(guid)
+        caller = self.site._caller_from(body.get("caller"))
+        # only the object's owner (or this site itself) may bounce it on —
+        # a hostile third party must not be able to teleport guests around
+        if caller.guid not in (obj.owner.guid, self.site.principal.guid):
+            raise PolicyViolationError(
+                f"{caller.guid} may not forward {guid} (owner: {obj.owner.guid})"
+            )
+        report = self._ship(obj, dst, list(body.get("install_args", [])))
+        self.site.unregister_object(guid)
+        self.departures += 1
+        return report

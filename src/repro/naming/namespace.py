@@ -1,0 +1,167 @@
+"""Hierarchical, federated name services.
+
+Identity (:mod:`repro.naming.guid`) answers "which object is this?";
+naming answers "where do I find the object called *X*?". Each site runs
+its own :class:`NameService` — a hierarchical path → guid directory — and
+federates with other sites by *mounting* their services under a prefix,
+so resolution remains fully decentralized: no root server, no global
+state, just a graph of mounts that queries walk.
+
+Paths are ``/``-separated (``apps/databases/employees``). A mount maps a
+path prefix to any object with a compatible ``resolve``/``list_bindings``
+pair — another local :class:`NameService`, or a remote-site proxy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol
+
+from ..core.errors import NamingError
+
+__all__ = ["NameService", "Resolver", "split_path", "join_path"]
+
+
+def split_path(path: str) -> list[str]:
+    """Normalize a path into segments; rejects empty segments."""
+    segments = [segment for segment in path.strip("/").split("/") if segment]
+    if not segments:
+        raise NamingError(f"empty path {path!r}")
+    for segment in segments:
+        if segment in (".", ".."):
+            raise NamingError(f"relative segment in path {path!r}")
+    return segments
+
+
+def join_path(segments: Iterable[str]) -> str:
+    return "/".join(segments)
+
+
+class Resolver(Protocol):
+    """What a mount target must provide."""
+
+    def resolve(self, path: str) -> str: ...
+
+    def list_bindings(self, prefix: str = "") -> list[tuple[str, str]]: ...
+
+
+class NameService:
+    """One site's directory of names, with federation by mounting.
+
+    >>> haifa = NameService("haifa")
+    >>> haifa.bind("apps/db", "mrom://haifa/1.1")
+    >>> haifa.resolve("apps/db")
+    'mrom://haifa/1.1'
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self._bindings: dict[str, str] = {}
+        self._mounts: dict[str, Resolver] = {}
+
+    # -- local bindings -----------------------------------------------------
+
+    def bind(self, path: str, guid: str, replace: bool = False) -> None:
+        key = join_path(split_path(path))
+        if not replace and key in self._bindings:
+            raise NamingError(f"name {key!r} is already bound")
+        self._bindings[key] = guid
+
+    def unbind(self, path: str) -> str:
+        key = join_path(split_path(path))
+        try:
+            return self._bindings.pop(key)
+        except KeyError:
+            raise NamingError(f"name {key!r} is not bound") from None
+
+    # -- federation -----------------------------------------------------------
+
+    def mount(self, prefix: str, resolver: Resolver) -> None:
+        """Graft another name service under *prefix*."""
+        key = join_path(split_path(prefix))
+        if resolver is self:
+            raise NamingError("cannot mount a name service on itself")
+        if key in self._mounts:
+            raise NamingError(f"prefix {key!r} is already a mount point")
+        self._mounts[key] = resolver
+
+    def unmount(self, prefix: str) -> None:
+        key = join_path(split_path(prefix))
+        if self._mounts.pop(key, None) is None:
+            raise NamingError(f"prefix {key!r} is not a mount point")
+
+    def mounts(self) -> tuple[str, ...]:
+        return tuple(sorted(self._mounts))
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self, path: str) -> str:
+        """Resolve a name to a guid, following at most one mount per hop.
+
+        Local bindings win over mounts at the same prefix (a site is
+        authoritative for its own names).
+        """
+        key = join_path(split_path(path))
+        if key in self._bindings:
+            return self._bindings[key]
+        mount_key, remainder = self._find_mount(key)
+        if mount_key is not None:
+            return self._mounts[mount_key].resolve(remainder)
+        raise NamingError(f"cannot resolve {key!r} ({self.label or 'unlabelled'})")
+
+    def _find_mount(self, key: str) -> tuple[str | None, str]:
+        """Longest-prefix mount match."""
+        segments = key.split("/")
+        for cut in range(len(segments) - 1, 0, -1):
+            prefix = "/".join(segments[:cut])
+            if prefix in self._mounts:
+                return prefix, "/".join(segments[cut:])
+        return None, key
+
+    def try_resolve(self, path: str) -> str | None:
+        try:
+            return self.resolve(path)
+        except NamingError:
+            return None
+
+    # -- enumeration ---------------------------------------------------------
+
+    def list_bindings(self, prefix: str = "") -> list[tuple[str, str]]:
+        """All (path, guid) pairs under *prefix*, local and mounted."""
+        if prefix:
+            prefix_key = join_path(split_path(prefix))
+            wanted = prefix_key + "/"
+        else:
+            prefix_key = ""
+            wanted = ""
+        results = [
+            (path, guid)
+            for path, guid in sorted(self._bindings.items())
+            if path == prefix_key or path.startswith(wanted)
+        ]
+        for mount_prefix, resolver in sorted(self._mounts.items()):
+            if prefix_key and not (
+                mount_prefix.startswith(wanted) or mount_prefix == prefix_key
+                or prefix_key.startswith(mount_prefix + "/")
+            ):
+                continue
+            sub_prefix = ""
+            if prefix_key.startswith(mount_prefix + "/"):
+                sub_prefix = prefix_key[len(mount_prefix) + 1:]
+            for path, guid in resolver.list_bindings(sub_prefix):
+                results.append((f"{mount_prefix}/{path}", guid))
+        return results
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self.list_bindings())
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, path: str) -> bool:
+        return self.try_resolve(path) is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"NameService({self.label!r}, {len(self._bindings)} bindings, "
+            f"{len(self._mounts)} mounts)"
+        )

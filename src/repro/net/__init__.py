@@ -1,0 +1,27 @@
+"""The simulated internetwork: topology, transport, marshal, sites, RMI."""
+
+from .gateway import TcpGateway, TcpGatewayClient
+from .marshal import MAGIC, Reference, marshal, marshalled_size, unmarshal
+from .rmi import RemoteRef
+from .site import Site
+from .topology import LAN, Link, MODEM, Topology, WAN
+from .transport import Message, Network
+
+__all__ = [
+    "marshal",
+    "unmarshal",
+    "marshalled_size",
+    "Reference",
+    "MAGIC",
+    "Topology",
+    "Link",
+    "LAN",
+    "WAN",
+    "MODEM",
+    "Network",
+    "Message",
+    "Site",
+    "RemoteRef",
+    "TcpGateway",
+    "TcpGatewayClient",
+]

@@ -1,0 +1,232 @@
+"""A real-TCP gateway into a simulated site.
+
+The reproduction's network substrate is a deterministic simulator (see
+DESIGN.md §3); real deployments of the paper's system spoke RMI over real
+sockets. The gateway bridges the two: it exposes one site's protocol
+surface (invoke / get_data / describe / resolve / ping) over actual TCP
+on localhost, so an external process — a different Python interpreter, a
+different language, a netcat — can interrogate and invoke the objects
+living in the simulation using the same MRM1 wire format the simulated
+transport uses.
+
+Framing: each direction sends ``4-byte big-endian length`` + one MRM1
+message. Requests are mappings ``{kind, payload}``; responses follow the
+transport's reply convention (``{ok, result}`` / ``{ok, error, message}``).
+
+Requests are serialized through one lock: the simulation kernel is
+single-threaded by design, and a gateway request may pump it (an invoke
+that forwards across the simulated WAN does). The gateway is a doorway,
+not a second scheduler.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Any
+
+from ..core.acl import Principal
+from ..core.errors import MROMError, NetworkError
+from ..core.introspection import describe as describe_object
+from .marshal import marshal, unmarshal
+from .site import Site
+
+__all__ = ["TcpGateway", "TcpGatewayClient"]
+
+_LENGTH = struct.Struct(">I")
+MAX_FRAME = 16 * 1024 * 1024
+
+
+def _send_frame(sock: socket.socket, value: Any) -> None:
+    body = marshal(value)
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Any | None:
+    header = _recv_exactly(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME:
+        raise NetworkError(f"frame of {length} bytes exceeds the gateway limit")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        return None
+    return unmarshal(body)
+
+
+class TcpGateway:
+    """Serves one site's protocol surface on a localhost TCP port."""
+
+    def __init__(self, site: Site, host: str = "127.0.0.1", port: int = 0):
+        self.site = site
+        self._lock = threading.Lock()
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(8)
+        self.host, self.port = self._server.getsockname()
+        self._running = True
+        self.requests_served = 0
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"gateway-{site.site_id}", daemon=True
+        )
+        self._thread.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._running = False
+        try:
+            self._server.close()
+        except OSError:  # pragma: no cover - platform noise
+            pass
+
+    def __enter__(self) -> "TcpGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- serving ------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                connection, _address = self._server.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            while self._running:
+                try:
+                    request = _recv_frame(connection)
+                except MROMError as exc:
+                    _send_frame(
+                        connection,
+                        {"ok": False, "error": type(exc).__name__,
+                         "message": str(exc)},
+                    )
+                    return
+                if request is None:
+                    return
+                _send_frame(connection, self._respond(request))
+
+    def _respond(self, request: Any) -> dict:
+        if not isinstance(request, dict) or "kind" not in request:
+            return {"ok": False, "error": "NetworkError",
+                    "message": "malformed gateway request"}
+        kind = str(request["kind"])
+        payload = request.get("payload", {})
+        with self._lock:  # the simulation kernel is single-threaded
+            try:
+                result = self._dispatch(kind, payload)
+            except MROMError as exc:
+                return {"ok": False, "error": type(exc).__name__,
+                        "message": str(exc)}
+            self.requests_served += 1
+            return {"ok": True, "result": self.site.export_value(result)}
+
+    def _dispatch(self, kind: str, payload: Any) -> Any:
+        if not isinstance(payload, dict):
+            payload = {}
+        if kind == "ping":
+            return {"site": self.site.site_id, "time": self.site.network.now}
+        if kind == "resolve":
+            return self.site.names.resolve(str(payload.get("path", "")))
+        caller = self._external_caller(payload)
+        target = str(payload.get("target", ""))
+        obj = self.site.local_object(target)
+        if kind == "describe":
+            return describe_object(obj, viewer=caller).to_mapping()
+        if kind == "get_data":
+            return obj.get_data(str(payload.get("name", "")), caller=caller)
+        if kind == "invoke":
+            args = self.site.import_value(payload.get("args", []))
+            return obj.invoke(str(payload.get("method", "")), args, caller=caller)
+        raise NetworkError(f"gateway does not serve kind {kind!r}")
+
+    @staticmethod
+    def _external_caller(payload: Any) -> Principal:
+        raw = payload.get("caller", {}) if isinstance(payload, dict) else {}
+        if not isinstance(raw, dict):
+            raw = {}
+        return Principal(
+            guid=str(raw.get("guid", "mrom:gateway-client")),
+            domain=str(raw.get("domain", "external")),
+            display_name=str(raw.get("name", "gateway-client")),
+        )
+
+    def __repr__(self) -> str:
+        return f"TcpGateway({self.site.site_id} @ {self.host}:{self.port})"
+
+
+class TcpGatewayClient:
+    """A client for :class:`TcpGateway` — usable from any process."""
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "TcpGatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, kind: str, payload: dict) -> Any:
+        _send_frame(self._sock, {"kind": kind, "payload": payload})
+        reply = _recv_frame(self._sock)
+        if reply is None:
+            raise NetworkError("gateway closed the connection")
+        if not isinstance(reply, dict) or not reply.get("ok"):
+            raise NetworkError(
+                f"{reply.get('error', 'NetworkError')}: "
+                f"{reply.get('message', 'gateway failure')}"
+                if isinstance(reply, dict)
+                else "malformed gateway reply"
+            )
+        return reply.get("result")
+
+    def ping(self) -> dict:
+        return self._call("ping", {})
+
+    def resolve(self, path: str) -> str:
+        return self._call("resolve", {"path": path})
+
+    def describe(self, guid: str, caller: dict | None = None) -> dict:
+        return self._call("describe", {"target": guid, "caller": caller or {}})
+
+    def get_data(self, guid: str, name: str, caller: dict | None = None) -> Any:
+        return self._call(
+            "get_data", {"target": guid, "name": name, "caller": caller or {}}
+        )
+
+    def invoke(
+        self, guid: str, method: str, args: list | None = None,
+        caller: dict | None = None,
+    ) -> Any:
+        return self._call(
+            "invoke",
+            {"target": guid, "method": method, "args": args or [],
+             "caller": caller or {}},
+        )

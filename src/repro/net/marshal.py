@@ -1,0 +1,286 @@
+"""The wire format: a self-contained tagged binary marshal.
+
+The paper's HADAS used Java serialization; a self-contained object model
+deserves a self-contained wire format, so this module implements one from
+scratch rather than borrowing :mod:`pickle` (whose by-reference class
+semantics would smuggle *non*-self-contained state across sites, and
+whose decoder executes arbitrary constructors — exactly what a host
+receiving a hostile mobile object must never do).
+
+Encoding: one tag byte per value, followed by a payload.
+
+=====  ==========  =============================================
+tag    kind        payload
+=====  ==========  =============================================
+``N``  null        —
+``T``  true        —
+``F``  false       —
+``I``  integer     varint (zig-zag signed)
+``R``  real        8-byte IEEE-754 big-endian
+``S``  text        varint length + UTF-8 bytes
+``H``  html        varint length + UTF-8 bytes
+``B``  binary      varint length + raw bytes
+``L``  list        varint count + elements
+``M``  mapping     varint count + key/value pairs
+``G``  reference   varint length + guid text (UTF-8)
+=====  ==========  =============================================
+
+A complete message is ``MRM1`` + one value. Decoding is strict: unknown
+tags, truncated payloads and trailing garbage all raise
+:class:`~repro.core.errors.MarshalError` — a hostile peer cannot make the
+decoder misbehave, only fail.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from ..core.errors import MarshalError
+from ..core.values import HtmlText
+
+__all__ = ["marshal", "unmarshal", "marshalled_size", "Reference", "MAGIC"]
+
+MAGIC = b"MRM1"
+
+_TAG_NULL = ord("N")
+_TAG_TRUE = ord("T")
+_TAG_FALSE = ord("F")
+_TAG_INT = ord("I")
+_TAG_REAL = ord("R")
+_TAG_TEXT = ord("S")
+_TAG_HTML = ord("H")
+_TAG_BINARY = ord("B")
+_TAG_LIST = ord("L")
+_TAG_MAPPING = ord("M")
+_TAG_REFERENCE = ord("G")
+
+#: Safety bound: a single collection may not claim more elements than
+#: this, so a forged length prefix cannot make the decoder allocate
+#: unbounded memory before the "truncated payload" check trips.
+MAX_COLLECTION = 1_000_000
+
+
+class Reference:
+    """A by-identity value on the wire: "this guid, at this site".
+
+    Objects never marshal by value implicitly — that is what the explicit
+    mobility package (:mod:`repro.mobility.package`) is for. When an MROM
+    object (anything with a ``guid``) appears inside arguments or results,
+    it travels as a :class:`Reference`, which the receiving site turns
+    into a remote proxy.
+    """
+
+    __slots__ = ("guid", "site")
+
+    def __init__(self, guid: str, site: str = ""):
+        self.guid = guid
+        self.site = site
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Reference)
+            and other.guid == self.guid
+            and other.site == self.site
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.guid, self.site))
+
+    def __repr__(self) -> str:
+        return f"Reference({self.guid!r}, site={self.site!r})"
+
+
+# ---------------------------------------------------------------------------
+# varint (unsigned LEB128) and zig-zag helpers
+# ---------------------------------------------------------------------------
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise MarshalError(f"varint cannot encode negative {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise MarshalError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 1024:
+            raise MarshalError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> (value.bit_length() + 1)) if value < 0 else value << 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode(out: bytearray, value: Any, depth: int) -> None:
+    if depth > 64:
+        raise MarshalError("value nesting exceeds 64 levels")
+    if value is None:
+        out.append(_TAG_NULL)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        _write_varint(out, _zigzag(value))
+    elif isinstance(value, float):
+        out.append(_TAG_REAL)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, HtmlText):
+        raw = str(value).encode("utf-8")
+        out.append(_TAG_HTML)
+        _write_varint(out, len(raw))
+        out.extend(raw)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_TEXT)
+        _write_varint(out, len(raw))
+        out.extend(raw)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(_TAG_BINARY)
+        _write_varint(out, len(raw))
+        out.extend(raw)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST)
+        _write_varint(out, len(value))
+        for element in value:
+            _encode(out, element, depth + 1)
+    elif isinstance(value, dict):
+        out.append(_TAG_MAPPING)
+        _write_varint(out, len(value))
+        for key, val in value.items():
+            _encode(out, key, depth + 1)
+            _encode(out, val, depth + 1)
+    elif isinstance(value, Reference):
+        payload = f"{value.site}|{value.guid}".encode("utf-8")
+        out.append(_TAG_REFERENCE)
+        _write_varint(out, len(payload))
+        out.extend(payload)
+    elif hasattr(value, "guid"):
+        # an object: by-identity, tagged with its home site if it has one
+        site = getattr(value, "site_id", "") or getattr(value, "site", "")
+        _encode(out, Reference(str(value.guid), str(site)), depth)
+    else:
+        raise MarshalError(
+            f"value of type {type(value).__name__} has no wire representation"
+        )
+
+
+def marshal(value: Any) -> bytes:
+    """Encode one weakly-typed value as a complete wire message."""
+    out = bytearray(MAGIC)
+    _encode(out, value, 0)
+    return bytes(out)
+
+
+def marshalled_size(value: Any) -> int:
+    """Size in bytes of the wire form (the network cost model input)."""
+    return len(marshal(value))
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+def _decode(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
+    if depth > 64:
+        raise MarshalError("value nesting exceeds 64 levels")
+    if offset >= len(data):
+        raise MarshalError("truncated message")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        raw, offset = _read_varint(data, offset)
+        return _unzigzag(raw), offset
+    if tag == _TAG_REAL:
+        if offset + 8 > len(data):
+            raise MarshalError("truncated real")
+        return struct.unpack(">d", data[offset:offset + 8])[0], offset + 8
+    if tag in (_TAG_TEXT, _TAG_HTML, _TAG_BINARY, _TAG_REFERENCE):
+        length, offset = _read_varint(data, offset)
+        if offset + length > len(data):
+            raise MarshalError("truncated payload")
+        raw = data[offset:offset + length]
+        offset += length
+        if tag == _TAG_BINARY:
+            return bytes(raw), offset
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MarshalError(f"invalid UTF-8 payload: {exc}") from exc
+        if tag == _TAG_HTML:
+            return HtmlText(text), offset
+        if tag == _TAG_REFERENCE:
+            site, _sep, guid = text.partition("|")
+            if not guid:
+                raise MarshalError(f"malformed reference payload {text!r}")
+            return Reference(guid, site), offset
+        return text, offset
+    if tag == _TAG_LIST:
+        count, offset = _read_varint(data, offset)
+        if count > MAX_COLLECTION:
+            raise MarshalError(f"list length {count} exceeds limit")
+        elements = []
+        for _ in range(count):
+            element, offset = _decode(data, offset, depth + 1)
+            elements.append(element)
+        return elements, offset
+    if tag == _TAG_MAPPING:
+        count, offset = _read_varint(data, offset)
+        if count > MAX_COLLECTION:
+            raise MarshalError(f"mapping length {count} exceeds limit")
+        mapping = {}
+        for _ in range(count):
+            key, offset = _decode(data, offset, depth + 1)
+            value, offset = _decode(data, offset, depth + 1)
+            try:
+                mapping[key] = value
+            except TypeError as exc:
+                raise MarshalError(f"unhashable mapping key {key!r}") from exc
+        return mapping, offset
+    raise MarshalError(f"unknown tag byte 0x{tag:02x}")
+
+
+def unmarshal(message: bytes) -> Any:
+    """Decode a complete wire message; strict about framing."""
+    if not message.startswith(MAGIC):
+        raise MarshalError("bad magic: not an MRM1 message")
+    value, offset = _decode(message, len(MAGIC), 0)
+    if offset != len(message):
+        raise MarshalError(f"{len(message) - offset} bytes of trailing garbage")
+    return value

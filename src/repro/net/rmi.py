@@ -1,0 +1,86 @@
+"""Remote references: the RMI analog over the simulated transport.
+
+A :class:`RemoteRef` is a local proxy for an object registered at another
+site. Invoking through it sends an ``invoke`` request, pumps the
+simulator until the matching reply lands (synchronous semantics, like
+RMI), and returns the decoded result — or re-raises the remote failure
+as :class:`~repro.core.errors.RemoteInvocationError`.
+
+Remote references are themselves weakly-typed *reference* values: they
+expose a ``guid``, so they classify as :data:`repro.core.values.Kind.REFERENCE`
+and can be stored in data items, passed as arguments (travelling as wire
+references), and returned from methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, TYPE_CHECKING
+
+from ..core.acl import Principal
+from ..core.errors import RemoteInvocationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .site import Site
+
+__all__ = ["RemoteRef"]
+
+
+class RemoteRef:
+    """A proxy for object *guid* living at *site* (held by *holder*)."""
+
+    __slots__ = ("holder", "site", "guid", "display_name")
+
+    def __init__(self, holder: "Site", site: str, guid: str, display_name: str = ""):
+        self.holder = holder
+        self.site = site
+        self.guid = guid
+        self.display_name = display_name
+
+    def invoke(
+        self,
+        method: str,
+        args: Sequence[Any] = (),
+        caller: Principal | None = None,
+    ) -> Any:
+        """Synchronously invoke *method* on the remote object."""
+        return self.holder.remote_invoke(
+            self.site, self.guid, method, list(args), caller=caller
+        )
+
+    def get_data(self, name: str, caller: Principal | None = None) -> Any:
+        """Read a remote data item (the remote site applies the ACL)."""
+        return self.holder.remote_get_data(self.site, self.guid, name, caller=caller)
+
+    def describe(self, caller: Principal | None = None) -> dict:
+        """Interrogate the remote object (visibility-filtered remotely)."""
+        return self.holder.remote_describe(self.site, self.guid, caller=caller)
+
+    def is_local(self) -> bool:
+        return self.site == self.holder.site_id
+
+    def __deepcopy__(self, memo) -> "RemoteRef":
+        # a proxy is a *pointer*: copying it must never clone the holder
+        # site (let alone the network behind it)
+        return RemoteRef(self.holder, self.site, self.guid, self.display_name)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RemoteRef)
+            and other.site == self.site
+            and other.guid == self.guid
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.site, self.guid))
+
+    def __repr__(self) -> str:
+        label = f" ({self.display_name})" if self.display_name else ""
+        return f"RemoteRef({self.guid} @ {self.site}{label})"
+
+
+def remote_error_from(payload: dict) -> RemoteInvocationError:
+    """Rebuild a remote failure as a local exception."""
+    return RemoteInvocationError(
+        payload.get("message", "remote invocation failed"),
+        remote_type=payload.get("error", ""),
+    )

@@ -1,0 +1,354 @@
+"""A site: one logical host on the simulated internetwork.
+
+A :class:`Site` owns a guid mint, a name service, and a registry of the
+MROM objects living there, and speaks the request/response protocol over
+:class:`~repro.net.transport.Network`:
+
+* ``invoke`` — run a method on a registered object on behalf of a remote
+  caller (the caller's principal travels with the request and is what the
+  Match phase sees);
+* ``get_data`` — ordinary remote value access;
+* ``describe`` — visibility-filtered interrogation of a registered object;
+* ``resolve`` — remote name lookup (federated naming);
+* ``ping`` — liveness and clock exchange.
+
+Higher layers (mobility, HADAS) register additional message kinds with
+:meth:`Site.add_handler`; the site is deliberately a small kernel.
+
+Identity is *claimed*, not authenticated: the companion papers [16, 17]
+carry the paper's authentication story, and this reproduction models
+authorization (ACLs, policies) on top of claimed principals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.acl import Principal
+from ..core.errors import MROMError, NamingError, NetworkError, RemoteInvocationError
+from ..core.introspection import describe as describe_object
+from ..core.items import ItemHandle
+from ..core.mobject import MROMObject
+from ..naming import GuidFactory, NameService
+from .marshal import Reference
+from .rmi import RemoteRef
+from .transport import Message, Network
+
+__all__ = ["Site"]
+
+Handler = Callable[[Message], Any]
+
+
+class Site:
+    """One host: registry, naming, and the wire protocol."""
+
+    def __init__(self, network: Network, site_id: str, domain: str = ""):
+        self.network = network
+        self.site_id = site_id
+        self.domain = domain or site_id
+        self.guids = GuidFactory(site_id)
+        self.names = NameService(site_id)
+        self.principal = Principal(
+            guid=f"mrom://{site_id}/0.0", domain=self.domain, display_name=site_id
+        )
+        self._objects: dict[str, MROMObject] = {}
+        self._handlers: dict[str, Handler] = {
+            "invoke": self._handle_invoke,
+            "get_data": self._handle_get_data,
+            "describe": self._handle_describe,
+            "resolve": self._handle_resolve,
+            "ping": self._handle_ping,
+        }
+        self._pending: dict[int, Message] = {}
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # object registry
+    # ------------------------------------------------------------------
+
+    def mint_guid(self) -> str:
+        return self.guids.fresh_text()
+
+    def create_object(self, display_name: str = "", **options: Any) -> MROMObject:
+        """Create an object with a site-minted identity and this site's
+        trust domain."""
+        return MROMObject(
+            guid=self.mint_guid(),
+            domain=self.domain,
+            display_name=display_name,
+            **options,
+        )
+
+    def register_object(self, obj: MROMObject, name: str | None = None) -> MROMObject:
+        """Make *obj* reachable from other sites (optionally bound to a
+        name in this site's name service)."""
+        if obj.guid in self._objects:
+            raise NetworkError(f"object {obj.guid} already registered at {self.site_id}")
+        self._objects[obj.guid] = obj
+        obj.environment["site"] = self.site_id
+        obj.environment.setdefault("domain", self.domain)
+        if name is not None:
+            self.names.bind(name, obj.guid)
+        return obj
+
+    def unregister_object(self, guid: str) -> MROMObject:
+        try:
+            obj = self._objects.pop(guid)
+        except KeyError:
+            raise NetworkError(f"object {guid} is not registered at {self.site_id}") from None
+        obj.environment.pop("site", None)
+        return obj
+
+    def local_object(self, guid: str) -> MROMObject:
+        try:
+            return self._objects[guid]
+        except KeyError:
+            raise NetworkError(f"object {guid} is not at {self.site_id}") from None
+
+    def has_object(self, guid: str) -> bool:
+        return guid in self._objects
+
+    def objects(self) -> tuple[MROMObject, ...]:
+        return tuple(self._objects.values())
+
+    def ref_to(self, obj_or_guid: "MROMObject | str", site: str | None = None) -> RemoteRef:
+        """A reference usable locally and passable over the wire."""
+        if isinstance(obj_or_guid, MROMObject):
+            return RemoteRef(self, self.site_id, obj_or_guid.guid,
+                             obj_or_guid.principal.display_name)
+        return RemoteRef(self, site or self.site_id, obj_or_guid)
+
+    # ------------------------------------------------------------------
+    # protocol plumbing
+    # ------------------------------------------------------------------
+
+    def add_handler(self, kind: str, handler: Handler) -> None:
+        if kind in self._handlers:
+            raise NetworkError(f"handler for {kind!r} already installed")
+        self._handlers[kind] = handler
+
+    def witness_lamport(self, remote: int) -> None:
+        self.guids.witness(remote)
+
+    def receive(self, message: Message) -> None:
+        """Transport delivery entry point."""
+        if message.kind == "reply":
+            self._pending[message.reply_to] = message
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            self._reply_error(message, NetworkError(f"unknown kind {message.kind!r}"))
+            return
+        try:
+            result = handler(message)
+        except MROMError as exc:
+            self._reply_error(message, exc)
+            return
+        self._reply(message, {"ok": True, "result": self.export_value(result)})
+
+    def _reply(self, request: Message, payload: Any) -> None:
+        self.network.send(
+            self.site_id,
+            request.src,
+            "reply",
+            payload,
+            reply_to=request.msg_id,
+            lamport=self.guids.tick(),
+        )
+
+    def _reply_error(self, request: Message, error: Exception) -> None:
+        self._reply(
+            request,
+            {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            },
+        )
+
+    def request(self, dst: str, kind: str, payload: Any) -> Any:
+        """Send a request and pump the simulator until its reply arrives."""
+        msg_id = self.network.send(
+            self.site_id, dst, kind, self.export_value(payload),
+            lamport=self.guids.tick(),
+        )
+        self.network.run_while(lambda: msg_id not in self._pending)
+        reply = self._pending.pop(msg_id, None)
+        if reply is None:
+            raise NetworkError(
+                f"no reply for {kind!r} from {dst!r} (simulation drained)"
+            )
+        body = reply.payload
+        if isinstance(body, Mapping) and body.get("ok") is False:
+            raise RemoteInvocationError(
+                body.get("message", "remote failure"),
+                remote_type=body.get("error", ""),
+            )
+        if isinstance(body, Mapping) and "result" in body:
+            return self.import_value(body["result"])
+        return self.import_value(body)
+
+    # ------------------------------------------------------------------
+    # value conversion at the boundary
+    # ------------------------------------------------------------------
+
+    def export_value(self, value: Any) -> Any:
+        """Turn local object identities into wire references (recursively)."""
+        if isinstance(value, MROMObject):
+            site = self.site_id if value.guid in self._objects else ""
+            return Reference(value.guid, site)
+        if isinstance(value, RemoteRef):
+            return Reference(value.guid, value.site)
+        if isinstance(value, ItemHandle):
+            # handles are process-local capabilities; on the wire they
+            # become tokens the owning object re-validates on use
+            return value.token()
+        if isinstance(value, (list, tuple)):
+            return [self.export_value(element) for element in value]
+        if isinstance(value, dict):
+            return {key: self.export_value(val) for key, val in value.items()}
+        return value
+
+    def import_value(self, value: Any) -> Any:
+        """Turn wire references into local objects or remote proxies."""
+        if isinstance(value, Reference):
+            if value.site == self.site_id and value.guid in self._objects:
+                return self._objects[value.guid]
+            return RemoteRef(self, value.site or self.site_id, value.guid)
+        if isinstance(value, list):
+            return [self.import_value(element) for element in value]
+        if isinstance(value, dict):
+            return {key: self.import_value(val) for key, val in value.items()}
+        return value
+
+    # ------------------------------------------------------------------
+    # caller principals on the wire
+    # ------------------------------------------------------------------
+
+    def _caller_payload(self, caller: Principal | None) -> dict:
+        principal = caller if caller is not None else self.principal
+        return {
+            "guid": principal.guid,
+            "domain": principal.domain,
+            "name": principal.display_name,
+        }
+
+    @staticmethod
+    def _caller_from(payload: Any) -> Principal:
+        if not isinstance(payload, Mapping):
+            return Principal(guid="mrom:anonymous")
+        return Principal(
+            guid=str(payload.get("guid", "mrom:anonymous")),
+            domain=str(payload.get("domain", "")),
+            display_name=str(payload.get("name", "")),
+        )
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+
+    def remote_invoke(
+        self,
+        dst: str,
+        guid: str,
+        method: str,
+        args: Sequence[Any] = (),
+        caller: Principal | None = None,
+    ) -> Any:
+        return self.request(
+            dst,
+            "invoke",
+            {
+                "target": guid,
+                "method": method,
+                "args": list(args),
+                "caller": self._caller_payload(caller),
+            },
+        )
+
+    def remote_get_data(
+        self, dst: str, guid: str, name: str, caller: Principal | None = None
+    ) -> Any:
+        return self.request(
+            dst,
+            "get_data",
+            {"target": guid, "name": name, "caller": self._caller_payload(caller)},
+        )
+
+    def remote_describe(
+        self, dst: str, guid: str, caller: Principal | None = None
+    ) -> dict:
+        return self.request(
+            dst, "describe", {"target": guid, "caller": self._caller_payload(caller)}
+        )
+
+    def remote_resolve(self, dst: str, path: str) -> RemoteRef:
+        guid = self.request(dst, "resolve", {"path": path})
+        return RemoteRef(self, dst, guid)
+
+    def ping(self, dst: str) -> float:
+        """Round-trip a tiny message; returns the simulated RTT."""
+        start = self.network.now
+        self.request(dst, "ping", {})
+        return self.network.now - start
+
+    def mount_remote_names(self, prefix: str, dst: str) -> None:
+        """Federate: resolve ``prefix/...`` through site *dst*."""
+        self.names.mount(prefix, _RemoteNames(self, dst))
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+
+    def _handle_invoke(self, message: Message) -> Any:
+        body = message.payload
+        obj = self.local_object(str(body["target"]))
+        caller = self._caller_from(body.get("caller"))
+        args = self.import_value(body.get("args", []))
+        return obj.invoke(str(body["method"]), args, caller=caller)
+
+    def _handle_get_data(self, message: Message) -> Any:
+        body = message.payload
+        obj = self.local_object(str(body["target"]))
+        caller = self._caller_from(body.get("caller"))
+        return obj.get_data(str(body["name"]), caller=caller)
+
+    def _handle_describe(self, message: Message) -> dict:
+        body = message.payload
+        obj = self.local_object(str(body["target"]))
+        caller = self._caller_from(body.get("caller"))
+        return describe_object(obj, viewer=caller).to_mapping()
+
+    def _handle_resolve(self, message: Message) -> str:
+        path = str(message.payload.get("path", ""))
+        guid = self.names.try_resolve(path)
+        if guid is None:
+            raise NamingError(f"{self.site_id} cannot resolve {path!r}")
+        return guid
+
+    def _handle_ping(self, message: Message) -> dict:
+        return {"site": self.site_id, "time": self.network.now}
+
+    def __repr__(self) -> str:
+        return (
+            f"Site({self.site_id!r}, domain={self.domain!r}, "
+            f"{len(self._objects)} objects)"
+        )
+
+
+class _RemoteNames:
+    """Mount adapter: resolve names through a remote site."""
+
+    __slots__ = ("_site", "_dst")
+
+    def __init__(self, site: Site, dst: str):
+        self._site = site
+        self._dst = dst
+
+    def resolve(self, path: str) -> str:
+        return self._site.request(self._dst, "resolve", {"path": path})
+
+    def list_bindings(self, prefix: str = "") -> list[tuple[str, str]]:
+        # remote enumeration is deliberately not supported: a site
+        # advertises resolution, not its whole directory
+        return []

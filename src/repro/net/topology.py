@@ -1,0 +1,190 @@
+"""The simulated internetwork: nodes, links, routing, partitions.
+
+This is the substitution for the paper's real wide-area testbed. Links
+carry a propagation **latency** (seconds) and a **bandwidth** (bytes per
+second); delivering a message of size *s* over a path costs::
+
+    sum(latency_i) + s / min(bandwidth_i)        # bottleneck model
+
+Routing is shortest-path by latency over the live links, recomputed when
+the topology changes — which makes partitions first-class: take a link
+down and messages between the separated halves raise
+:class:`~repro.core.errors.PartitionError` at send time, exactly the
+failure a mobile-object system must survive.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import re
+
+from ..core.errors import NetworkError, PartitionError
+
+__all__ = ["Link", "Topology", "LAN", "WAN", "MODEM"]
+
+#: node identifiers appear inside guids (``mrom://<site>/...``) and wire
+#: references (``<site>|<guid>``), so their alphabet is restricted
+_NODE_ID_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+@dataclass
+class Link:
+    """A bidirectional link between two nodes."""
+
+    a: str
+    b: str
+    latency: float  # seconds, one-way
+    bandwidth: float  # bytes per second
+    up: bool = True
+
+    def endpoints(self) -> frozenset:
+        return frozenset((self.a, self.b))
+
+    def other(self, node: str) -> str:
+        return self.b if node == self.a else self.a
+
+
+#: Convenience presets (latency seconds, bandwidth bytes/s) evoking the
+#: paper's era: campus LAN, transatlantic WAN, dial-up modem.
+LAN = (0.001, 1_250_000.0)
+WAN = (0.080, 125_000.0)
+MODEM = (0.150, 3_500.0)
+
+
+class Topology:
+    """An undirected weighted graph of sites with live/down links."""
+
+    def __init__(self) -> None:
+        self._nodes: set[str] = set()
+        self._links: dict[frozenset, Link] = {}
+        self._routes: dict[str, dict[str, tuple[float, float, str]]] = {}
+        self._dirty = True
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        if not _NODE_ID_RE.match(node or ""):
+            raise NetworkError(
+                f"invalid node identifier {node!r} "
+                "(allowed: letters, digits, '_', '.', '-')"
+            )
+        if node in self._nodes:
+            raise NetworkError(f"node {node!r} already exists")
+        self._nodes.add(node)
+        self._dirty = True
+
+    def has_node(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def connect(
+        self, a: str, b: str, latency: float = LAN[0], bandwidth: float = LAN[1]
+    ) -> Link:
+        for node in (a, b):
+            if node not in self._nodes:
+                raise NetworkError(f"unknown node {node!r}")
+        if a == b:
+            raise NetworkError("self-links are not allowed")
+        if latency < 0 or bandwidth <= 0:
+            raise NetworkError("latency must be >= 0 and bandwidth > 0")
+        key = frozenset((a, b))
+        if key in self._links:
+            raise NetworkError(f"link {a!r}<->{b!r} already exists")
+        link = Link(a, b, latency, bandwidth)
+        self._links[key] = link
+        self._dirty = True
+        return link
+
+    def link_between(self, a: str, b: str) -> Link:
+        try:
+            return self._links[frozenset((a, b))]
+        except KeyError:
+            raise NetworkError(f"no link {a!r}<->{b!r}") from None
+
+    # -- failures -----------------------------------------------------------
+
+    def set_link_state(self, a: str, b: str, up: bool) -> None:
+        self.link_between(a, b).up = up
+        self._dirty = True
+
+    def partition(self, group_a: set[str] | list[str], group_b: set[str] | list[str]) -> int:
+        """Cut every link crossing the two groups; returns the cut size."""
+        cut = 0
+        group_a, group_b = set(group_a), set(group_b)
+        for link in self._links.values():
+            crosses = (link.a in group_a and link.b in group_b) or (
+                link.a in group_b and link.b in group_a
+            )
+            if crosses and link.up:
+                link.up = False
+                cut += 1
+        self._dirty = True
+        return cut
+
+    def heal(self) -> None:
+        """Bring every link back up."""
+        for link in self._links.values():
+            link.up = True
+        self._dirty = True
+
+    # -- routing ------------------------------------------------------------
+
+    def _recompute(self) -> None:
+        """All-sources Dijkstra by latency over live links."""
+        adjacency: dict[str, list[Link]] = {node: [] for node in self._nodes}
+        for link in self._links.values():
+            if link.up:
+                adjacency[link.a].append(link)
+                adjacency[link.b].append(link)
+        self._routes = {}
+        for source in self._nodes:
+            best: dict[str, tuple[float, float, str]] = {
+                source: (0.0, float("inf"), source)
+            }
+            frontier: list[tuple[float, str, float, str]] = [
+                (0.0, source, float("inf"), source)
+            ]
+            while frontier:
+                latency, node, bottleneck, first_hop = heapq.heappop(frontier)
+                if best.get(node, (float("inf"),))[0] < latency:
+                    continue
+                for link in adjacency[node]:
+                    neighbour = link.other(node)
+                    candidate = latency + link.latency
+                    if candidate < best.get(neighbour, (float("inf"),))[0]:
+                        hop = neighbour if node == source else first_hop
+                        narrow = min(bottleneck, link.bandwidth)
+                        best[neighbour] = (candidate, narrow, hop)
+                        heapq.heappush(
+                            frontier, (candidate, neighbour, narrow, hop)
+                        )
+            self._routes[source] = best
+        self._dirty = False
+
+    def path_cost(self, src: str, dst: str, size: int) -> float:
+        """Delivery time for *size* bytes from *src* to *dst*."""
+        for node in (src, dst):
+            if node not in self._nodes:
+                raise NetworkError(f"unknown node {node!r}")
+        if src == dst:
+            return 0.0
+        if self._dirty:
+            self._recompute()
+        route = self._routes.get(src, {}).get(dst)
+        if route is None:
+            raise PartitionError(f"{src!r} cannot reach {dst!r}")
+        latency, bottleneck, _first_hop = route
+        return latency + size / bottleneck
+
+    def reachable(self, src: str, dst: str) -> bool:
+        if self._dirty:
+            self._recompute()
+        return src == dst or dst in self._routes.get(src, {})
+
+    def __repr__(self) -> str:
+        live = sum(1 for link in self._links.values() if link.up)
+        return f"Topology({len(self._nodes)} nodes, {live}/{len(self._links)} links up)"

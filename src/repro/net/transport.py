@@ -1,0 +1,151 @@
+"""Message transport over the simulated internetwork.
+
+The transport enforces *by-value* semantics: every payload is marshalled
+to the wire format at send time and unmarshalled at delivery, so no
+Python object identity ever crosses a site boundary — the same guarantee
+real serialization gives, and the property that makes the mobility layer
+honest (an object that "migrated" is a genuinely independent copy).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from ..core.errors import NetworkError
+from ..sim import Simulator
+from .marshal import marshal, unmarshal
+from .topology import Topology
+
+__all__ = ["Message", "Network", "Endpoint"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message (payload already decoded)."""
+
+    kind: str
+    src: str
+    dst: str
+    payload: Any
+    msg_id: int
+    reply_to: int | None
+    lamport: int
+    size: int  # wire size in bytes, for accounting
+
+
+class Endpoint(Protocol):
+    """What the network delivers to: any site-like object."""
+
+    site_id: str
+
+    def receive(self, message: Message) -> None: ...
+
+    def witness_lamport(self, remote: int) -> None: ...
+
+
+class Network:
+    """Topology + simulator + registered endpoints.
+
+    >>> from repro.sim import Simulator
+    >>> network = Network(Simulator())
+    >>> network.topology.add_node("haifa")
+    """
+
+    def __init__(self, simulator: Simulator | None = None):
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.topology = Topology()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._msg_ids = itertools.count(1)
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- endpoints -----------------------------------------------------------
+
+    def register(self, endpoint: Endpoint) -> None:
+        site_id = endpoint.site_id
+        if site_id in self._endpoints:
+            raise NetworkError(f"site {site_id!r} is already registered")
+        if not self.topology.has_node(site_id):
+            self.topology.add_node(site_id)
+        self._endpoints[site_id] = endpoint
+
+    def endpoint(self, site_id: str) -> Endpoint:
+        try:
+            return self._endpoints[site_id]
+        except KeyError:
+            raise NetworkError(f"unknown site {site_id!r}") from None
+
+    def unregister(self, site_id: str) -> Endpoint:
+        """Detach a site (crash/shutdown). Topology and links remain — a
+        replacement endpoint with the same id may register later (the
+        restart scenario); messages sent meanwhile fail at send time."""
+        try:
+            return self._endpoints.pop(site_id)
+        except KeyError:
+            raise NetworkError(f"unknown site {site_id!r}") from None
+
+    def sites(self) -> tuple[str, ...]:
+        return tuple(sorted(self._endpoints))
+
+    # -- sending --------------------------------------------------------------
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Any,
+        reply_to: int | None = None,
+        lamport: int = 0,
+    ) -> int:
+        """Marshal, price, and schedule delivery of one message.
+
+        Raises :class:`~repro.core.errors.PartitionError` immediately when
+        *dst* is unreachable — the simulated analog of a connect failure.
+        """
+        destination = self.endpoint(dst)  # raises for unknown sites
+        wire = marshal(payload)
+        size = len(wire)
+        delay = self.topology.path_cost(src, dst, size)
+        msg_id = next(self._msg_ids)
+        decoded = unmarshal(wire)  # by-value: identity never crosses sites
+        message = Message(
+            kind=kind,
+            src=src,
+            dst=dst,
+            payload=decoded,
+            msg_id=msg_id,
+            reply_to=reply_to,
+            lamport=lamport,
+            size=size,
+        )
+        self.messages_sent += 1
+        self.bytes_sent += size
+
+        def deliver() -> None:
+            destination.witness_lamport(message.lamport)
+            destination.receive(message)
+
+        self.simulator.schedule(delay, deliver, label=f"{kind} {src}->{dst}")
+        return msg_id
+
+    # -- convenience ------------------------------------------------------------
+
+    def run(self) -> int:
+        """Drain all pending traffic; returns events processed."""
+        return self.simulator.run()
+
+    def run_while(self, condition: Callable[[], bool]) -> int:
+        return self.simulator.run_while(condition)
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({len(self._endpoints)} sites, "
+            f"{self.messages_sent} msgs, {self.bytes_sent} bytes)"
+        )

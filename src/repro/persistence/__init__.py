@@ -1,0 +1,13 @@
+"""Self-contained object persistence (host-allocated space, versioned)."""
+
+from .checkpoint import CheckpointReport, checkpoint_site, restore_site
+from .store import ObjectStore, persist, restore
+
+__all__ = [
+    "ObjectStore",
+    "persist",
+    "restore",
+    "checkpoint_site",
+    "restore_site",
+    "CheckpointReport",
+]

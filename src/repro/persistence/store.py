@@ -1,0 +1,205 @@
+"""Self-contained persistence: the object writes itself to host space.
+
+"a long-lived persistent mobile object should contain its own persistence
+scheme and be able to write itself to disk on a space allocated for it by
+the host environment, as well as read itself into memory following some
+bootstrap procedure initiated by the host environment." (Section 1.)
+
+The division of labour is exactly that sentence:
+
+* the **host** provides an :class:`ObjectStore` — it allocates a
+  directory per object and runs :meth:`ObjectStore.bootstrap` at startup;
+* the **object** provides its own image: the persisted bytes are its
+  mobility package (:mod:`repro.mobility.package`) — the same self-
+  contained representation it migrates with — framed with a header and a
+  SHA-256 checksum so corruption is detected, never silently restored.
+
+Images are versioned: every save appends a new version; restore defaults
+to the latest intact one, so a torn write falls back to the previous
+snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from pathlib import Path
+
+from ..core.errors import PersistenceError
+from ..core.mobject import MROMObject
+from ..mobility.package import pack_bytes, unpack_bytes
+
+__all__ = ["ObjectStore", "persist", "restore"]
+
+_HEADER = b"MROMPERS1\n"
+_SAFE_RE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _safe_dirname(guid: str) -> str:
+    """A filesystem-safe, collision-free directory name for a guid."""
+    digest = hashlib.sha256(guid.encode("utf-8")).hexdigest()[:12]
+    readable = _SAFE_RE.sub("_", guid)[:60]
+    return f"{readable}.{digest}"
+
+
+class ObjectStore:
+    """Host-allocated space for persistent objects, with versioned images."""
+
+    def __init__(self, root: "Path | str"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- host side: space allocation ---------------------------------------
+
+    def allocate(self, guid: str) -> Path:
+        """The space the host grants one object (idempotent)."""
+        home = self.root / _safe_dirname(guid)
+        home.mkdir(exist_ok=True)
+        marker = home / "GUID"
+        if marker.exists():
+            recorded = marker.read_text(encoding="utf-8")
+            if recorded != guid:
+                raise PersistenceError(
+                    f"allocation collision: {home} belongs to {recorded!r}"
+                )
+        else:
+            marker.write_text(guid, encoding="utf-8")
+        return home
+
+    def guids(self) -> list[str]:
+        """Every object with allocated space (for bootstrap)."""
+        found = []
+        for entry in sorted(self.root.iterdir()):
+            marker = entry / "GUID"
+            if entry.is_dir() and marker.exists():
+                found.append(marker.read_text(encoding="utf-8"))
+        return found
+
+    # -- versioned images -----------------------------------------------------
+
+    def versions(self, guid: str) -> list[int]:
+        home = self.root / _safe_dirname(guid)
+        if not home.is_dir():
+            return []
+        versions = []
+        for entry in home.glob("v*.mrom"):
+            try:
+                versions.append(int(entry.stem[1:]))
+            except ValueError:
+                continue
+        return sorted(versions)
+
+    def _image_path(self, guid: str, version: int) -> Path:
+        return self.root / _safe_dirname(guid) / f"v{version}.mrom"
+
+    def save(self, obj: MROMObject, keep: int = 3) -> int:
+        """Write a new image of *obj*; returns its version number.
+
+        *keep* bounds how many old versions survive (0 keeps everything).
+        Host-attached native wrappers (mediators, hooks) are not part of
+        the image — the host reattaches its own infrastructure after a
+        restore; a native *body* still refuses to persist.
+        """
+        home = self.allocate(obj.guid)
+        existing = self.versions(obj.guid)
+        version = (existing[-1] + 1) if existing else 1
+        body = pack_bytes(obj, strip_native_wrappers=True)
+        digest = hashlib.sha256(body).hexdigest().encode("ascii")
+        image = _HEADER + digest + b"\n" + body
+        target = self._image_path(obj.guid, version)
+        temporary = home / f".v{version}.partial"
+        temporary.write_bytes(image)
+        os.replace(temporary, target)  # atomic publish
+        if keep > 0:
+            for old in existing[: max(0, len(existing) + 1 - keep)]:
+                self._image_path(obj.guid, old).unlink(missing_ok=True)
+        return version
+
+    def load(self, guid: str, version: int | None = None) -> MROMObject:
+        """Restore one object (latest intact image by default)."""
+        available = self.versions(guid)
+        if not available:
+            raise PersistenceError(f"no persisted image for {guid}")
+        candidates = [version] if version is not None else list(reversed(available))
+        last_error: Exception | None = None
+        for candidate in candidates:
+            if candidate not in available:
+                raise PersistenceError(f"no version {candidate} for {guid}")
+            try:
+                return self._load_one(guid, candidate)
+            except PersistenceError as exc:
+                last_error = exc
+                if version is not None:
+                    raise
+        raise PersistenceError(
+            f"every image of {guid} is corrupt (last: {last_error})"
+        )
+
+    def _load_one(self, guid: str, version: int) -> MROMObject:
+        raw = self._image_path(guid, version).read_bytes()
+        if not raw.startswith(_HEADER):
+            raise PersistenceError(f"{guid} v{version}: bad header")
+        rest = raw[len(_HEADER):]
+        newline = rest.find(b"\n")
+        if newline != 64:
+            raise PersistenceError(f"{guid} v{version}: malformed checksum line")
+        digest, body = rest[:newline], rest[newline + 1:]
+        if hashlib.sha256(body).hexdigest().encode("ascii") != digest:
+            raise PersistenceError(f"{guid} v{version}: checksum mismatch")
+        obj = unpack_bytes(body)
+        if obj.guid != guid:
+            raise PersistenceError(
+                f"image identity mismatch: expected {guid}, found {obj.guid}"
+            )
+        return obj
+
+    def delete(self, guid: str) -> None:
+        """Release an object's space entirely."""
+        home = self.root / _safe_dirname(guid)
+        if not home.is_dir():
+            return
+        for entry in home.iterdir():
+            entry.unlink()
+        home.rmdir()
+
+    # -- bootstrap ----------------------------------------------------------
+
+    def bootstrap(self) -> list[MROMObject]:
+        """The host's startup procedure: read every stored object back.
+
+        Objects whose every image is corrupt are skipped (and reported by
+        :meth:`bootstrap_report`), not fatal — one broken guest must not
+        prevent the host from starting.
+        """
+        return [obj for obj, _err in self._bootstrap_all() if obj is not None]
+
+    def bootstrap_report(self) -> list[tuple[str, str]]:
+        """(guid, error) for every object that failed to restore."""
+        return [
+            (guid, str(err))
+            for (obj, err), guid in zip(self._bootstrap_all(), self.guids())
+            if obj is None
+        ]
+
+    def _bootstrap_all(self):
+        results = []
+        for guid in self.guids():
+            try:
+                results.append((self.load(guid), None))
+            except PersistenceError as exc:
+                results.append((None, exc))
+        return results
+
+    def __repr__(self) -> str:
+        return f"ObjectStore({str(self.root)!r}, {len(self.guids())} objects)"
+
+
+def persist(obj: MROMObject, store: ObjectStore, keep: int = 3) -> int:
+    """The object-side verb: write yourself into host-allocated space."""
+    return store.save(obj, keep=keep)
+
+
+def restore(store: ObjectStore, guid: str, version: int | None = None) -> MROMObject:
+    """The object-side verb: read yourself back into memory."""
+    return store.load(guid, version=version)

@@ -1,0 +1,13 @@
+"""Security policies and audit (mechanisms live in repro.core.acl)."""
+
+from .audit import AuditEvent, AuditKind, AuditLog, audited_invoke
+from .policy import GuestPolicy, HostPolicy
+
+__all__ = [
+    "HostPolicy",
+    "GuestPolicy",
+    "AuditLog",
+    "AuditEvent",
+    "AuditKind",
+    "audited_invoke",
+]

@@ -1,0 +1,129 @@
+"""Audit trail: who invoked what, who was denied, what arrived and left.
+
+The paper couples security with encapsulation at the mechanism level;
+operationally a host also needs an account of what its guests did. The
+:class:`AuditLog` aggregates three streams:
+
+* invocation records from traced MROM objects (level/phase traces);
+* security denials (``AccessDeniedError`` / policy rejections);
+* mobility events (arrivals, departures, rejections) from a site.
+
+Everything is in-memory and queryable; sinks are pluggable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..core.errors import AccessDeniedError
+from ..core.invocation import InvocationRecord
+from ..core.mobject import MROMObject
+
+__all__ = ["AuditEvent", "AuditKind", "AuditLog", "audited_invoke"]
+
+
+class AuditKind(enum.Enum):
+    INVOCATION = "invocation"
+    DENIAL = "denial"
+    VETO = "veto"
+    ERROR = "error"
+    ARRIVAL = "arrival"
+    DEPARTURE = "departure"
+    REJECTION = "rejection"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    kind: AuditKind
+    subject: str  # object guid or site id
+    actor: str  # caller guid or peer site
+    detail: str = ""
+    time: float = 0.0
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.4f}] {self.kind.value:<10} {self.subject} by {self.actor} {self.detail}"
+
+
+class AuditLog:
+    """An append-only event log with simple queries."""
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._events: list[AuditEvent] = []
+        self._clock = clock or (lambda: 0.0)
+        self._sinks: list[Callable[[AuditEvent], None]] = []
+
+    def add_sink(self, sink: Callable[[AuditEvent], None]) -> None:
+        self._sinks.append(sink)
+
+    def record(
+        self, kind: AuditKind, subject: str, actor: str, detail: str = ""
+    ) -> AuditEvent:
+        event = AuditEvent(
+            kind=kind, subject=subject, actor=actor, detail=detail,
+            time=self._clock(),
+        )
+        self._events.append(event)
+        for sink in self._sinks:
+            sink(event)
+        return event
+
+    def note_invocation(self, obj_guid: str, record: InvocationRecord) -> None:
+        kind = {
+            "ok": AuditKind.INVOCATION,
+            "veto": AuditKind.VETO,
+            "error": AuditKind.ERROR,
+        }.get(record.outcome, AuditKind.INVOCATION)
+        self.record(kind, obj_guid, record.caller, detail=record.method)
+
+    # -- queries ------------------------------------------------------------
+
+    def events(self, kind: AuditKind | None = None) -> list[AuditEvent]:
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind is kind]
+
+    def denials(self) -> list[AuditEvent]:
+        return self.events(AuditKind.DENIAL)
+
+    def by_actor(self, actor: str) -> list[AuditEvent]:
+        return [event for event in self._events if event.actor == actor]
+
+    def counts(self) -> dict[str, int]:
+        result: dict[str, int] = {}
+        for event in self._events:
+            result[event.kind.value] = result.get(event.kind.value, 0) + 1
+        return result
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+
+def audited_invoke(
+    obj: MROMObject,
+    log: AuditLog,
+    method: str,
+    args: Iterable[Any] = (),
+    caller=None,
+) -> Any:
+    """Invoke with every outcome — success, veto, denial, error — logged."""
+    caller_guid = caller.guid if caller is not None else "mrom:anonymous"
+    try:
+        result = obj.invoke(method, list(args), caller=caller)
+    except AccessDeniedError as exc:
+        log.record(AuditKind.DENIAL, obj.guid, caller_guid, detail=str(exc))
+        raise
+    except Exception:
+        # model errors AND guest-code failures alike: the record exists
+        # whenever the invocation engine was reached
+        if obj.last_record is not None and obj.last_record.method == method:
+            log.note_invocation(obj.guid, obj.last_record)
+        else:
+            log.record(AuditKind.ERROR, obj.guid, caller_guid, detail=method)
+        raise
+    log.note_invocation(obj.guid, obj.last_record)
+    return result

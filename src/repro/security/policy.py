@@ -1,0 +1,155 @@
+"""Host and guest policies: the mutual-restriction duality of Section 5.
+
+"not only should the host environment be able to restrict the operation
+of the mobile object, the mobile object should also be able to restrict
+access by the host environment" (Section 1). The per-item ACLs in
+:mod:`repro.core.acl` are the *mechanism*; this module supplies the
+*policies* (the paper insists a security model includes "policies, not
+only mechanisms"):
+
+* :class:`HostPolicy` — what a site demands of arriving objects. It runs
+  at admission time, *before* any guest code executes: size and structure
+  bounds, origin-domain allow-lists, name bans, eager sandbox
+  verification of every piece of carried code.
+* :class:`GuestPolicy` — what an object demands of hosts: which host
+  bindings it accepts into its environment, and which domains it is
+  willing to be installed in. Applied by the object's ``install`` method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.errors import PolicyViolationError
+from ..mobility.sandbox import validate_source
+
+__all__ = ["HostPolicy", "GuestPolicy"]
+
+
+@dataclass
+class HostPolicy:
+    """Admission control for arriving mobile objects.
+
+    Attach to a :class:`~repro.mobility.transfer.MobilityManager` as its
+    admission policy: ``MobilityManager(site, policy=HostPolicy(...))``.
+
+    The default instance is deliberately strict enough to stop the cheap
+    attacks (unbounded structure, unverifiable code) while admitting any
+    well-formed object from any domain.
+    """
+
+    max_items: int = 256
+    max_code_bytes: int = 262_144
+    allowed_domains: tuple[str, ...] = ()  # empty = any origin domain
+    banned_method_names: frozenset = frozenset()
+    verify_code_eagerly: bool = True
+    max_tower_depth: int = 8
+
+    def __call__(self, package: Mapping, src_site: str) -> None:
+        self.admit(package, src_site)
+
+    def admit(self, package: Mapping, src_site: str) -> None:
+        """Raise :class:`PolicyViolationError` unless *package* is admissible."""
+        self._check_origin(package)
+        self._check_structure(package)
+        self._check_names(package)
+        if self.verify_code_eagerly:
+            self._check_code(package)
+
+    # -- individual checks -------------------------------------------------
+
+    def _check_origin(self, package: Mapping) -> None:
+        if not self.allowed_domains:
+            return
+        domain = str(package.get("domain", ""))
+        own = domain.split(".") if domain else []
+        for allowed in self.allowed_domains:
+            target = allowed.split(".")
+            if own[: len(target)] == target:
+                return
+        raise PolicyViolationError(
+            f"origin domain {domain!r} is not in the allow-list"
+        )
+
+    def _item_groups(self, package: Mapping) -> Iterable[Mapping]:
+        for group in ("fixed_data", "ext_data", "fixed_methods", "ext_methods"):
+            yield from package.get(group, [])
+
+    def _check_structure(self, package: Mapping) -> None:
+        count = sum(1 for _ in self._item_groups(package))
+        if count > self.max_items:
+            raise PolicyViolationError(
+                f"object carries {count} items, limit is {self.max_items}"
+            )
+        tower = package.get("tower", [])
+        if len(tower) > self.max_tower_depth:
+            raise PolicyViolationError(
+                f"meta-invoke tower depth {len(tower)} exceeds "
+                f"{self.max_tower_depth}"
+            )
+
+    def _check_names(self, package: Mapping) -> None:
+        for item in self._item_groups(package):
+            name = str(item.get("name", ""))
+            if name in self.banned_method_names:
+                raise PolicyViolationError(f"item name {name!r} is banned here")
+
+    def _method_sources(self, package: Mapping) -> Iterable[tuple[str, str]]:
+        groups = list(package.get("fixed_methods", []))
+        groups += list(package.get("ext_methods", []))
+        groups += list(package.get("tower", []))
+        for item in groups:
+            components = item.get("components", {})
+            for role in ("body", "pre", "post"):
+                carrier = components.get(role)
+                if isinstance(carrier, Mapping) and "source" in carrier:
+                    yield str(item.get("name", "?")), str(carrier["source"])
+
+    def _check_code(self, package: Mapping) -> None:
+        total = 0
+        for name, source in self._method_sources(package):
+            total += len(source.encode("utf-8"))
+            if total > self.max_code_bytes:
+                raise PolicyViolationError(
+                    f"carried code exceeds {self.max_code_bytes} bytes"
+                )
+            # eager verification: reject hostile code before it is even
+            # installed, not merely before it runs
+            validate_source(source, source_name=f"arriving:{name}")
+
+
+@dataclass
+class GuestPolicy:
+    """The mobile object's demands toward hosts.
+
+    Used inside ``install`` methods: the host's installation context is
+    filtered to *accepted_bindings*, and installation in a domain outside
+    *trusted_domains* is refused (the object simply raises, and the
+    transfer fails — it never settles on an untrusted host).
+    """
+
+    accepted_bindings: tuple[str, ...] = ()
+    trusted_domains: tuple[str, ...] = ()  # empty = trust any host
+
+    def check_host(self, host_domain: str) -> None:
+        if not self.trusted_domains:
+            return
+        own = host_domain.split(".") if host_domain else []
+        for trusted in self.trusted_domains:
+            target = trusted.split(".")
+            if own[: len(target)] == target:
+                return
+        raise PolicyViolationError(
+            f"guest refuses installation in domain {host_domain!r}"
+        )
+
+    def filter_bindings(self, offered: Mapping) -> dict:
+        """Keep only the host bindings the object agreed to accept."""
+        if not self.accepted_bindings:
+            return {}
+        return {
+            name: value
+            for name, value in offered.items()
+            if name in self.accepted_bindings
+        }

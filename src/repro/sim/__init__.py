@@ -1,0 +1,5 @@
+"""Deterministic discrete-event simulation kernel."""
+
+from .kernel import Event, Simulator
+
+__all__ = ["Event", "Simulator"]

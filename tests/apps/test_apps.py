@@ -1,0 +1,157 @@
+"""The synthetic legacy applications."""
+
+import pytest
+
+from repro.apps import (
+    Calculator,
+    CalculatorError,
+    Employee,
+    EmployeeDatabase,
+    TextIndex,
+    sample_database,
+)
+
+
+class TestEmployeeDatabase:
+    @pytest.fixture
+    def db(self):
+        return sample_database()
+
+    def test_lookup_and_salary(self, db):
+        assert db.salary_of("moshe") == 4500
+        with pytest.raises(KeyError):
+            db.lookup("nobody")
+
+    def test_by_department_sorted(self, db):
+        names = [e.name for e in db.by_department("sales")]
+        assert names == ["avi", "rina", "tamar"]
+
+    def test_departments(self, db):
+        assert db.departments() == ["engineering", "research", "sales"]
+
+    def test_payroll(self, db):
+        assert db.payroll_total("sales") == 3900 + 6000 + 4100
+        assert db.payroll_total() == sum(
+            db.salary_of(e.name) for d in db.departments() for e in db.by_department(d)
+        )
+
+    def test_give_raise(self, db):
+        assert db.give_raise("moshe", 500) == 5000
+        assert db.salary_of("moshe") == 5000
+
+    def test_reports_to(self, db):
+        assert db.reports_to("dana") == ["moshe", "yael"]
+
+    def test_insert_duplicate(self, db):
+        with pytest.raises(KeyError):
+            db.insert(Employee("moshe", "x", 1))
+
+    def test_query_counter(self, db):
+        before = db.queries_served
+        db.headcount()
+        db.departments()
+        assert db.queries_served == before + 2
+
+    def test_shutdown_flag(self, db):
+        db.shut_down()
+        assert not db.online
+        db.start_up()
+        assert db.online
+
+
+class TestCalculator:
+    @pytest.fixture
+    def calc(self):
+        return Calculator()
+
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("1+2", 3),
+            ("2*3+4", 10),
+            ("2+3*4", 14),
+            ("(2+3)*4", 20),
+            ("10/4", 2.5),
+            ("10%3", 1),
+            ("-5+2", -3),
+            ("-(2+3)", -5),
+            ("2*-3", -6),
+            ("1.5*2", 3.0),
+            (".5 + .25", 0.75),
+        ],
+    )
+    def test_evaluation(self, calc, expression, expected):
+        assert calc.evaluate(expression) == expected
+
+    def test_memory(self, calc):
+        calc.store("rate", 1.17)
+        assert calc.evaluate("100 * rate") == pytest.approx(117.0)
+        assert calc.names() == ["rate"]
+        calc.clear()
+        with pytest.raises(CalculatorError):
+            calc.recall("rate")
+
+    def test_memory_rejects_non_numbers(self, calc):
+        with pytest.raises(CalculatorError):
+            calc.store("x", "text")
+        with pytest.raises(CalculatorError):
+            calc.store("x", True)
+
+    @pytest.mark.parametrize(
+        "expression",
+        ["", "2+", "(1+2", "1 2", "$", "unknown_name", "1/0"],
+    )
+    def test_malformed_rejected(self, calc, expression):
+        with pytest.raises(CalculatorError):
+            calc.evaluate(expression)
+
+    def test_evaluation_counter(self, calc):
+        calc.evaluate("1+1")
+        calc.evaluate("2+2")
+        assert calc.evaluations == 2
+
+
+class TestTextIndex:
+    @pytest.fixture
+    def index(self):
+        index = TextIndex()
+        index.add_document("mrom", "mobile objects adjust to foreign environments")
+        index.add_document("corba", "static objects in a fixed repository")
+        index.add_document("agents", "mobile agents travel with goals and plans")
+        return index
+
+    def test_search_ranks_by_relevance(self, index):
+        hits = [name for name, _score in index.search("mobile")]
+        assert set(hits) == {"mrom", "agents"}
+
+    def test_rare_terms_weigh_more(self, index):
+        hits = index.search("mobile goals")
+        assert hits[0][0] == "agents"  # matches both terms, one rare
+
+    def test_unknown_terms_ignored(self, index):
+        assert index.search("zzzz qqqq") == []
+
+    def test_limit(self, index):
+        assert len(index.search("objects mobile static", limit=2)) == 2
+
+    def test_remove_document(self, index):
+        index.remove_document("mrom")
+        assert "mrom" not in dict(index.search("mobile"))
+        assert index.documents() == ["agents", "corba"]
+
+    def test_remove_cleans_postings(self, index):
+        vocabulary_before = index.vocabulary_size()
+        index.remove_document("agents")
+        assert index.vocabulary_size() < vocabulary_before
+
+    def test_duplicate_document_rejected(self, index):
+        with pytest.raises(KeyError):
+            index.add_document("mrom", "again")
+
+    def test_term_frequency(self, index):
+        index.add_document("rep", "data data data")
+        assert index.term_frequency("rep", "data") == 3
+        assert index.term_frequency("rep", "absent") == 0
+
+    def test_case_insensitive(self, index):
+        assert index.search("MOBILE") == index.search("mobile")

@@ -1,0 +1,225 @@
+"""The Section-2 comparators behave as the paper describes them."""
+
+import pytest
+
+from repro.baselines import (
+    Component,
+    CorbaError,
+    DcomError,
+    IID_IUNKNOWN,
+    InterfaceDef,
+    InterfaceRepository,
+    JavaReflectError,
+    JClass,
+    JField,
+    JMethod,
+    OperationDef,
+    ORB,
+    Servant,
+    StaticCounter,
+)
+from repro.core import HtmlText, Kind
+
+
+class TestStatic:
+    def test_counter(self):
+        counter = StaticCounter()
+        assert counter.increment(3) == 3
+        assert counter.peek() == 3
+
+
+class TestCorbaDII:
+    @pytest.fixture
+    def orb(self):
+        repository = InterfaceRepository()
+        salary = InterfaceDef("Payroll")
+        salary.add_operation(
+            OperationDef("raise_salary", (Kind.TEXT, Kind.INTEGER), Kind.INTEGER)
+        )
+        repository.register(salary)
+        orb = ORB(repository)
+        book = {"moshe": 4500}
+
+        def raise_salary(name, amount):
+            book[name] += amount
+            return book[name]
+
+        orb.bind("Payroll", Servant("hr", {"raise_salary": raise_salary}))
+        return orb
+
+    def test_dii_flow(self, orb):
+        # lookup -> build request -> add coerced args -> invoke
+        request = orb.create_request("Payroll", "raise_salary")
+        request.add_argument("moshe").add_argument(HtmlText("<b>500</b>"))
+        assert request.invoke() == 5000
+
+    def test_arguments_coerced_to_declared_kinds(self, orb):
+        request = orb.create_request("Payroll", "raise_salary")
+        request.add_argument("moshe")
+        request.add_argument("250")  # text -> integer
+        assert request.invoke() == 4750
+
+    def test_arity_enforced(self, orb):
+        request = orb.create_request("Payroll", "raise_salary")
+        with pytest.raises(CorbaError):
+            request.invoke()
+        request.add_argument("moshe").add_argument(1)
+        with pytest.raises(CorbaError):
+            request.add_argument(2)
+
+    def test_unknown_interface_and_operation(self, orb):
+        with pytest.raises(CorbaError):
+            orb.create_request("Nothing", "x")
+        with pytest.raises(CorbaError):
+            orb.create_request("Payroll", "no_such_op")
+
+    def test_repository_dynamically_changeable(self, orb):
+        # "the ability to dynamically change the repository allows dynamic
+        # changes in the meaning of a certain interface"
+        replacement = InterfaceDef("Payroll")
+        replacement.add_operation(OperationDef("raise_salary", (Kind.TEXT,), Kind.TEXT))
+        orb.repository.register(replacement, replace=True)
+        request_meta = orb.repository.lookup("Payroll").operation("raise_salary")
+        assert request_meta.parameter_kinds == (Kind.TEXT,)
+
+    def test_many_servants_per_interface(self, orb):
+        orb.bind("Payroll", Servant("hr2", {"raise_salary": lambda n, a: -1}))
+        assert len(orb.servants_for("Payroll")) == 2
+
+    def test_servant_must_support_interface(self, orb):
+        with pytest.raises(CorbaError):
+            orb.bind("Payroll", Servant("empty", {}))
+
+
+class TestDCOM:
+    @pytest.fixture
+    def component(self):
+        component = Component("calc")
+        state = {"total": 0}
+        component.register_interface(
+            "IID_Adder",
+            {
+                "add": lambda x: state.__setitem__("total", state["total"] + x)
+                or state["total"],
+                "total": lambda: state["total"],
+            },
+        )
+        return component
+
+    def test_query_interface_and_call(self, component):
+        unknown = component.unknown()
+        adder = unknown.query_interface("IID_Adder")
+        assert adder.call("add", 5) == 5
+        assert adder.call("total") == 5
+
+    def test_e_nointerface(self, component):
+        with pytest.raises(DcomError, match="E_NOINTERFACE"):
+            component.unknown().query_interface("IID_Missing")
+
+    def test_interface_addable_at_runtime(self, component):
+        component.register_interface("IID_Late", {"hello": lambda: "hi"})
+        pointer = component.unknown().query_interface("IID_Late")
+        assert pointer.call("hello") == "hi"
+
+    def test_the_documented_inconsistency(self, component):
+        # "an object that supports a certain interface in a particular
+        # time can be changed and appear later without support for that
+        # interface, introducing inconsistency"
+        adder = component.unknown().query_interface("IID_Adder")
+        component.revoke_interface("IID_Adder")
+        with pytest.raises(DcomError):
+            adder.call("add", 1)
+        with pytest.raises(DcomError, match="E_NOINTERFACE"):
+            component.unknown().query_interface("IID_Adder")
+
+    def test_implementations_frozen_at_registration(self, component):
+        table = {"op": lambda: "original"}
+        component.register_interface("IID_Frozen", table)
+        table["op"] = lambda: "mutated"  # caller-side edit after the fact
+        pointer = component.unknown().query_interface("IID_Frozen")
+        assert pointer.call("op") == "original"
+
+    def test_reference_counting(self, component):
+        first = component.unknown()
+        second = first.query_interface("IID_Adder")
+        assert second.release() == 1
+        assert first.release() == 0
+        assert component.destroyed
+
+    def test_released_pointer_unusable(self, component):
+        pointer = component.unknown()
+        pointer.release()
+        with pytest.raises(DcomError):
+            pointer.query_interface(IID_IUNKNOWN)
+
+    def test_functions_listing(self, component):
+        adder = component.unknown().query_interface("IID_Adder")
+        assert adder.functions() == ("add", "total")
+
+
+class TestJavaReflection:
+    @pytest.fixture
+    def counter_class(self):
+        return JClass(
+            "Counter",
+            methods={
+                "increment": JMethod(
+                    "increment", ("int",), "int",
+                    lambda obj, step: obj.get_class()
+                    .get_field("count")
+                    .set(obj, obj.get_class().get_field("count").get(obj) + step)
+                    or obj.get_class().get_field("count").get(obj),
+                ),
+            },
+            fields={"count": JField("count", "int")},
+        )
+
+    def test_introspection_surface(self, counter_class):
+        instance = counter_class.new_instance(count=0)
+        methods = instance.get_class().get_methods()
+        assert [m.signature() for m in methods] == ["int increment(int)"]
+        fields = instance.get_class().get_fields()
+        assert [(f.name, f.type_name) for f in fields] == [("count", "int")]
+
+    def test_reflective_invocation(self, counter_class):
+        instance = counter_class.new_instance(count=10)
+        assert instance.invoke("increment", 5) == 15
+
+    def test_no_mutation_api_exists(self, counter_class):
+        # the paper's point: querying yes, changing no
+        mutators = [
+            name
+            for name in dir(counter_class)
+            if name.startswith(("add", "set", "delete", "remove"))
+        ]
+        assert mutators == []
+
+    def test_arity_checked(self, counter_class):
+        instance = counter_class.new_instance()
+        with pytest.raises(JavaReflectError):
+            instance.invoke("increment")
+
+    def test_missing_members(self, counter_class):
+        with pytest.raises(JavaReflectError):
+            counter_class.get_method("ghost")
+        with pytest.raises(JavaReflectError):
+            counter_class.get_field("ghost")
+        with pytest.raises(JavaReflectError):
+            counter_class.new_instance(ghost=1)
+
+    def test_inheritance_merges_members(self, counter_class):
+        child = JClass(
+            "Resettable",
+            methods={
+                "reset": JMethod(
+                    "reset", (), "void",
+                    lambda obj: obj.get_class().get_field("count").set(obj, 0),
+                )
+            },
+            superclass=counter_class,
+        )
+        instance = child.new_instance(count=5)
+        instance.invoke("reset")
+        assert child.get_field("count").get(instance) == 0
+        assert counter_class.is_assignable_from(child)
+        assert not child.is_assignable_from(counter_class)

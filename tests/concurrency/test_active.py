@@ -1,0 +1,110 @@
+"""Active objects: mailbox-serialized asynchronous invocation."""
+
+import threading
+
+import pytest
+
+from repro.concurrency.active import ActiveObject
+from repro.core import MROMObject, PreProcedureVeto
+from repro.core.errors import ConcurrencyError
+
+from ..conftest import build_counter
+
+
+@pytest.fixture
+def active():
+    active_object = ActiveObject(build_counter())
+    yield active_object
+    active_object.stop()
+
+
+class TestBasics:
+    def test_sync_convenience(self, active):
+        assert active.invoke("increment", [5]) == 5
+        assert active.invoke("peek") == 5
+
+    def test_async_future(self, active):
+        future = active.invoke_async("increment", [2])
+        assert future.result(timeout=5) == 2
+
+    def test_mailbox_order_preserved(self, active):
+        futures = [active.invoke_async("increment") for _ in range(10)]
+        results = [future.result(timeout=5) for future in futures]
+        assert results == list(range(1, 11))
+
+    def test_exceptions_delivered_via_future(self):
+        obj = MROMObject()
+        obj.define_fixed_method("picky", "return 1", pre="return False")
+        obj.seal()
+        with ActiveObject(obj) as active:
+            future = active.invoke_async("picky")
+            with pytest.raises(PreProcedureVeto):
+                future.result(timeout=5)
+
+    def test_processed_counter(self, active):
+        for _ in range(3):
+            active.invoke("increment")
+        assert active.processed == 3
+
+
+class TestConcurrency:
+    def test_many_threads_no_lost_updates(self, active):
+        def hammer():
+            for _ in range(50):
+                active.invoke("increment")
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert active.invoke("peek") == 300
+
+    def test_exactly_one_thread_ever_touches_the_object(self):
+        executing_threads = set()
+
+        def observe(self_view, args, ctx):
+            executing_threads.add(threading.get_ident())
+            return len(executing_threads)
+
+        obj = MROMObject()
+        obj.define_fixed_method("observe", observe)
+        obj.seal()
+        with ActiveObject(obj) as active:
+            workers = [
+                threading.Thread(target=lambda: active.invoke("observe"))
+                for _ in range(6)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        # six submitting threads, one executing thread — and it is the
+        # worker, not any submitter
+        assert len(executing_threads) == 1
+        assert threading.get_ident() not in executing_threads
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent(self, active):
+        active.stop()
+        active.stop()
+
+    def test_submit_after_stop_fails_fast(self, active):
+        active.stop()
+        with pytest.raises(ConcurrencyError):
+            active.invoke_async("increment")
+
+    def test_stop_drains_queued_work(self):
+        active = ActiveObject(build_counter())
+        futures = [active.invoke_async("increment") for _ in range(20)]
+        active.stop()
+        assert [future.result(timeout=5) for future in futures] == list(
+            range(1, 21)
+        )
+
+    def test_context_manager(self):
+        with ActiveObject(build_counter()) as active:
+            assert active.invoke("increment") == 1
+        with pytest.raises(ConcurrencyError):
+            active.invoke_async("increment")

@@ -1,0 +1,114 @@
+"""Synchronized invocation across threads; reentrancy gates."""
+
+import threading
+
+import pytest
+
+from repro.core import MROMObject
+from repro.core.errors import ReentrancyError
+from repro.concurrency import InvocationGate, SynchronizedObject
+
+from ..conftest import build_counter
+
+
+class TestSynchronizedObject:
+    def test_basic_delegation(self):
+        synced = SynchronizedObject(build_counter())
+        assert synced.invoke("increment", [2]) == 2
+        assert synced.get_data("count") == 2
+        synced.set_data("count", 10, caller=synced.obj.principal)
+        assert synced.invoke("peek") == 10
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        synced = SynchronizedObject(build_counter())
+        threads = [
+            threading.Thread(
+                target=lambda: [synced.invoke("increment") for _ in range(100)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert synced.get_data("count") == 800
+
+    def test_reentrant_self_calls_do_not_deadlock(self):
+        obj = MROMObject(display_name="recursive")
+        obj.define_fixed_data("n", 0)
+        obj.define_fixed_method(
+            "outer", "return self.call('inner') + 1"
+        )
+        obj.define_fixed_method("inner", "return 10")
+        obj.seal()
+        synced = SynchronizedObject(obj)
+        assert synced.invoke("outer") == 11
+
+    def test_holding_gives_multi_step_atomicity(self):
+        synced = SynchronizedObject(build_counter())
+        errors = []
+
+        def read_modify_write():
+            for _ in range(100):
+                with synced.holding():
+                    before = synced.get_data("count")
+                    synced.invoke("increment")
+                    after = synced.get_data("count")
+                    if after != before + 1:
+                        errors.append((before, after))
+
+        threads = [threading.Thread(target=read_modify_write) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert synced.get_data("count") == 400
+
+
+class TestInvocationGate:
+    def test_plain_invocation_works(self):
+        gate = InvocationGate(build_counter())
+        assert gate.invoke("increment", [3]) == 3
+
+    def test_reentry_from_same_thread_detected(self):
+        obj = MROMObject(display_name="reenter")
+        obj.define_fixed_method("selfish", lambda self, args, ctx: ctx.env["gate"].invoke("selfish"))
+        obj.seal()
+        gate = InvocationGate(obj)
+        obj.environment["gate"] = gate
+        with pytest.raises(ReentrancyError):
+            gate.invoke("selfish")
+
+    def test_busy_from_other_thread_detected(self):
+        obj = MROMObject(display_name="slow")
+        started = threading.Event()
+        release = threading.Event()
+
+        def body(self, args, ctx):
+            started.set()
+            release.wait(timeout=5)
+            return "done"
+
+        obj.define_fixed_method("slow", body)
+        obj.seal()
+        gate = InvocationGate(obj)
+
+        results = {}
+
+        def long_call():
+            results["first"] = gate.invoke("slow")
+
+        worker = threading.Thread(target=long_call)
+        worker.start()
+        started.wait(timeout=5)
+        with pytest.raises(ReentrancyError):
+            gate.invoke("slow")
+        release.set()
+        worker.join()
+        assert results["first"] == "done"
+
+    def test_gate_reusable_after_completion(self):
+        gate = InvocationGate(build_counter())
+        gate.invoke("increment")
+        assert gate.invoke("increment") == 2

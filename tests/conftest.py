@@ -1,0 +1,84 @@
+"""Shared fixtures for the MROM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AccessControlList,
+    MROMObject,
+    Principal,
+    allow_all,
+)
+
+
+@pytest.fixture
+def alice() -> Principal:
+    return Principal("mrom:obj:alice", "technion.ee", "alice")
+
+
+@pytest.fixture
+def bob() -> Principal:
+    return Principal("mrom:obj:bob", "technion.cs", "bob")
+
+
+@pytest.fixture
+def mallory() -> Principal:
+    return Principal("mrom:obj:mallory", "evil.example", "mallory")
+
+
+def build_counter(
+    owner: Principal | None = None,
+    extensible_meta: bool = False,
+    meta_acl: AccessControlList | None = None,
+) -> MROMObject:
+    """A counter object used across many tests.
+
+    Fixed: data 'count', methods 'increment' and 'peek'.
+    """
+    obj = MROMObject(
+        display_name="counter",
+        owner=owner,
+        extensible_meta=extensible_meta,
+        meta_acl=meta_acl,
+    )
+    obj.define_fixed_data("count", 0)
+    obj.define_fixed_method(
+        "increment",
+        "step = args[0] if args else 1\n"
+        "self.set('count', self.get('count') + step)\n"
+        "return self.get('count')",
+    )
+    obj.define_fixed_method("peek", "return self.get('count')")
+    obj.seal()
+    return obj
+
+
+@pytest.fixture
+def counter() -> MROMObject:
+    return build_counter()
+
+
+@pytest.fixture
+def open_meta_counter(alice: Principal) -> MROMObject:
+    """A counter owned by alice, with extensible meta-methods whose ACL
+    admits everyone (for tower tests that are not about security)."""
+    return build_counter(
+        owner=alice,
+        extensible_meta=True,
+        meta_acl=allow_all(),
+    )
+
+
+@pytest.fixture
+def owned_counter(alice: Principal) -> MROMObject:
+    """A counter owned by alice with the default owner-only meta ACL."""
+    return build_counter(owner=alice, extensible_meta=True)
+
+
+def grant_invoke(acl_description: dict) -> dict:
+    """Helper making an allow-all ACL description for added methods."""
+    return acl_description
+
+
+__all__ = ["build_counter"]

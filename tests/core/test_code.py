@@ -1,0 +1,140 @@
+"""Method-code carriers: native vs portable, roles, descriptions."""
+
+import pytest
+
+from repro.core import CodeRole, MethodCode, NativeCode, PortableCode, as_code
+from repro.core.code import code_from_description
+from repro.core.errors import (
+    MobilityError,
+    ProcedureSignatureError,
+    SandboxViolation,
+)
+
+
+class TestNativeCode:
+    def test_wraps_callable(self):
+        code = NativeCode(lambda self, args, ctx: sum(args))
+        assert code.call(None, [1, 2, 3], None) == 6
+        assert not code.portable
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            NativeCode("not callable")
+
+    def test_label_defaults_to_function_name(self):
+        def my_body(self, args, ctx):
+            return None
+
+        assert NativeCode(my_body).label == "my_body"
+
+    def test_describe_has_no_source(self):
+        described = NativeCode(lambda *a: None, label="secret").describe()
+        assert described == {"flavour": "native", "role": "body", "label": "secret"}
+
+
+class TestPortableCode:
+    def test_lazy_compilation(self):
+        code = PortableCode("return args[0] * 2")
+        assert code._compiled is None
+        assert code.call(None, [21], None) == 42
+        assert code._compiled is not None
+
+    def test_compile_now_is_idempotent(self):
+        code = PortableCode("return 1")
+        code.compile_now()
+        first = code._compiled
+        code.compile_now()
+        assert code._compiled is first
+
+    def test_hostile_source_fails_at_compile(self):
+        code = PortableCode("import os")
+        with pytest.raises(SandboxViolation):
+            code.compile_now()
+
+    def test_post_role_gets_result_parameter(self):
+        code = PortableCode("return result == 42", role=CodeRole.POST)
+        assert code.call(None, [], 42, None) is True
+
+    def test_bindings_and_rebind(self):
+        code = PortableCode("return rate * args[0]", bindings={"rate": 2})
+        assert code.call(None, [10], None) == 20
+        code.rebind({"rate": 3})
+        assert code.call(None, [10], None) == 30
+
+    def test_requires_text(self):
+        with pytest.raises(TypeError):
+            PortableCode(lambda: None)
+
+    def test_describe_carries_source(self):
+        described = PortableCode("return 1", label="x").describe()
+        assert described["flavour"] == "portable"
+        assert described["source"] == "return 1"
+
+
+class TestCallBoolean:
+    def test_accepts_bools_only(self):
+        ok = PortableCode("return True", role=CodeRole.PRE)
+        assert ok.call_boolean(None, [], None) is True
+        sneaky = PortableCode("return 1", role=CodeRole.PRE)
+        with pytest.raises(ProcedureSignatureError):
+            sneaky.call_boolean(None, [], None)
+
+    def test_truthy_strings_rejected(self):
+        code = PortableCode("return 'yes'", role=CodeRole.PRE)
+        with pytest.raises(ProcedureSignatureError):
+            code.call_boolean(None, [], None)
+
+
+class TestAsCode:
+    def test_none_passes_through(self):
+        assert as_code(None) is None
+
+    def test_string_becomes_portable(self):
+        code = as_code("return 1")
+        assert isinstance(code, PortableCode)
+
+    def test_callable_becomes_native(self):
+        code = as_code(lambda self, args, ctx: 1)
+        assert isinstance(code, NativeCode)
+
+    def test_carrier_passes_through(self):
+        original = PortableCode("return 1", role=CodeRole.PRE)
+        assert as_code(original, CodeRole.PRE) is original
+
+    def test_role_mismatch_rejected(self):
+        body = PortableCode("return 1", role=CodeRole.BODY)
+        with pytest.raises(MobilityError):
+            as_code(body, CodeRole.PRE)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            as_code(42)
+
+
+class TestCodeFromDescription:
+    def test_portable_round_trip(self):
+        original = PortableCode("return 7", role=CodeRole.BODY, label="seven")
+        rebuilt = code_from_description(original.describe())
+        assert rebuilt.call(None, [], None) == 7
+        assert rebuilt.label == "seven"
+
+    def test_native_cannot_be_rebuilt(self):
+        described = NativeCode(lambda *a: None).describe()
+        with pytest.raises(MobilityError):
+            code_from_description(described)
+
+    def test_unknown_flavour_rejected(self):
+        with pytest.raises(MobilityError):
+            code_from_description({"flavour": "quantum"})
+
+
+class TestRoles:
+    def test_parameter_lists(self):
+        assert CodeRole.BODY.parameters == ("self", "args", "ctx")
+        assert CodeRole.PRE.parameters == ("self", "args", "ctx")
+        assert CodeRole.POST.parameters == ("self", "args", "result", "ctx")
+        assert CodeRole.META.parameters == ("self", "args", "ctx")
+
+    def test_method_code_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            MethodCode().call()

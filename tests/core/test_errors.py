@@ -1,0 +1,105 @@
+"""The exception hierarchy: containment and classification guarantees."""
+
+import inspect
+
+import pytest
+
+import repro.core.errors as errors_module
+from repro.core.errors import (
+    AccessDeniedError,
+    CoercionError,
+    ItemNotFoundError,
+    MROMError,
+    NotPortableError,
+    PostProcedureError,
+    PreProcedureVeto,
+    RemoteInvocationError,
+    SandboxViolation,
+    SecurityError,
+)
+
+
+def all_error_classes():
+    return [
+        obj
+        for _name, obj in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == errors_module.__name__
+    ]
+
+
+class TestHierarchy:
+    def test_everything_derives_from_mrom_error(self):
+        # the self-containment guarantee: one except clause contains the
+        # whole model
+        for cls in all_error_classes():
+            assert issubclass(cls, MROMError), cls.__name__
+
+    def test_item_not_found_is_a_key_error(self):
+        assert issubclass(ItemNotFoundError, KeyError)
+
+    def test_sandbox_violation_is_also_a_security_error(self):
+        assert issubclass(SandboxViolation, SecurityError)
+
+    def test_every_class_has_a_docstring(self):
+        for cls in all_error_classes():
+            assert cls.__doc__, f"{cls.__name__} lacks a docstring"
+
+
+class TestErrorContext:
+    def test_access_denied_carries_triple(self):
+        err = AccessDeniedError("caller-1", "salary", "GET")
+        assert (err.caller, err.item, err.permission) == ("caller-1", "salary", "GET")
+        assert "salary" in str(err)
+
+    def test_item_not_found_str_is_readable(self):
+        err = ItemNotFoundError("ghost", "fixed")
+        assert str(err) == "no item named 'ghost' (searched section: fixed)"
+
+    def test_pre_veto_names_method(self):
+        err = PreProcedureVeto("withdraw", reason="insufficient funds")
+        assert err.method == "withdraw"
+        assert "insufficient funds" in str(err)
+
+    def test_post_error_keeps_result(self):
+        err = PostProcedureError("compute", result=-1)
+        assert err.result == -1
+
+    def test_not_portable_lists_offenders(self):
+        err = NotPortableError("mrom://x/1.1", ("native_op", "other"))
+        assert err.offenders == ("native_op", "other")
+        assert "native_op" in str(err)
+
+    def test_coercion_error_context(self):
+        err = CoercionError("abc", "integer", "no numeric content")
+        assert err.value == "abc"
+        assert err.target == "integer"
+
+    def test_remote_error_carries_remote_type(self):
+        err = RemoteInvocationError("boom", remote_type="ValueError")
+        assert err.remote_type == "ValueError"
+
+    def test_sandbox_violation_names_construct(self):
+        err = SandboxViolation("Import", "line 3")
+        assert err.construct == "Import"
+
+
+def test_mrom_error_contains_a_whole_scenario():
+    """A host wrapping guest interaction with one except MROMError sees
+    every model-level failure, none of Python's own leak categories."""
+    from repro.core import MROMObject
+
+    obj = MROMObject()
+    obj.define_fixed_method("m", "return args[0]", pre="return args[0] > 0")
+    obj.seal()
+    failures = 0
+    for args in ([0], []):  # veto, then an IndexError inside the pre
+        try:
+            obj.invoke("m", args)
+        except MROMError:
+            failures += 1
+        except IndexError:
+            # guest-code bugs are NOT model errors: they surface as
+            # themselves so hosts can distinguish "the model refused"
+            # from "the guest crashed"
+            failures += 10
+    assert failures == 11

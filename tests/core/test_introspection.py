@@ -1,0 +1,149 @@
+"""Self-representation: interrogating a newcomer object."""
+
+import pytest
+
+from repro.core import (
+    MROMObject,
+    SYSTEM,
+    allow_all,
+    can_invoke,
+    describe,
+    find_methods,
+    interrogate,
+    owner_only,
+)
+
+from ..conftest import build_counter
+
+
+@pytest.fixture
+def newcomer(alice):
+    """An object arriving at a host that knows nothing about it."""
+    obj = MROMObject(display_name="newcomer", owner=alice, domain="technion.ee")
+    obj.define_fixed_data("payload", {"rows": 3})
+    obj.define_fixed_method(
+        "query",
+        "return self.get('payload')",
+        metadata={
+            "doc": "Run a query against the payload.",
+            "params": [{"name": "filter", "kind": "text"}],
+            "returns": "mapping",
+            "tags": ["service", "query"],
+        },
+    )
+    obj.define_fixed_method(
+        "internal",
+        "return 'secret'",
+        acl=owner_only(alice),
+        metadata={"tags": ["internal"]},
+    )
+    obj.seal()
+    return obj
+
+
+class TestDescribe:
+    def test_anonymous_viewer_sees_public_items_only(self, newcomer):
+        description = describe(newcomer)
+        names = description.names()
+        assert "query" in names
+        assert "payload" in names
+        # owner-only items are invisible: encapsulation IS security
+        assert "internal" not in names
+        # the owner-only meta-methods are invisible too
+        assert "addDataItem" not in names
+
+    def test_owner_sees_guarded_items(self, newcomer, alice):
+        names = describe(newcomer, viewer=alice).names()
+        assert "internal" in names
+        assert "addDataItem" in names
+
+    def test_system_sees_everything(self, newcomer):
+        description = describe(newcomer, viewer=SYSTEM)
+        assert "internal" in description.names()
+
+    def test_description_carries_identity(self, newcomer):
+        description = describe(newcomer)
+        assert description.guid == newcomer.guid
+        assert description.display_name == "newcomer"
+        assert description.domain == "technion.ee"
+
+    def test_description_marshals_to_mapping(self, newcomer):
+        mapping = describe(newcomer).to_mapping()
+        assert mapping["guid"] == newcomer.guid
+        assert all(isinstance(item, dict) for item in mapping["items"])
+
+    def test_categories_split(self, newcomer, alice):
+        description = describe(newcomer, viewer=alice)
+        data_names = [d.name for d in description.data_items()]
+        method_names = [d.name for d in description.methods()]
+        assert "payload" in data_names
+        assert "query" in method_names
+        assert "payload" not in method_names
+
+    def test_tower_levels_described(self, alice):
+        obj = build_counter(owner=alice, extensible_meta=True, meta_acl=allow_all())
+        obj.invoke(
+            "addMethod",
+            ["invoke", "return ctx.proceed()", {"acl": allow_all().describe()}],
+            caller=alice,
+        )
+        description = describe(obj, viewer=alice)
+        assert description.tower_depth == 1
+        assert "invoke@level1" in description.names()
+
+
+class TestInterrogate:
+    def test_signature_hints_surface(self, newcomer):
+        protocol = interrogate(newcomer)
+        assert protocol["query"]["doc"].startswith("Run a query")
+        assert protocol["query"]["params"][0]["name"] == "filter"
+        assert protocol["query"]["returns"] == "mapping"
+
+    def test_only_invocable_methods_listed(self, newcomer, bob):
+        protocol = interrogate(newcomer, viewer=bob)
+        assert "query" in protocol
+        assert "internal" not in protocol
+
+    def test_decide_whether_and_how_to_invoke(self, newcomer, bob):
+        # the full newcomer protocol: interrogate, decide, invoke
+        protocol = interrogate(newcomer, viewer=bob)
+        assert can_invoke(newcomer, bob, "query")
+        result = newcomer.invoke("query", [], caller=bob)
+        assert result == {"rows": 3}
+        assert protocol["query"]["returns"] == "mapping"
+
+    def test_meta_flag_identifies_meta_methods(self, newcomer, alice):
+        protocol = interrogate(newcomer, viewer=alice)
+        assert protocol["addDataItem"]["meta"] is True
+        assert protocol["query"]["meta"] is False
+
+
+class TestCanInvoke:
+    def test_missing_method(self, newcomer, bob):
+        assert not can_invoke(newcomer, bob, "no-such-method")
+
+    def test_denied_method(self, newcomer, bob):
+        assert not can_invoke(newcomer, bob, "internal")
+
+    def test_owner_allowed(self, newcomer, alice):
+        assert can_invoke(newcomer, alice, "internal")
+
+    def test_no_side_effects(self, newcomer, bob):
+        before = newcomer.last_record
+        can_invoke(newcomer, bob, "query")
+        assert newcomer.last_record is before
+
+
+class TestFindMethods:
+    def test_find_by_tag(self, newcomer, bob):
+        assert find_methods(newcomer, bob, tags=["query"]) == ["query"]
+
+    def test_all_tags_must_match(self, newcomer, bob):
+        assert find_methods(newcomer, bob, tags=["query", "missing-tag"]) == []
+
+    def test_invisible_methods_not_found(self, newcomer, bob):
+        assert find_methods(newcomer, bob, tags=["internal"]) == []
+
+    def test_no_tags_returns_everything_visible(self, newcomer, bob):
+        names = find_methods(newcomer, bob)
+        assert "query" in names

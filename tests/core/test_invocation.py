@@ -1,0 +1,220 @@
+"""Level-0 invocation: Lookup -> Match -> Apply (Pre -> Body -> Post)."""
+
+import pytest
+
+from repro.core import (
+    AccessDeniedError,
+    MethodNotFoundError,
+    MROMObject,
+    Phase,
+    PostProcedureError,
+    PreProcedureVeto,
+    Principal,
+    owner_only,
+)
+from repro.core.errors import ProcedureSignatureError
+
+
+
+@pytest.fixture
+def caller():
+    return Principal("mrom:obj:caller", "technion.ee", "caller")
+
+
+class TestPhases:
+    def test_happy_path_runs_three_phases(self, counter, caller):
+        assert counter.invoke("increment", [2], caller=caller) == 2
+        phases = counter.last_record.phases_at_level(0)
+        assert phases == [Phase.LOOKUP, Phase.MATCH, Phase.BODY]
+
+    def test_lookup_failure(self, counter, caller):
+        with pytest.raises(MethodNotFoundError):
+            counter.invoke("missing", caller=caller)
+        assert counter.last_record.outcome == "error"
+
+    def test_match_failure_blocks_body(self, caller):
+        obj = MROMObject(display_name="locked")
+        obj.define_fixed_data("hits", 0)
+        obj.define_fixed_method(
+            "secret",
+            "self.set('hits', self.get('hits') + 1)\nreturn 'secret'",
+            acl=owner_only(Principal("mrom:obj:somebody-else")),
+        )
+        obj.seal()
+        with pytest.raises(AccessDeniedError):
+            obj.invoke("secret", caller=caller)
+        assert obj.get_data("hits") == 0
+
+    def test_self_bypasses_match(self):
+        obj = MROMObject(display_name="selfish")
+        obj.define_fixed_method(
+            "inner", "return 'inner'", acl=owner_only(Principal("mrom:obj:nobody"))
+        )
+        obj.define_fixed_method("outer", "return self.call('inner')")
+        obj.seal()
+        # outer is public; inner is reachable only through the object itself
+        assert obj.invoke("outer") == "inner"
+        with pytest.raises(AccessDeniedError):
+            obj.invoke("inner")
+
+
+class TestPreProcedure:
+    def test_pre_true_allows_body(self, caller):
+        obj = MROMObject()
+        obj.define_fixed_method("m", "return 'ran'", pre="return True")
+        obj.seal()
+        assert obj.invoke("m", caller=caller) == "ran"
+        assert Phase.PRE in obj.last_record.phases_at_level(0)
+
+    def test_pre_false_vetoes_body(self, caller):
+        obj = MROMObject()
+        obj.define_fixed_data("ran", False)
+        obj.define_fixed_method(
+            "m", "self.set('ran', True)\nreturn 'ran'", pre="return False"
+        )
+        obj.seal()
+        with pytest.raises(PreProcedureVeto):
+            obj.invoke("m", caller=caller)
+        assert obj.get_data("ran") is False
+        assert obj.last_record.outcome == "veto"
+
+    def test_pre_sees_arguments(self, caller):
+        obj = MROMObject()
+        obj.define_fixed_method(
+            "withdraw",
+            "return args[0]",
+            pre="return args[0] <= 100",
+        )
+        obj.seal()
+        assert obj.invoke("withdraw", [50], caller=caller) == 50
+        with pytest.raises(PreProcedureVeto):
+            obj.invoke("withdraw", [500], caller=caller)
+
+    def test_non_boolean_pre_rejected(self, caller):
+        obj = MROMObject()
+        obj.define_fixed_method("m", "return 1", pre="return 'yes'")
+        obj.seal()
+        with pytest.raises(ProcedureSignatureError):
+            obj.invoke("m", caller=caller)
+
+
+class TestPostProcedure:
+    def test_post_true_passes_result_through(self, caller):
+        obj = MROMObject()
+        obj.define_fixed_method(
+            "m", "return 41 + 1", post="return result == 42"
+        )
+        obj.seal()
+        assert obj.invoke("m", caller=caller) == 42
+
+    def test_post_false_raises_after_body(self, caller):
+        obj = MROMObject()
+        obj.define_fixed_data("ran", False)
+        obj.define_fixed_method(
+            "m",
+            "self.set('ran', True)\nreturn -1",
+            post="return result >= 0",
+        )
+        obj.seal()
+        with pytest.raises(PostProcedureError) as excinfo:
+            obj.invoke("m", caller=caller)
+        assert excinfo.value.result == -1
+        assert obj.get_data("ran") is True  # body DID run; post is an assertion
+
+    def test_assertion_style_pre_and_post(self, caller):
+        # the paper cites class assertions in C++ as a pre/post use case
+        obj = MROMObject()
+        obj.define_fixed_data("balance", 100)
+        obj.define_fixed_method(
+            "withdraw",
+            "self.set('balance', self.get('balance') - args[0])\n"
+            "return self.get('balance')",
+            pre="return args[0] > 0 and args[0] <= self.get('balance')",
+            post="return result >= 0",
+        )
+        obj.seal()
+        assert obj.invoke("withdraw", [30], caller=caller) == 70
+        with pytest.raises(PreProcedureVeto):
+            obj.invoke("withdraw", [1000], caller=caller)
+        assert obj.get_data("balance") == 70
+
+
+class TestDynamicWrapping:
+    def test_pre_attached_at_runtime_via_set_method(self, owned_counter, alice):
+        # "These procedures can be attached to the method dynamically
+        # (by invoking the setMethod meta-method)." Wrapping targets
+        # extensible methods — fixed ones yield no handle.
+        owned_counter.invoke(
+            "addMethod", ["bump", "return self.call('increment', *args)"], caller=alice
+        )
+        _desc, handle = owned_counter.invoke("getMethod", ["bump"], caller=alice)
+        owned_counter.invoke(
+            "setMethod",
+            [handle, {"pre": "return args[0] <= 10 if args else True"}],
+            caller=alice,
+        )
+        assert owned_counter.invoke("bump", [5]) == 5
+        with pytest.raises(PreProcedureVeto):
+            owned_counter.invoke("bump", [50])
+
+    def test_wrapper_removal(self, owned_counter, alice):
+        owned_counter.invoke(
+            "addMethod", ["bump", "return self.call('increment', *args)"], caller=alice
+        )
+        _desc, handle = owned_counter.invoke("getMethod", ["bump"], caller=alice)
+        owned_counter.invoke("setMethod", [handle, {"pre": "return False"}], caller=alice)
+        with pytest.raises(PreProcedureVeto):
+            owned_counter.invoke("bump", [1])
+        owned_counter.invoke("setMethod", [handle, {"pre": None}], caller=alice)
+        assert owned_counter.invoke("bump", [1]) == 1
+
+    def test_fixed_method_yields_no_handle(self, owned_counter, alice):
+        description, handle = owned_counter.invoke(
+            "getMethod", ["increment"], caller=alice
+        )
+        assert description["section"] == "fixed"
+        assert handle is None
+
+
+class TestRecords:
+    def test_tracing_keeps_history(self, counter, caller):
+        counter.enable_tracing(True)
+        counter.invoke("increment", [1], caller=caller)
+        counter.invoke("peek", caller=caller)
+        records = counter.invocation_records()
+        assert [r.method for r in records] == ["increment", "peek"]
+        assert all(r.outcome == "ok" for r in records)
+
+    def test_tracing_off_keeps_only_last(self, counter, caller):
+        counter.invoke("increment", [1], caller=caller)
+        counter.invoke("peek", caller=caller)
+        assert counter.invocation_records() == ()
+        assert counter.last_record.method == "peek"
+
+    def test_record_render_mentions_phases(self, counter, caller):
+        counter.invoke("peek", caller=caller)
+        rendered = counter.last_record.render()
+        assert "lookup" in rendered and "match" in rendered and "body" in rendered
+
+    def test_caller_identity_recorded(self, counter, caller):
+        counter.invoke("peek", caller=caller)
+        assert counter.last_record.caller == caller.guid
+
+
+class TestPrimitiveBypass:
+    def test_invoke_primitive_skips_tower(self, open_meta_counter, alice):
+        open_meta_counter.invoke(
+            "addMethod",
+            ["invoke", "return 'absorbed'"],
+            caller=alice,
+        )
+        # the tower absorbs everything...
+        assert open_meta_counter.invoke("peek") == "absorbed"
+        # ...but the level-0 primitive is still intact underneath
+        assert open_meta_counter.invoke_primitive("peek") == 0
+
+
+def test_counter_fixture_behaves(counter):
+    assert counter.invoke("increment") == 1
+    assert counter.invoke("increment", [4]) == 5
+    assert counter.invoke("peek") == 5

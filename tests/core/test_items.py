@@ -1,0 +1,210 @@
+"""Items: data items, methods, handles, descriptions."""
+
+import pytest
+
+from repro.core import (
+    AccessDeniedError,
+    DataItem,
+    ItemContainer,
+    ItemHandle,
+    Kind,
+    MROMMethod,
+    Permission,
+    Principal,
+    StaleHandleError,
+    allow_all,
+    owner_only,
+)
+from repro.core.errors import CoercionError, KindError
+
+
+@pytest.fixture
+def reader():
+    return Principal("mrom://x/1.1", "dom", "reader")
+
+
+class TestDataItem:
+    def test_value_access_with_acl(self, reader):
+        item = DataItem("x", 5, acl=allow_all())
+        assert item.get_value(reader) == 5
+        item.set_value(reader, 6)
+        assert item.peek() == 6
+
+    def test_denied_access(self, reader):
+        item = DataItem("x", 5, acl=owner_only(Principal("mrom://other/1.1")))
+        with pytest.raises(AccessDeniedError):
+            item.get_value(reader)
+        with pytest.raises(AccessDeniedError):
+            item.set_value(reader, 6)
+
+    def test_declared_kind_coerces_on_write(self, reader):
+        item = DataItem("n", "42", kind=Kind.INTEGER)
+        assert item.peek() == 42
+        item.set_value(reader, "17")
+        assert item.peek() == 17
+
+    def test_uncoercible_write_rejected(self, reader):
+        item = DataItem("n", 0, kind=Kind.INTEGER)
+        with pytest.raises(CoercionError):
+            item.set_value(reader, "not a number")
+        assert item.peek() == 0
+
+    def test_poke_respects_kind(self):
+        item = DataItem("n", 0, kind=Kind.INTEGER)
+        item.poke("5")
+        assert item.peek() == 5
+        with pytest.raises(CoercionError):
+            item.poke([1, 2])
+
+    def test_set_kind_recoerces_current_value(self):
+        item = DataItem("n", "123")
+        item.set_kind(Kind.INTEGER)
+        assert item.peek() == 123
+        assert item.version == 2
+
+    def test_set_kind_validates(self):
+        with pytest.raises(KindError):
+            DataItem("n", 0).set_kind("integer")  # must be a Kind, not str
+
+    def test_describe(self):
+        item = DataItem("n", 1, kind=Kind.INTEGER, metadata={"doc": "a number"})
+        described = item.describe("fixed")
+        assert described.name == "n"
+        assert described.category == "data"
+        assert described.section == "fixed"
+        assert described.kind == "integer"
+        assert described.metadata["doc"] == "a number"
+
+    def test_rename_bumps_version(self):
+        item = DataItem("old", 1)
+        item.rename("new")
+        assert item.name == "new"
+        assert item.version == 2
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            DataItem("", 1)
+        item = DataItem("ok", 1)
+        with pytest.raises(ValueError):
+            item.rename("")
+
+
+class TestVisibility:
+    def test_invisible_when_no_permission_at_all(self, reader):
+        hidden = DataItem("x", 1, acl=owner_only(Principal("mrom://o/1.1")))
+        assert not hidden.visible_to(reader)
+
+    def test_visible_with_any_of_get_invoke_meta(self, reader):
+        from repro.core import AccessControlList, AclEntry
+
+        for permission in (Permission.GET, Permission.INVOKE, Permission.META):
+            item = DataItem(
+                "x", 1,
+                acl=AccessControlList([AclEntry(reader.guid, permission)]),
+            )
+            assert item.visible_to(reader)
+
+    def test_set_only_is_not_visibility(self, reader):
+        from repro.core import AccessControlList, AclEntry
+
+        item = DataItem(
+            "x", 1, acl=AccessControlList([AclEntry(reader.guid, Permission.SET)])
+        )
+        assert not item.visible_to(reader)
+
+
+class TestMROMMethod:
+    def test_portability_depends_on_all_components(self):
+        portable = MROMMethod("m", "return 1", pre="return True")
+        assert portable.portable
+        mixed = MROMMethod("m", "return 1", pre=lambda s, a, c: True)
+        assert not mixed.portable
+
+    def test_component_swaps_bump_version(self):
+        method = MROMMethod("m", "return 1")
+        method.set_pre("return True")
+        method.set_post("return True")
+        method.set_body("return 2")
+        assert method.version == 4
+
+    def test_body_is_mandatory(self):
+        with pytest.raises(ValueError):
+            MROMMethod("m", None)
+        method = MROMMethod("m", "return 1")
+        with pytest.raises(ValueError):
+            method.set_body(None)
+
+    def test_pack_components_round_trip(self):
+        method = MROMMethod(
+            "m", "return args[0]", pre="return True", post="return True",
+            metadata={"doc": "d"},
+        )
+        rebuilt = MROMMethod.from_packed(
+            "m", method.pack_components(), metadata=dict(method.metadata)
+        )
+        assert rebuilt.portable
+        assert rebuilt.body.call(None, [9], None) == 9
+
+    def test_describe_flags_wrappers(self):
+        bare = MROMMethod("m", "return 1").describe("fixed")
+        assert not bare.has_pre and not bare.has_post
+        wrapped = MROMMethod(
+            "m", "return 1", pre="return True", post="return True"
+        ).describe("extensible")
+        assert wrapped.has_pre and wrapped.has_post
+
+    def test_verify_compiles_all_components(self):
+        from repro.core import SandboxViolation
+
+        method = MROMMethod("m", "return 1", pre="import os\nreturn True")
+        with pytest.raises(SandboxViolation):
+            method.verify()
+
+
+class TestHandles:
+    def test_valid_while_item_in_container(self):
+        container = ItemContainer("c")
+        item = DataItem("x", 1)
+        container.add(item)
+        handle = ItemHandle(item, container)
+        assert handle.is_valid()
+        assert handle.item is item
+
+    def test_stale_after_removal(self):
+        container = ItemContainer("c")
+        item = DataItem("x", 1)
+        container.add(item)
+        handle = ItemHandle(item, container)
+        container.remove("x")
+        assert not handle.is_valid()
+        with pytest.raises(StaleHandleError):
+            handle.ensure_valid()
+
+    def test_stale_after_replacement(self):
+        container = ItemContainer("c")
+        item = DataItem("x", 1)
+        container.add(item)
+        handle = ItemHandle(item, container)
+        container.replace("x", DataItem("x", 2))
+        assert not handle.is_valid()
+
+    def test_survives_rename(self):
+        container = ItemContainer("c")
+        item = DataItem("x", 1)
+        container.add(item)
+        handle = ItemHandle(item, container)
+        container.rename("x", "y")
+        assert handle.is_valid()
+        assert handle.name == "y"
+
+    def test_token_carries_instance_nonce(self):
+        container = ItemContainer("c")
+        item = DataItem("x", 1)
+        container.add(item)
+        token = ItemHandle(item, container).token()
+        assert token["__item_handle__"] is True
+        assert token["nonce"] == item.nonce
+        assert token["category"] == "data"
+
+    def test_nonces_are_per_instance(self):
+        assert DataItem("x", 1).nonce != DataItem("x", 1).nonce

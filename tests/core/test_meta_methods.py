@@ -1,0 +1,233 @@
+"""The bundled meta-methods: reflective structure manipulation."""
+
+import pytest
+
+from repro.core import (
+    AccessDeniedError,
+    DuplicateItemError,
+    FixedSectionError,
+    ItemNotFoundError,
+    Kind,
+    META_METHOD_NAMES,
+    StaleHandleError,
+    allow_all,
+    owner_only,
+)
+from repro.core.errors import StructureError
+
+from ..conftest import build_counter
+
+
+class TestBundling:
+    def test_meta_methods_are_inside_the_object(self, counter):
+        # self-containment: no separate meta-object; every meta-method is
+        # an ordinary method of the object itself
+        for name in META_METHOD_NAMES:
+            assert counter.containers.has_method(name)
+
+    def test_meta_methods_fixed_by_default(self, counter):
+        for name in META_METHOD_NAMES:
+            _method, section = counter.containers.lookup_method(name)
+            assert section == "fixed"
+
+    def test_meta_methods_extensible_on_request(self, open_meta_counter):
+        for name in META_METHOD_NAMES:
+            _method, section = open_meta_counter.containers.lookup_method(name)
+            assert section == "extensible"
+
+
+class TestAddDataItem:
+    def test_add_then_read(self, owned_counter, alice):
+        owned_counter.invoke("addDataItem", ["label", "hot"], caller=alice)
+        assert owned_counter.get_data("label", caller=alice) == "hot"
+
+    def test_add_with_kind_coerces(self, owned_counter, alice):
+        owned_counter.invoke(
+            "addDataItem", ["limit", "42", {"kind": Kind.INTEGER}], caller=alice
+        )
+        assert owned_counter.get_data("limit", caller=alice) == 42
+
+    def test_add_with_kind_by_name(self, owned_counter, alice):
+        owned_counter.invoke(
+            "addDataItem", ["limit", "42", {"kind": "integer"}], caller=alice
+        )
+        assert owned_counter.get_data("limit", caller=alice) == 42
+
+    def test_add_duplicate_rejected(self, owned_counter, alice):
+        owned_counter.invoke("addDataItem", ["x", 1], caller=alice)
+        with pytest.raises(DuplicateItemError):
+            owned_counter.invoke("addDataItem", ["x", 2], caller=alice)
+
+    def test_cannot_shadow_fixed_data(self, owned_counter, alice):
+        with pytest.raises(DuplicateItemError):
+            owned_counter.invoke("addDataItem", ["count", 99], caller=alice)
+
+    def test_returns_description(self, owned_counter, alice):
+        description = owned_counter.invoke("addDataItem", ["x", 1], caller=alice)
+        assert description["name"] == "x"
+        assert description["section"] == "extensible"
+
+
+class TestDeleteDataItem:
+    def test_delete_extensible(self, owned_counter, alice):
+        owned_counter.invoke("addDataItem", ["x", 1], caller=alice)
+        owned_counter.invoke("deleteDataItem", ["x"], caller=alice)
+        assert not owned_counter.containers.has_data("x")
+
+    def test_delete_fixed_rejected(self, owned_counter, alice):
+        with pytest.raises(FixedSectionError):
+            owned_counter.invoke("deleteDataItem", ["count"], caller=alice)
+
+    def test_delete_missing_rejected(self, owned_counter, alice):
+        with pytest.raises(ItemNotFoundError):
+            owned_counter.invoke("deleteDataItem", ["ghost"], caller=alice)
+
+
+class TestGetSetDataItem:
+    def test_get_returns_description_and_handle(self, owned_counter, alice):
+        owned_counter.invoke("addDataItem", ["x", 1], caller=alice)
+        description, handle = owned_counter.invoke(
+            "getDataItem", ["x"], caller=alice
+        )
+        assert description["name"] == "x"
+        assert handle.is_valid()
+
+    def test_set_renames_item(self, owned_counter, alice):
+        owned_counter.invoke("addDataItem", ["x", 7], caller=alice)
+        _d, handle = owned_counter.invoke("getDataItem", ["x"], caller=alice)
+        owned_counter.invoke("setDataItem", [handle, {"name": "y"}], caller=alice)
+        assert owned_counter.get_data("y", caller=alice) == 7
+        assert not owned_counter.containers.has_data("x")
+
+    def test_set_changes_dynamic_kind(self, owned_counter, alice):
+        owned_counter.invoke("addDataItem", ["x", "123"], caller=alice)
+        _d, handle = owned_counter.invoke("getDataItem", ["x"], caller=alice)
+        owned_counter.invoke(
+            "setDataItem", [handle, {"kind": Kind.INTEGER}], caller=alice
+        )
+        assert owned_counter.get_data("x", caller=alice) == 123
+
+    def test_set_changes_acl(self, owned_counter, alice, bob):
+        owned_counter.invoke("addDataItem", ["x", 1], caller=alice)
+        _d, handle = owned_counter.invoke("getDataItem", ["x"], caller=alice)
+        owned_counter.invoke(
+            "setDataItem",
+            [handle, {"acl": owner_only(alice).describe()}],
+            caller=alice,
+        )
+        with pytest.raises(AccessDeniedError):
+            owned_counter.get_data("x", caller=bob)
+        assert owned_counter.get_data("x", caller=alice) == 1
+
+    def test_stale_handle_after_delete(self, owned_counter, alice):
+        owned_counter.invoke("addDataItem", ["x", 1], caller=alice)
+        _d, handle = owned_counter.invoke("getDataItem", ["x"], caller=alice)
+        owned_counter.invoke("deleteDataItem", ["x"], caller=alice)
+        with pytest.raises(StaleHandleError):
+            owned_counter.invoke("setDataItem", [handle, {"name": "y"}], caller=alice)
+
+    def test_set_requires_real_handle(self, owned_counter, alice):
+        with pytest.raises(StructureError):
+            owned_counter.invoke(
+                "setDataItem", ["not-a-handle", {"name": "y"}], caller=alice
+            )
+
+    def test_fixed_data_description_without_handle(self, owned_counter, alice):
+        description, handle = owned_counter.invoke(
+            "getDataItem", ["count"], caller=alice
+        )
+        assert description["section"] == "fixed"
+        assert handle is None
+
+    def test_version_bumped_by_property_change(self, owned_counter, alice):
+        owned_counter.invoke("addDataItem", ["x", 1], caller=alice)
+        before, handle = owned_counter.invoke("getDataItem", ["x"], caller=alice)
+        owned_counter.invoke(
+            "setDataItem", [handle, {"metadata": {"doc": "a thing"}}], caller=alice
+        )
+        after, _h = owned_counter.invoke("getDataItem", ["x"], caller=alice)
+        assert after["version"] > before["version"]
+        assert after["metadata"]["doc"] == "a thing"
+
+
+class TestMethodMetaOperations:
+    def test_add_method_and_invoke(self, owned_counter, alice):
+        owned_counter.invoke(
+            "addMethod", ["double", "return 2 * self.call('peek')"], caller=alice
+        )
+        owned_counter.invoke("increment", [3])
+        assert owned_counter.invoke("double") == 6
+
+    def test_added_method_with_custom_acl(self, owned_counter, alice, bob):
+        owned_counter.invoke(
+            "addMethod",
+            ["secret", "return 'hidden'", {"acl": owner_only(alice).describe()}],
+            caller=alice,
+        )
+        assert owned_counter.invoke("secret", caller=alice) == "hidden"
+        with pytest.raises(AccessDeniedError):
+            owned_counter.invoke("secret", caller=bob)
+
+    def test_delete_method(self, owned_counter, alice):
+        owned_counter.invoke("addMethod", ["temp", "return 1"], caller=alice)
+        owned_counter.invoke("deleteMethod", ["temp"], caller=alice)
+        assert not owned_counter.containers.has_method("temp")
+
+    def test_delete_fixed_method_rejected(self, owned_counter, alice):
+        with pytest.raises(FixedSectionError):
+            owned_counter.invoke("deleteMethod", ["increment"], caller=alice)
+
+    def test_set_method_body_changes_semantics(self, owned_counter, alice):
+        # mutability: "operations on existing objects that may change
+        # their semantics" — exactly what Java 1.1 reflection could not do
+        owned_counter.invoke("addMethod", ["greet", "return 'hello'"], caller=alice)
+        assert owned_counter.invoke("greet") == "hello"
+        _d, handle = owned_counter.invoke("getMethod", ["greet"], caller=alice)
+        owned_counter.invoke(
+            "setMethod", [handle, {"body": "return 'shalom'"}], caller=alice
+        )
+        assert owned_counter.invoke("greet") == "shalom"
+
+    def test_reflective_invoke_meta_method(self, owned_counter, alice):
+        # "invoke ... is used to invoke any method of the object,
+        # including meta-methods"
+        result = owned_counter.invoke(
+            "invoke", ["addDataItem", ["via-invoke", 5]], caller=alice
+        )
+        assert result["name"] == "via-invoke"
+        assert owned_counter.get_data("via-invoke", caller=alice) == 5
+
+    def test_reflective_invoke_ordinary_method(self, counter):
+        assert counter.invoke("invoke", ["increment", [4]]) == 4
+
+
+class TestMetaSecurity:
+    def test_default_meta_acl_is_owner_only(self, owned_counter, alice, mallory):
+        # the Ambassador duality: the host must not reach the guest's
+        # self-changing operations
+        with pytest.raises(AccessDeniedError):
+            owned_counter.invoke("addDataItem", ["evil", 1], caller=mallory)
+        owned_counter.invoke("addDataItem", ["fine", 1], caller=alice)
+
+    def test_anonymous_cannot_mutate(self, owned_counter):
+        with pytest.raises(AccessDeniedError):
+            owned_counter.invoke("deleteDataItem", ["count"])
+
+    def test_per_item_meta_permission(self, alice, bob):
+        # alice's object grants bob INVOKE on the meta-methods, but a
+        # specific item still denies bob META — per-item granularity wins
+        obj = build_counter(owner=alice, extensible_meta=True, meta_acl=allow_all())
+        obj.invoke(
+            "addDataItem",
+            ["guarded", 1, {"acl": owner_only(alice).describe()}],
+            caller=alice,
+        )
+        with pytest.raises(AccessDeniedError):
+            obj.invoke("deleteDataItem", ["guarded"], caller=bob)
+        obj.invoke("deleteDataItem", ["guarded"], caller=alice)
+
+    def test_wrong_arity_reported(self, owned_counter, alice):
+        with pytest.raises(StructureError):
+            owned_counter.invoke("getDataItem", [], caller=alice)
+        with pytest.raises(StructureError):
+            owned_counter.invoke("addDataItem", ["only-name"], caller=alice)

@@ -1,0 +1,178 @@
+"""Meta-mutability: the tower of meta-invoke levels (Figure 1)."""
+
+import pytest
+
+from repro.core import (
+    FixedSectionError,
+    Phase,
+    PreProcedureVeto,
+    allow_all,
+)
+
+from ..conftest import build_counter
+
+
+PASS_THROUGH = "return ctx.proceed()"
+
+
+def add_level(obj, owner, body=PASS_THROUGH, properties=None):
+    props = {"acl": allow_all().describe()}
+    props.update(properties or {})
+    return obj.invoke("addMethod", ["invoke", body, props], caller=owner)
+
+
+class TestTowerMechanics:
+    def test_fixed_meta_objects_refuse_levels(self, counter):
+        from repro.core import SYSTEM
+
+        with pytest.raises(FixedSectionError):
+            counter.invoke("addMethod", ["invoke", PASS_THROUGH], caller=SYSTEM)
+
+    def test_figure1_two_level_trace(self, open_meta_counter, alice):
+        """Reproduce Figure 1: a two-level invocation of Mfoo on Obar."""
+        add_level(open_meta_counter, alice)  # level 1
+        add_level(open_meta_counter, alice)  # level 2
+        open_meta_counter.invoke("peek")
+        record = open_meta_counter.last_record
+        # entry at the top, descent to 0, unwinding back up
+        assert record.levels() == [2, 1, 0]
+        assert record.phases_at_level(0) == [Phase.LOOKUP, Phase.MATCH, Phase.BODY]
+        # the meta levels each ran Match then (eventually) Body
+        assert record.phases_at_level(2) == [Phase.MATCH, Phase.BODY]
+        assert record.phases_at_level(1) == [Phase.MATCH, Phase.BODY]
+
+    def test_pass_through_preserves_semantics(self, open_meta_counter, alice):
+        add_level(open_meta_counter, alice)
+        assert open_meta_counter.invoke("increment", [3]) == 3
+        assert open_meta_counter.invoke("peek") == 3
+
+    def test_meta_level_can_transform_results(self, open_meta_counter, alice):
+        add_level(open_meta_counter, alice, "return ['wrapped', ctx.proceed()]")
+        assert open_meta_counter.invoke("peek") == ["wrapped", 0]
+
+    def test_meta_level_can_absorb_invocations(self, open_meta_counter, alice):
+        # the database-shutdown pattern: never proceed, answer directly
+        add_level(
+            open_meta_counter,
+            alice,
+            "return 'database is down for maintenance'",
+        )
+        assert open_meta_counter.invoke("peek") == "database is down for maintenance"
+        # level 0 underneath is untouched
+        assert open_meta_counter.invoke_primitive("peek") == 0
+
+    def test_delete_method_pops_top_level(self, open_meta_counter, alice):
+        # each level absorbs only 'peek'; meta-operations pass through
+        # (a level that absorbed *everything* would block the second
+        # addMethod too — the tower intercepts all invocations)
+        add_level(
+            open_meta_counter, alice,
+            "if ctx.target == 'peek':\n    return 'L1'\nreturn ctx.proceed()",
+        )
+        add_level(
+            open_meta_counter, alice,
+            "if ctx.target == 'peek':\n    return 'L2'\nreturn ctx.proceed()",
+        )
+        assert open_meta_counter.invoke("peek") == "L2"
+        open_meta_counter.invoke("deleteMethod", ["invoke"], caller=alice)
+        assert open_meta_counter.invoke("peek") == "L1"
+        open_meta_counter.invoke("deleteMethod", ["invoke"], caller=alice)
+        assert open_meta_counter.invoke("peek") == 0
+
+    def test_applies_to_all_methods_of_the_object(self, open_meta_counter, alice):
+        # "Since the pre-procedure is on the invoke method itself, it
+        # applies to the invocation of all methods in the object"
+        add_level(
+            open_meta_counter,
+            alice,
+            "self.env['calls'] = self.env.get('calls', 0) + 1\nreturn ctx.proceed()",
+        )
+        open_meta_counter.invoke("peek")
+        open_meta_counter.invoke("increment", [1])
+        open_meta_counter.invoke("peek")
+        assert open_meta_counter.environment["calls"] == 3
+
+
+class TestChargingPattern:
+    """The paper's 'code renting' example: a level-1 meta-invoke whose
+    pre-procedure performs the required charging."""
+
+    def test_charging_pre_procedure(self, alice):
+        obj = build_counter(owner=alice, extensible_meta=True, meta_acl=allow_all())
+        obj.environment["credit"] = 2
+        add_level(
+            obj,
+            alice,
+            PASS_THROUGH,
+            {
+                "pre": (
+                    "if self.env['credit'] <= 0:\n"
+                    "    return False\n"
+                    "self.env['credit'] = self.env['credit'] - 1\n"
+                    "return True"
+                )
+            },
+        )
+        assert obj.invoke("increment") == 1
+        assert obj.invoke("increment") == 2
+        with pytest.raises(PreProcedureVeto):
+            obj.invoke("increment")
+        # nothing ran: the veto protected the body at every level below
+        assert obj.invoke_primitive("peek") == 2
+
+    def test_charging_trace_shows_pre_at_level1(self, alice):
+        obj = build_counter(owner=alice, extensible_meta=True, meta_acl=allow_all())
+        obj.environment["credit"] = 5
+        add_level(
+            obj,
+            alice,
+            PASS_THROUGH,
+            {"pre": "self.env['credit'] = self.env['credit'] - 1\nreturn True"},
+        )
+        obj.invoke("peek")
+        assert Phase.PRE in obj.last_record.phases_at_level(1)
+        assert Phase.PRE not in obj.last_record.phases_at_level(0)
+
+
+class TestTowerIntrospection:
+    def test_get_method_returns_top_of_tower(self, open_meta_counter, alice):
+        add_level(open_meta_counter, alice)
+        description, handle = open_meta_counter.invoke(
+            "getMethod", ["invoke"], caller=alice
+        )
+        assert handle.is_valid()
+        # mutate the top level in place
+        open_meta_counter.invoke(
+            "setMethod", [handle, {"body": "return 'patched'"}], caller=alice
+        )
+        assert open_meta_counter.invoke("peek") == "patched"
+
+    def test_tower_levels_in_describe_items(self, open_meta_counter, alice):
+        add_level(open_meta_counter, alice)
+        add_level(open_meta_counter, alice)
+        names = [d.name for d in open_meta_counter.describe_items()]
+        assert "invoke@level1" in names
+        assert "invoke@level2" in names
+
+    def test_popped_level_handle_goes_stale(self, open_meta_counter, alice):
+        add_level(open_meta_counter, alice)
+        _d, handle = open_meta_counter.invoke("getMethod", ["invoke"], caller=alice)
+        open_meta_counter.invoke("deleteMethod", ["invoke"], caller=alice)
+        assert not handle.is_valid()
+
+
+class TestTowerDepth:
+    def test_many_levels_still_correct(self, open_meta_counter, alice):
+        for _ in range(10):
+            add_level(open_meta_counter, alice)
+        assert open_meta_counter.invoke("increment", [2]) == 2
+        assert open_meta_counter.last_record.levels()[0] == 10
+
+    def test_depth_guard(self, open_meta_counter, alice):
+        from repro.core import MAX_META_LEVELS
+        from repro.core.errors import InvocationDepthError
+
+        for _ in range(MAX_META_LEVELS + 1):
+            add_level(open_meta_counter, alice)
+        with pytest.raises(InvocationDepthError):
+            open_meta_counter.invoke("peek")

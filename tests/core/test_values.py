@@ -1,0 +1,216 @@
+"""Weak typing: kind classification and generic coercion."""
+
+import math
+
+import pytest
+
+from repro.core import CoercionError, HtmlText, Kind, coerce, conforms, kind_of
+from repro.core.errors import KindError
+from repro.core.values import coerce_all, strip_html
+
+
+class TestKindOf:
+    def test_null(self):
+        assert kind_of(None) is Kind.NULL
+
+    def test_boolean_is_not_integer(self):
+        assert kind_of(True) is Kind.BOOLEAN
+        assert kind_of(1) is Kind.INTEGER
+
+    def test_real(self):
+        assert kind_of(3.25) is Kind.REAL
+
+    def test_text_and_html_distinct(self):
+        assert kind_of("plain") is Kind.TEXT
+        assert kind_of(HtmlText("<b>bold</b>")) is Kind.HTML
+
+    def test_binary(self):
+        assert kind_of(b"\x00\x01") is Kind.BINARY
+        assert kind_of(bytearray(b"x")) is Kind.BINARY
+
+    def test_collections(self):
+        assert kind_of([1, 2]) is Kind.LIST
+        assert kind_of((1, 2)) is Kind.LIST
+        assert kind_of({"a": 1}) is Kind.MAPPING
+
+    def test_reference_via_guid_attribute(self):
+        class Ref:
+            guid = "mrom:obj:x"
+
+        assert kind_of(Ref()) is Kind.REFERENCE
+
+    def test_unclassifiable_raises(self):
+        with pytest.raises(KindError):
+            kind_of(object())
+
+
+class TestConforms:
+    def test_any_accepts_everything(self):
+        assert conforms(42, Kind.ANY)
+        assert conforms(None, Kind.ANY)
+
+    def test_html_is_text(self):
+        assert conforms(HtmlText("<i>x</i>"), Kind.TEXT)
+
+    def test_text_is_not_html(self):
+        assert not conforms("plain", Kind.HTML)
+
+    def test_unclassifiable_conforms_nothing(self):
+        assert not conforms(object(), Kind.TEXT)
+
+
+class TestHtmlStripping:
+    def test_tags_removed(self):
+        assert strip_html("<p>hello <b>world</b></p>") == "hello world"
+
+    def test_entities_decoded(self):
+        assert strip_html("a &amp; b &lt;c&gt;") == "a & b <c>"
+
+    def test_whitespace_normalised(self):
+        assert strip_html("<div>\n  a\n\n  b </div>") == "a b"
+
+    def test_visible_text_method(self):
+        assert HtmlText("<td>42</td>").visible_text() == "42"
+
+
+class TestCoerceInteger:
+    def test_paper_example_html_to_integer(self):
+        # the motivating example from Section 1
+        assert coerce(HtmlText("<td><b>1200</b></td>"), Kind.INTEGER) == 1200
+
+    def test_embedded_number_in_prose(self):
+        assert coerce("salary: 1200 NIS", Kind.INTEGER) == 1200
+
+    def test_negative_and_signed(self):
+        assert coerce("-17", Kind.INTEGER) == -17
+        assert coerce("+4", Kind.INTEGER) == 4
+
+    def test_boolean_to_integer(self):
+        assert coerce(True, Kind.INTEGER) == 1
+
+    def test_whole_real_to_integer(self):
+        assert coerce(5.0, Kind.INTEGER) == 5
+
+    def test_fractional_real_rejected(self):
+        with pytest.raises(CoercionError):
+            coerce(5.5, Kind.INTEGER)
+
+    def test_nan_rejected(self):
+        with pytest.raises(CoercionError):
+            coerce(float("nan"), Kind.INTEGER)
+
+    def test_no_numeric_content_rejected(self):
+        with pytest.raises(CoercionError):
+            coerce("no numbers here", Kind.INTEGER)
+
+    def test_html_without_number_rejected(self):
+        with pytest.raises(CoercionError):
+            coerce(HtmlText("<p>maintenance</p>"), Kind.INTEGER)
+
+
+class TestCoerceReal:
+    def test_text_with_exponent(self):
+        assert coerce("1.5e3", Kind.REAL) == 1500.0
+
+    def test_integer_widens(self):
+        result = coerce(7, Kind.REAL)
+        assert result == 7.0 and isinstance(result, float)
+
+    def test_html_table_cell(self):
+        assert math.isclose(coerce(HtmlText("<td>3.14</td>"), Kind.REAL), 3.14)
+
+
+class TestCoerceBoolean:
+    @pytest.mark.parametrize("word", ["true", "Yes", "ON", "1", "y"])
+    def test_true_words(self, word):
+        assert coerce(word, Kind.BOOLEAN) is True
+
+    @pytest.mark.parametrize("word", ["false", "No", "off", "0", ""])
+    def test_false_words(self, word):
+        assert coerce(word, Kind.BOOLEAN) is False
+
+    def test_numbers(self):
+        assert coerce(0, Kind.BOOLEAN) is False
+        assert coerce(2, Kind.BOOLEAN) is True
+
+    def test_null_is_false(self):
+        assert coerce(None, Kind.BOOLEAN) is False
+
+    def test_ambiguous_word_rejected(self):
+        with pytest.raises(CoercionError):
+            coerce("maybe", Kind.BOOLEAN)
+
+
+class TestCoerceTextHtmlBinary:
+    def test_html_to_text_renders(self):
+        assert coerce(HtmlText("<b>bold</b> move"), Kind.TEXT) == "bold move"
+
+    def test_text_to_html_escapes(self):
+        result = coerce("a < b", Kind.HTML)
+        assert isinstance(result, HtmlText)
+        assert "&lt;" in result
+
+    def test_html_to_html_identity(self):
+        original = HtmlText("<i>x</i>")
+        assert coerce(original, Kind.HTML) is original
+
+    def test_integer_to_text(self):
+        assert coerce(42, Kind.TEXT) == "42"
+
+    def test_binary_roundtrip_via_text(self):
+        assert coerce("héllo", Kind.BINARY) == "héllo".encode("utf-8")
+        assert coerce(b"h\xc3\xa9llo", Kind.TEXT) == "héllo"
+
+    def test_list_to_text_rejected(self):
+        with pytest.raises(CoercionError):
+            coerce([1, 2], Kind.TEXT)
+
+
+class TestCoerceCollections:
+    def test_mapping_to_list_of_pairs(self):
+        assert coerce({"a": 1}, Kind.LIST) == [["a", 1]]
+
+    def test_pairs_to_mapping(self):
+        assert coerce([["a", 1], ["b", 2]], Kind.MAPPING) == {"a": 1, "b": 2}
+
+    def test_scalar_to_singleton_list(self):
+        assert coerce(5, Kind.LIST) == [5]
+
+    def test_null_to_empty_collections(self):
+        assert coerce(None, Kind.LIST) == []
+        assert coerce(None, Kind.MAPPING) == {}
+
+    def test_non_pair_list_to_mapping_rejected(self):
+        with pytest.raises(CoercionError):
+            coerce([1, 2, 3], Kind.MAPPING)
+
+    def test_scalar_to_mapping_rejected(self):
+        with pytest.raises(CoercionError):
+            coerce(5, Kind.MAPPING)
+
+
+class TestCoerceEdges:
+    def test_any_is_identity(self):
+        marker = {"x": [1]}
+        assert coerce(marker, Kind.ANY) is marker
+
+    def test_null_target(self):
+        assert coerce(None, Kind.NULL) is None
+        with pytest.raises(CoercionError):
+            coerce(0, Kind.NULL)
+
+    def test_reference_passthrough_and_rejection(self):
+        class Ref:
+            guid = "g"
+
+        ref = Ref()
+        assert coerce(ref, Kind.REFERENCE) is ref
+        with pytest.raises(CoercionError):
+            coerce("not a ref", Kind.REFERENCE)
+
+    def test_coerce_all_elementwise(self):
+        assert coerce_all(["1", "2.5"], [Kind.INTEGER, Kind.REAL]) == [1, 2.5]
+
+    def test_coerce_all_arity_mismatch(self):
+        with pytest.raises(CoercionError):
+            coerce_all(["1"], [Kind.INTEGER, Kind.REAL])

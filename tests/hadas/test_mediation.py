@@ -1,0 +1,125 @@
+"""Mediation: coercing the invocation boundary."""
+
+import pytest
+
+from repro.core import (
+    HtmlText,
+    Kind,
+    MROMObject,
+    PreProcedureVeto,
+    Principal,
+    allow_all,
+)
+from repro.hadas.mediation import (
+    attach_argument_mediator,
+    attach_result_mediator,
+    mediate_import,
+)
+
+
+@pytest.fixture
+def owner():
+    return Principal("mrom://x/1.1", "dom", "owner")
+
+
+@pytest.fixture
+def service(owner):
+    """An extensible service whose operation expects clean typed args."""
+    obj = MROMObject(display_name="svc", owner=owner, extensible_meta=True)
+    obj.seal()
+    view = obj.self_view()
+    view.add_method(
+        "raise_salary",
+        # body assumes (text name, integer amount)
+        "return {'name': args[0], 'new_salary': 4000 + args[1]}",
+        {"acl": allow_all().describe()},
+    )
+    view.add_method("payroll", "return '41200'", {"acl": allow_all().describe()})
+    return obj
+
+
+class TestArgumentMediation:
+    def test_html_argument_coerced(self, service, owner):
+        attach_argument_mediator(
+            service, "raise_salary", [Kind.TEXT, Kind.INTEGER], updater=owner
+        )
+        result = service.invoke(
+            "raise_salary",
+            ["moshe", HtmlText("<td><b>500</b></td>")],
+        )
+        assert result == {"name": "moshe", "new_salary": 4500}
+
+    def test_text_number_coerced(self, service, owner):
+        attach_argument_mediator(
+            service, "raise_salary", [Kind.TEXT, Kind.INTEGER], updater=owner
+        )
+        assert service.invoke("raise_salary", ["dana", "250"])["new_salary"] == 4250
+
+    def test_uncoercible_argument_vetoes(self, service, owner):
+        attach_argument_mediator(
+            service, "raise_salary", [Kind.TEXT, Kind.INTEGER], updater=owner
+        )
+        with pytest.raises(PreProcedureVeto):
+            service.invoke("raise_salary", ["moshe", "not a number"])
+
+    def test_extra_arguments_pass_through(self, service, owner):
+        attach_argument_mediator(
+            service, "raise_salary", [Kind.TEXT], updater=owner
+        )
+        result = service.invoke("raise_salary", [123, 500])
+        assert result["name"] == "123"  # coerced to text
+        assert result["new_salary"] == 4500  # untouched
+
+    def test_pad_missing(self, service, owner):
+        service.self_view().add_method(
+            "arity_probe", "return len(args)", {"acl": allow_all().describe()}
+        )
+        attach_argument_mediator(
+            service, "arity_probe", [Kind.ANY, Kind.ANY, Kind.ANY],
+            updater=owner, pad_missing=True,
+        )
+        assert service.invoke("arity_probe", [1]) == 3
+
+
+class TestResultMediation:
+    def test_textual_result_presented_as_integer(self, service, owner):
+        attach_result_mediator(service, "payroll", Kind.INTEGER, updater=owner)
+        assert service.invoke("payroll") == 41200
+
+    def test_original_body_parked_not_lost(self, service, owner):
+        attach_result_mediator(service, "payroll", Kind.INTEGER, updater=owner)
+        assert service.invoke("payroll__unmediated", caller=owner) == "41200"
+
+    def test_mediated_method_is_no_longer_portable(self, service, owner):
+        # mediators are host-side native code: they stay behind on migration
+        from repro.mobility import portability_report
+
+        attach_result_mediator(service, "payroll", Kind.INTEGER, updater=owner)
+        assert "payroll" in portability_report(service)
+
+
+class TestBulkMediation:
+    def test_mediate_import(self, service, owner):
+        mediated = mediate_import(
+            service,
+            {
+                "raise_salary": {"params": [Kind.TEXT, Kind.INTEGER]},
+                "payroll": {"returns": Kind.INTEGER},
+            },
+            updater=owner,
+        )
+        assert sorted(mediated) == ["payroll", "raise_salary"]
+        assert service.invoke(
+            "raise_salary", ["a", HtmlText("<i>100</i>")]
+        )["new_salary"] == 4100
+        assert service.invoke("payroll") == 41200
+
+
+class TestSecurity:
+    def test_stranger_cannot_attach_mediators(self, service, mallory):
+        from repro.core import AccessDeniedError
+
+        with pytest.raises(AccessDeniedError):
+            attach_argument_mediator(
+                service, "raise_salary", [Kind.TEXT], updater=mallory
+            )

@@ -1,0 +1,143 @@
+"""Interface negotiation: adjusting newcomers to host expectations."""
+
+import pytest
+
+from repro.core import MROMObject, Principal, owner_only
+from repro.core.errors import PolicyViolationError
+from repro.hadas import InterfaceRequirement, negotiate
+
+
+@pytest.fixture
+def owner():
+    return Principal("mrom://origin/1.1", "technion.ee", "origin")
+
+
+@pytest.fixture
+def host():
+    return Principal("mrom://host/1.1", "host.dom", "host")
+
+
+@pytest.fixture
+def newcomer(owner):
+    """An object whose interface almost matches the host's expectations."""
+    obj = MROMObject(display_name="newcomer", owner=owner, extensible_meta=True)
+    obj.define_fixed_method(
+        "run_query",
+        "return {'rows': args[0]}",
+        metadata={"tags": ["query", "service"],
+                  "params": [{"name": "filter", "kind": "text"}]},
+    )
+    obj.define_fixed_method(
+        "shutdown",
+        "return 'bye'",
+        acl=owner_only(owner),  # invisible to the host
+        metadata={"tags": ["admin"]},
+    )
+    obj.seal()
+    return obj
+
+
+class TestNegotiate:
+    def test_exact_name_match_satisfies(self, newcomer, host, owner):
+        report = negotiate(
+            newcomer, [InterfaceRequirement("run_query", arity=1)], host, owner
+        )
+        assert report.satisfied == ["run_query"]
+        assert report.complete
+
+    def test_tag_match_adds_alias_adapter(self, newcomer, host, owner):
+        report = negotiate(
+            newcomer,
+            [InterfaceRequirement("query", arity=1, tags=("query",))],
+            host,
+            owner,
+        )
+        assert report.adapted == {"query": "run_query"}
+        # the adapter is a real extensible method that forwards
+        assert newcomer.invoke("query", ["x"], caller=host) == {"rows": "x"}
+        _method, section = newcomer.containers.lookup_method("query")
+        assert section == "extensible"
+
+    def test_unsatisfiable_reported(self, newcomer, host, owner):
+        report = negotiate(
+            newcomer,
+            [InterfaceRequirement("transmogrify", tags=("magic",))],
+            host,
+            owner,
+        )
+        assert report.unsatisfiable == ["transmogrify"]
+        assert not report.complete
+
+    def test_strict_mode_raises(self, newcomer, host, owner):
+        with pytest.raises(PolicyViolationError):
+            negotiate(
+                newcomer,
+                [InterfaceRequirement("transmogrify")],
+                host,
+                owner,
+                strict=True,
+            )
+
+    def test_invisible_methods_do_not_count(self, newcomer, host, owner):
+        # 'shutdown' exists but the host may not invoke it: a requirement
+        # for it is unsatisfiable from the host's point of view
+        report = negotiate(
+            newcomer, [InterfaceRequirement("shutdown")], host, owner
+        )
+        assert report.unsatisfiable == ["shutdown"]
+
+    def test_updater_must_be_admitted(self, newcomer, host, mallory):
+        from repro.core.errors import AccessDeniedError
+
+        with pytest.raises(AccessDeniedError):
+            negotiate(
+                newcomer,
+                [InterfaceRequirement("query", tags=("query",))],
+                host,
+                updater=mallory,
+            )
+
+    def test_adapters_are_honest_and_removable(self, newcomer, host, owner):
+        negotiate(
+            newcomer,
+            [InterfaceRequirement("query", tags=("query",))],
+            host,
+            owner,
+        )
+        from repro.core.introspection import interrogate
+
+        signature = interrogate(newcomer, viewer=host)["query"]
+        assert "adapter" in signature["tags"]
+        newcomer.invoke("deleteMethod", ["query"], caller=owner)
+        assert not newcomer.containers.has_method("query")
+
+    def test_mixed_report_summary(self, newcomer, host, owner):
+        report = negotiate(
+            newcomer,
+            [
+                InterfaceRequirement("run_query", arity=1),
+                InterfaceRequirement("query", tags=("query",)),
+                InterfaceRequirement("missing"),
+            ],
+            host,
+            owner,
+        )
+        summary = report.summary()
+        assert "satisfied: run_query" in summary
+        assert "query->run_query" in summary
+        assert "unsatisfiable: missing" in summary
+
+    def test_arity_mismatch_of_declared_params(self, host, owner):
+        obj = MROMObject(owner=owner, extensible_meta=True)
+        obj.define_fixed_method(
+            "fetch",
+            "return args",
+            metadata={"params": [{"name": "a"}, {"name": "b"}],
+                      "tags": ["query"]},
+        )
+        obj.seal()
+        report = negotiate(
+            obj, [InterfaceRequirement("query", arity=1, tags=("query",))],
+            host, owner,
+        )
+        assert report.unsatisfiable == ["query"]

@@ -1,0 +1,122 @@
+"""Federated service discovery over linked IOOs."""
+
+import pytest
+
+from repro.apps import Calculator, sample_database
+from repro.core.errors import MROMError
+from repro.hadas import IOO
+from repro.hadas.trader import ServiceOffer, Trader
+from repro.net import Network, Site, WAN
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def market():
+    network = Network(Simulator())
+    sites = {
+        name: Site(network, name, f"dom.{name}")
+        for name in ("client", "data", "math")
+    }
+    network.topology.connect("client", "data", *WAN)
+    network.topology.connect("client", "math", *WAN)
+    ioos = {name: IOO(site) for name, site in sites.items()}
+    traders = {name: Trader(ioo) for name, ioo in ioos.items()}
+
+    db = sample_database()
+    data_apo = ioos["data"].integrate("employees", db)
+    data_apo.expose(
+        "salary_of", db.salary_of,
+        doc="salary lookup", tags=["query", "hr"],
+        params=[{"name": "name", "kind": "text"}],
+    )
+    data_apo.expose(
+        "headcount", db.headcount, doc="employee count", tags=["query", "stats"],
+    )
+    calc = Calculator()
+    math_apo = ioos["math"].integrate("calc", calc)
+    math_apo.expose(
+        "evaluate", calc.evaluate, doc="arithmetic", tags=["compute"],
+    )
+
+    ioos["client"].link("data")
+    ioos["client"].link("math")
+    return network, ioos, traders
+
+
+class TestDiscovery:
+    def test_discover_by_tag(self, market):
+        _network, _ioos, traders = market
+        offers = traders["client"].discover(tags=["query"])
+        found = {(o.site, o.apo, o.operation) for o in offers}
+        assert found == {
+            ("data", "employees", "salary_of"),
+            ("data", "employees", "headcount"),
+        }
+
+    def test_discover_everything(self, market):
+        _network, _ioos, traders = market
+        offers = traders["client"].discover()
+        operations = {o.operation for o in offers}
+        assert {"salary_of", "headcount", "evaluate"} <= operations
+
+    def test_offers_carry_signatures(self, market):
+        _network, _ioos, traders = market
+        offers = traders["client"].discover(tags=["hr"])
+        assert len(offers) == 1
+        offer = offers[0]
+        assert offer.doc == "salary lookup"
+        assert dict(offer.params[0])["name"] == "name"
+
+    def test_all_tags_must_match(self, market):
+        _network, _ioos, traders = market
+        assert traders["client"].discover(tags=["query", "compute"]) == []
+
+    def test_unlinked_sites_not_queried(self, market):
+        _network, ioos, traders = market
+        # the math site never linked back to anyone: its own discovery
+        # has nobody to ask
+        assert traders["math"].discover(tags=["query"]) == []
+
+    def test_partitioned_site_skipped(self, market):
+        network, _ioos, traders = market
+        network.topology.partition({"math"}, {"client", "data"})
+        offers = traders["client"].discover()
+        assert {o.site for o in offers} == {"data"}
+
+    def test_export_acl_bounds_discovery(self, market):
+        network, ioos, traders = market
+        secret_db = sample_database()
+        secret = ioos["data"].integrate(
+            "secret", secret_db, allowed_importers=("somebody-else",),
+        )
+        secret.expose("peek", secret_db.headcount, tags=["query"])
+        offers = traders["client"].discover(tags=["query"])
+        assert all(o.apo != "secret" for o in offers)
+
+
+class TestImportFirst:
+    def test_discover_then_import_then_invoke(self, market):
+        _network, _ioos, traders = market
+        offer, ambassador = traders["client"].import_first(["hr"])
+        assert offer.operation == "salary_of"
+        assert ambassador.invoke("salary_of", ["moshe"]) == 4500
+
+    def test_import_first_is_idempotent(self, market):
+        _network, _ioos, traders = market
+        _offer, first = traders["client"].import_first(["hr"])
+        _offer2, second = traders["client"].import_first(["hr"])
+        assert first is second
+
+    def test_no_offers_raises(self, market):
+        _network, _ioos, traders = market
+        with pytest.raises(MROMError):
+            traders["client"].import_first(["nonexistent-capability"])
+
+
+class TestOfferSerialization:
+    def test_round_trip(self):
+        offer = ServiceOffer(
+            site="s", apo="a", operation="op", doc="d",
+            tags=("x", "y"), params=((("kind", "text"), ("name", "n")),),
+        )
+        assert ServiceOffer.from_mapping(offer.to_mapping()) == offer

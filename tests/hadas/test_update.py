@@ -1,0 +1,182 @@
+"""Rolling Ambassador updates: revisions, ordering, rollback, isolation."""
+
+import pytest
+
+from repro.apps import sample_database
+from repro.core.errors import MROMError
+from repro.hadas import IOO
+from repro.hadas.update import (
+    FleetUpdater,
+    InterfaceRevision,
+    REVISION_ITEM,
+)
+from repro.net import Network, Site, WAN
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def fleet():
+    network = Network(Simulator())
+    haifa = Site(network, "haifa", "technion.ee")
+    boston = Site(network, "boston", "mit.lcs")
+    paris = Site(network, "paris", "inria.fr")
+    network.topology.connect("haifa", "boston", *WAN)
+    network.topology.connect("haifa", "paris", *WAN)
+    ioos = {name: IOO(site) for name, site in
+            (("haifa", haifa), ("boston", boston), ("paris", paris))}
+    db = sample_database()
+    apo = ioos["haifa"].integrate(
+        "employees", db, operations={"headcount": db.headcount}
+    )
+    for city in ("boston", "paris"):
+        ioos[city].link("haifa")
+        ioos[city].import_apo("haifa", "employees")
+    return network, ioos, apo
+
+
+class TestRevisionValidation:
+    def test_revision_numbers_start_at_one(self):
+        with pytest.raises(MROMError):
+            InterfaceRevision(0)
+
+    def test_add_replace_overlap_rejected(self):
+        with pytest.raises(MROMError):
+            InterfaceRevision(
+                1, add_methods={"x": "return 1"},
+                replace_methods={"x": "return 2"},
+            )
+
+
+class TestRollout:
+    def test_first_revision_applies_everywhere(self, fleet):
+        _network, ioos, apo = fleet
+        updater = FleetUpdater(apo)
+        report = updater.rollout(
+            InterfaceRevision(
+                1,
+                add_methods={"motd": "return self.get('motd_text')"},
+                add_data={"motd_text": "welcome to r1"},
+            )
+        )
+        assert report.clean
+        assert len(report.updated) == 2
+        for city in ("boston", "paris"):
+            amb = ioos[city].imported("employees")
+            assert amb.invoke("motd") == "welcome to r1"
+            assert amb.get_data(REVISION_ITEM, caller=apo.principal) == 1
+
+    def test_replace_and_remove(self, fleet):
+        _network, ioos, apo = fleet
+        updater = FleetUpdater(apo)
+        updater.rollout(
+            InterfaceRevision(1, add_methods={"motd": "return 'r1'"})
+        )
+        updater.rollout(
+            InterfaceRevision(
+                2,
+                replace_methods={"motd": "return 'r2'"},
+                add_data={"extra": 1},
+            )
+        )
+        report = updater.rollout(
+            InterfaceRevision(3, remove_methods=("motd",), remove_data=("extra",))
+        )
+        assert report.clean
+        amb = ioos["boston"].imported("employees")
+        with pytest.raises(MROMError):
+            amb.invoke("motd")
+        assert updater.revision_of(apo.deployed[amb.guid]) == 3
+
+    def test_idempotent_rollout_skips(self, fleet):
+        _network, _ioos, apo = fleet
+        updater = FleetUpdater(apo)
+        revision = InterfaceRevision(1, add_methods={"motd": "return 'r1'"})
+        updater.rollout(revision)
+        second = updater.rollout(revision)
+        assert second.updated == []
+        assert len(second.skipped) == 2
+        assert all("already at r1" in why for _guid, why in second.skipped)
+
+    def test_out_of_order_revision_skipped(self, fleet):
+        _network, _ioos, apo = fleet
+        updater = FleetUpdater(apo)
+        report = updater.rollout(
+            InterfaceRevision(2, add_methods={"x": "return 1"})
+        )
+        assert report.updated == []
+        assert all("needs r1 first" in why for _guid, why in report.skipped)
+
+
+class TestRollback:
+    def test_failed_revision_rolls_back_cleanly(self, fleet):
+        _network, ioos, apo = fleet
+        updater = FleetUpdater(apo)
+        updater.rollout(InterfaceRevision(1, add_methods={"motd": "return 'r1'"}))
+        # r2 adds one good method, then fails on hostile source (the
+        # sandbox rejects it at install time on the remote side)
+        report = updater.rollout(
+            InterfaceRevision(
+                2,
+                add_methods={
+                    "good": "return 'fine'",
+                    "hostile": "import os\nreturn 1",
+                },
+            )
+        )
+        assert len(report.failed) == 2
+        for city in ("boston", "paris"):
+            amb = ioos[city].imported("employees")
+            # the good method was compensated away; revision unchanged
+            assert not amb.containers.has_method("hostile")
+            assert not amb.containers.has_method("good")
+            assert amb.invoke("motd") == "r1"
+            assert updater.revision_of(apo.deployed[amb.guid]) == 1
+
+    def test_replace_rolls_back_to_old_body(self, fleet):
+        _network, ioos, apo = fleet
+        updater = FleetUpdater(apo)
+        updater.rollout(InterfaceRevision(1, add_methods={"motd": "return 'r1'"}))
+        report = updater.rollout(
+            InterfaceRevision(
+                2,
+                replace_methods={"motd": "return 'r2'"},
+                add_methods={"hostile": "import os"},
+            )
+        )
+        assert not report.clean
+        amb = ioos["boston"].imported("employees")
+        assert amb.invoke("motd") == "r1"
+
+    def test_retry_after_fix_converges(self, fleet):
+        _network, ioos, apo = fleet
+        updater = FleetUpdater(apo)
+        updater.rollout(InterfaceRevision(1, add_methods={"motd": "return 'r1'"}))
+        updater.rollout(
+            InterfaceRevision(2, add_methods={"bad": "import os"})
+        )
+        fixed = updater.rollout(
+            InterfaceRevision(2, add_methods={"bad": "return 'now fine'"})
+        )
+        assert fixed.clean and len(fixed.updated) == 2
+        assert ioos["paris"].imported("employees").invoke("bad") == "now fine"
+
+
+class TestPartitionIsolation:
+    def test_unreachable_ambassador_does_not_block_fleet(self, fleet):
+        network, ioos, apo = fleet
+        updater = FleetUpdater(apo)
+        network.topology.partition({"paris"}, {"haifa", "boston"})
+        report = updater.rollout(
+            InterfaceRevision(1, add_methods={"motd": "return 'r1'"})
+        )
+        assert len(report.updated) == 1
+        assert len(report.failed) == 1
+        assert ioos["boston"].imported("employees").invoke("motd") == "r1"
+        # after healing, the same rollout converges the straggler
+        network.topology.heal()
+        retry = updater.rollout(
+            InterfaceRevision(1, add_methods={"motd": "return 'r1'"})
+        )
+        assert len(retry.updated) == 1
+        assert len(retry.skipped) == 1
+        assert ioos["paris"].imported("employees").invoke("motd") == "r1"

@@ -1,0 +1,100 @@
+"""Tool-integration wrapping helpers."""
+
+import pytest
+
+from repro.core import MROMObject, PreProcedureVeto, PostProcedureError
+from repro.hadas import attach_assertions, attach_preparation, attach_usage_meter
+
+
+@pytest.fixture
+def tool():
+    """An object with an extensible 'run' method (wrapping target)."""
+    obj = MROMObject(display_name="tool")
+    obj.define_fixed_data("runs", 0)
+    obj.seal()
+    obj.self_view().add_method(
+        "run",
+        "self.set('runs', self.get('runs') + 1)\nreturn args[0] * 2",
+    )
+    return obj
+
+
+class TestAssertions:
+    def test_pre_assertion(self, tool):
+        attach_assertions(tool, "run", pre_source="return args[0] >= 0")
+        assert tool.invoke("run", [5]) == 10
+        with pytest.raises(PreProcedureVeto):
+            tool.invoke("run", [-1])
+
+    def test_post_assertion(self, tool):
+        attach_assertions(tool, "run", post_source="return result < 100")
+        assert tool.invoke("run", [5]) == 10
+        with pytest.raises(PostProcedureError):
+            tool.invoke("run", [500])
+
+    def test_both_at_once(self, tool):
+        attach_assertions(
+            tool, "run",
+            pre_source="return args[0] >= 0",
+            post_source="return result >= 0",
+        )
+        assert tool.invoke("run", [1]) == 2
+
+
+class TestPreparation:
+    def test_runs_once_before_first_use(self, tool):
+        prepared = []
+        attach_preparation(tool, "run", lambda: prepared.append(1) or True)
+        tool.invoke("run", [1])
+        tool.invoke("run", [1])
+        assert prepared == [1]
+
+    def test_every_time_when_once_false(self, tool):
+        prepared = []
+        attach_preparation(
+            tool, "run", lambda: prepared.append(1) or True, once=False
+        )
+        tool.invoke("run", [1])
+        tool.invoke("run", [1])
+        assert prepared == [1, 1]
+
+    def test_failed_preparation_vetoes(self, tool):
+        attach_preparation(tool, "run", lambda: False)
+        with pytest.raises(PreProcedureVeto):
+            tool.invoke("run", [1])
+        assert tool.get_data("runs") == 0
+
+    def test_failed_preparation_retried_next_call(self, tool):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            return len(attempts) >= 2
+
+        attach_preparation(tool, "run", flaky)
+        with pytest.raises(PreProcedureVeto):
+            tool.invoke("run", [1])
+        assert tool.invoke("run", [1]) == 2
+        tool.invoke("run", [1])
+        assert attempts == [1, 1]  # succeeded once, then cached
+
+
+class TestUsageMeter:
+    def test_counts_completed_calls(self, tool):
+        attach_usage_meter(tool, "run")
+        tool.invoke("run", [1])
+        tool.invoke("run", [2])
+        assert tool.get_data("usage") == 2
+
+    def test_vetoed_calls_not_counted(self, tool):
+        attach_usage_meter(tool, "run")
+        attach_assertions(tool, "run", pre_source="return args[0] > 0")
+        with pytest.raises(PreProcedureVeto):
+            tool.invoke("run", [0])
+        tool.invoke("run", [1])
+        assert tool.get_data("usage") == 1
+
+    def test_custom_counter_item(self, tool):
+        attach_usage_meter(tool, "run", counter_item="billed")
+        tool.invoke("run", [1])
+        assert tool.get_data("billed") == 1

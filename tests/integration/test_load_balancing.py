@@ -1,0 +1,109 @@
+"""Deferred functionality placement: load balancing with object copies.
+
+Section 1: "the decision as to how to split the functionality of an
+application between components (e.g., between a client and a server, or
+for balancing the load among multiple nodes) can be deferred and made
+on-the-fly." Here a dispatcher deploys *copies* of a worker object to
+several nodes at run time, balances tasks across them, and — when one
+node gets slow — shifts placement without touching the worker's code.
+"""
+
+import pytest
+
+from repro.mobility import MobilityManager
+from repro.net import LAN, Network, Site
+from repro.sim import Simulator
+
+NODES = ("node1", "node2", "node3")
+
+
+@pytest.fixture
+def cluster():
+    network = Network(Simulator())
+    dispatcher = Site(network, "dispatcher", "cluster.head")
+    nodes = {name: Site(network, name, f"cluster.{name}") for name in NODES}
+    for name in NODES:
+        network.topology.connect("dispatcher", name, *LAN)
+    managers = {"dispatcher": MobilityManager(dispatcher)}
+    managers.update({name: MobilityManager(site) for name, site in nodes.items()})
+    return network, dispatcher, nodes, managers
+
+
+def make_worker(site):
+    worker = site.create_object(display_name="worker", owner=site.principal)
+    worker.define_fixed_data("done", 0)
+    worker.define_fixed_method(
+        "crunch",
+        "self.set('done', self.get('done') + 1)\n"
+        "return sum(range(args[0])) if args else 0",
+    )
+    worker.define_fixed_method("load", "return self.get('done')")
+    worker.seal()
+    site.register_object(worker)
+    return worker
+
+
+class TestLoadBalancing:
+    def test_copies_deployed_on_the_fly(self, cluster):
+        _network, dispatcher, nodes, managers = cluster
+        template = make_worker(dispatcher)
+        replicas = {
+            name: managers["dispatcher"].deploy_copy(template, name)
+            for name in NODES
+        }
+        # all three copies share identity (same object, three placements)
+        assert {ref.guid for ref in replicas.values()} == {template.guid}
+        for name, ref in replicas.items():
+            assert nodes[name].has_object(template.guid)
+            assert ref.invoke("crunch", [10], caller=template.owner) == 45
+
+    def test_round_robin_balances_evenly(self, cluster):
+        _network, dispatcher, _nodes, managers = cluster
+        template = make_worker(dispatcher)
+        replicas = [
+            managers["dispatcher"].deploy_copy(template, name) for name in NODES
+        ]
+        for task in range(30):
+            replicas[task % len(replicas)].invoke(
+                "crunch", [task], caller=template.owner
+            )
+        loads = [ref.invoke("load", caller=template.owner) for ref in replicas]
+        assert loads == [10, 10, 10]
+        # the stay-home original never worked
+        assert template.get_data("done") == 0
+
+    def test_least_loaded_dispatch(self, cluster):
+        _network, dispatcher, _nodes, managers = cluster
+        template = make_worker(dispatcher)
+        replicas = [
+            managers["dispatcher"].deploy_copy(template, name) for name in NODES
+        ]
+        # pre-load node1 heavily
+        for _ in range(8):
+            replicas[0].invoke("crunch", [1], caller=template.owner)
+
+        def least_loaded():
+            loads = [
+                ref.invoke("load", caller=template.owner) for ref in replicas
+            ]
+            return replicas[loads.index(min(loads))]
+
+        for _ in range(10):
+            least_loaded().invoke("crunch", [1], caller=template.owner)
+        final = [ref.invoke("load", caller=template.owner) for ref in replicas]
+        # the balancer avoided the hot node entirely
+        assert final[0] == 8
+        assert sorted(final[1:]) == [5, 5]
+
+    def test_rebalance_by_migration(self, cluster):
+        """Placement changes at run time: drain a node by moving its
+        worker elsewhere; callers keep working through fresh references."""
+        _network, dispatcher, nodes, managers = cluster
+        template = make_worker(dispatcher)
+        ref = managers["dispatcher"].deploy_copy(template, "node1")
+        ref.invoke("crunch", [5], caller=template.owner)
+        # node1 must drain: forward its copy to node2, state intact
+        moved = managers["dispatcher"].forward("node1", ref.guid, "node2")
+        assert not nodes["node1"].has_object(template.guid)
+        assert nodes["node2"].has_object(template.guid)
+        assert moved.invoke("load", caller=template.owner) == 1

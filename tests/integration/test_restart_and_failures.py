@@ -1,0 +1,181 @@
+"""Failure injection: partitions mid-protocol, site crash and restart."""
+
+import pytest
+
+from repro.apps import sample_database
+from repro.core.errors import PartitionError
+from repro.hadas import IOO
+from repro.mobility import MobilityManager
+from repro.net import Network, Site, WAN
+from repro.persistence import ObjectStore, checkpoint_site, restore_site
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def world():
+    network = Network(Simulator())
+    haifa = Site(network, "haifa", "technion.ee")
+    boston = Site(network, "boston", "mit.lcs")
+    network.topology.connect("haifa", "boston", *WAN)
+    return network, haifa, boston
+
+
+class TestPartitions:
+    def test_import_fails_cleanly_during_partition(self, world):
+        network, haifa, boston = world
+        ioo_h, ioo_b = IOO(haifa), IOO(boston)
+        db = sample_database()
+        ioo_h.integrate("employees", db, operations={"headcount": db.headcount})
+        ioo_b.link("haifa")
+        network.topology.partition({"haifa"}, {"boston"})
+        with pytest.raises(PartitionError):
+            ioo_b.import_apo("haifa", "employees")
+        # no half-installed ambassador
+        assert ioo_b.imports == {}
+        network.topology.heal()
+        amb = ioo_b.import_apo("haifa", "employees")
+        assert amb.invoke("headcount") == 8
+
+    def test_split_ambassador_survives_partition(self, world):
+        """The autonomy argument: after a functionality split, the
+        Ambassador keeps answering even with the origin unreachable."""
+        network, haifa, boston = world
+        ioo_h, ioo_b = IOO(haifa), IOO(boston)
+        db = sample_database()
+        apo = ioo_h.integrate(
+            "employees", db,
+            operations={"headcount": db.headcount, "departments": db.departments},
+        )
+        ioo_b.link("haifa")
+        amb = ioo_b.import_apo("haifa", "employees")
+        apo.broadcast_add_data("cached_headcount", db.headcount())
+        apo.broadcast_add_method(
+            "headcount_local", "return self.get('cached_headcount')"
+        )
+        network.topology.partition({"haifa"}, {"boston"})
+        # forwarded queries fail...
+        with pytest.raises(PartitionError):
+            amb.invoke("headcount")
+        # ...but the migrated functionality keeps working
+        assert amb.invoke("headcount_local") == 8
+
+    def test_migration_fails_atomically_into_partition(self, world):
+        network, haifa, boston = world
+        manager = MobilityManager(haifa)
+        MobilityManager(boston)
+        traveller = haifa.create_object(display_name="traveller")
+        traveller.define_fixed_method("ping", "return 'pong'")
+        traveller.seal()
+        haifa.register_object(traveller)
+        network.topology.partition({"haifa"}, {"boston"})
+        with pytest.raises(PartitionError):
+            manager.migrate(traveller, "boston")
+        # the object is still exactly where it was
+        assert haifa.has_object(traveller.guid)
+        assert not boston.has_object(traveller.guid)
+
+
+class TestSiteRestart:
+    def make_guests(self, haifa, boston, manager_h):
+        guests = []
+        for index in range(3):
+            guest = haifa.create_object(
+                display_name=f"guest{index}", owner=haifa.principal
+            )
+            guest.define_fixed_data("serial", index)
+            guest.define_fixed_data("visits", 0)
+            guest.define_fixed_method(
+                "install",
+                "self.set('visits', self.get('visits') + 1)\n"
+                "return self.get('visits')",
+            )
+            guest.define_fixed_method("serial_of", "return self.get('serial')")
+            guest.seal()
+            haifa.register_object(guest)
+            manager_h.migrate(guest, "boston")
+            guests.append(guest.guid)
+        return guests
+
+    def test_crash_checkpoint_restart_restore(self, world, tmp_path):
+        network, haifa, boston = world
+        manager_h = MobilityManager(haifa)
+        MobilityManager(boston)
+        guests = self.make_guests(haifa, boston, manager_h)
+
+        # host checkpoints its guests, then crashes
+        store = ObjectStore(tmp_path / "boston")
+        report = checkpoint_site(boston, store)
+        assert sorted(report.saved) == sorted(guests)
+        assert report.clean
+        network.unregister("boston")
+
+        # messages to the crashed site fail at the transport
+        with pytest.raises(Exception):
+            haifa.request("boston", "ping", {})
+
+        # a replacement boots on the same node and restores its guests
+        reborn = Site(network, "boston", "mit.lcs")
+        MobilityManager(reborn)
+        restore_report = restore_site(reborn, store)
+        assert sorted(restore_report.restored) == sorted(guests)
+        assert restore_report.clean
+
+        # identity, state and behaviour survived; install ran again
+        for index, guid in enumerate(guests):
+            obj = reborn.local_object(guid)
+            assert obj.invoke("serial_of", caller=haifa.principal) == index
+            assert obj.get_data("visits", caller=haifa.principal) == 2
+            assert obj.environment["install_context"]["restored"] is True
+
+        # and it is reachable remotely again
+        ref = haifa.ref_to(guests[0], site="boston")
+        assert ref.invoke("serial_of", caller=haifa.principal) == 0
+
+    def test_native_infrastructure_skipped_not_failed(self, world, tmp_path):
+        _network, haifa, _boston = world
+        infra = haifa.create_object(display_name="infra")
+        infra.define_fixed_method("native_op", lambda self, args, ctx: 1)
+        infra.seal()
+        haifa.register_object(infra)
+        portable = haifa.create_object(display_name="portable")
+        portable.define_fixed_method("op", "return 1")
+        portable.seal()
+        haifa.register_object(portable)
+        store = ObjectStore(tmp_path / "haifa")
+        report = checkpoint_site(haifa, store)
+        assert report.saved == [portable.guid]
+        assert report.skipped_native == [infra.guid]
+        assert report.clean
+
+    def test_restore_skips_already_registered(self, world, tmp_path):
+        _network, haifa, _boston = world
+        obj = haifa.create_object(display_name="stay")
+        obj.define_fixed_data("x", 1)
+        obj.seal()
+        haifa.register_object(obj)
+        store = ObjectStore(tmp_path / "haifa")
+        checkpoint_site(haifa, store)
+        report = restore_site(haifa, store)  # object never left
+        assert report.restored == []
+        assert haifa.local_object(obj.guid) is obj
+
+    def test_corrupt_image_reported_not_fatal(self, world, tmp_path):
+        _network, haifa, _boston = world
+        good = haifa.create_object(display_name="good")
+        good.define_fixed_data("x", 1)
+        good.seal()
+        haifa.register_object(good)
+        bad = haifa.create_object(display_name="bad")
+        bad.define_fixed_data("x", 2)
+        bad.seal()
+        haifa.register_object(bad)
+        store = ObjectStore(tmp_path / "haifa")
+        checkpoint_site(haifa, store)
+        version = store.versions(bad.guid)[-1]
+        store._image_path(bad.guid, version).write_bytes(b"garbage")
+        haifa.unregister_object(good.guid)
+        haifa.unregister_object(bad.guid)
+        report = restore_site(haifa, store)
+        assert report.restored == [good.guid]
+        assert len(report.failed) == 1
+        assert report.failed[0][0] == bad.guid

@@ -1,0 +1,285 @@
+"""End-to-end scenarios from the paper, crossing every subsystem."""
+
+import pytest
+
+from repro.apps import sample_database
+from repro.core import Principal, allow_all
+from repro.core.errors import PreProcedureVeto
+from repro.core.introspection import find_methods, interrogate
+from repro.hadas import IOO
+from repro.mobility import MobilityManager
+from repro.net import Network, Site, WAN
+from repro.persistence import ObjectStore
+from repro.security import AuditKind, AuditLog, HostPolicy, audited_invoke
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def world():
+    network = Network(Simulator())
+    haifa = Site(network, "haifa", "technion.ee")
+    boston = Site(network, "boston", "mit.lcs")
+    network.topology.connect("haifa", "boston", *WAN)
+    return network, haifa, boston
+
+
+class TestFunctionalitySplit:
+    """Mutability used "to dynamically determine how to split a
+    component's functionality between the APO and the Ambassador"."""
+
+    def test_pushed_cache_answers_locally(self, world):
+        network, haifa, boston = world
+        ioo_h, ioo_b = IOO(haifa), IOO(boston)
+        db = sample_database()
+        apo = ioo_h.integrate(
+            "employees", db,
+            operations={"departments": db.departments, "headcount": db.headcount},
+        )
+        ioo_b.link("haifa")
+        amb = ioo_b.import_apo("haifa", "employees")
+
+        # phase 1: every call crosses the WAN
+        baseline_msgs = network.messages_sent
+        assert amb.invoke("departments") == ["engineering", "research", "sales"]
+        assert network.messages_sent > baseline_msgs
+
+        # phase 2: the origin migrates data + a local method into the
+        # ambassador (the functionality split, via the meta-methods)
+        apo.broadcast_add_data("cached_departments", db.departments())
+        apo.broadcast_add_method(
+            "departments_local", "return self.get('cached_departments')"
+        )
+        quiet = network.messages_sent
+        assert amb.invoke("departments_local") == [
+            "engineering", "research", "sales",
+        ]
+        assert network.messages_sent == quiet  # answered with zero traffic
+
+    def test_split_decision_is_reversible(self, world):
+        _network, haifa, boston = world
+        ioo_h, ioo_b = IOO(haifa), IOO(boston)
+        db = sample_database()
+        apo = ioo_h.integrate(
+            "employees", db, operations={"headcount": db.headcount}
+        )
+        ioo_b.link("haifa")
+        amb = ioo_b.import_apo("haifa", "employees")
+        apo.broadcast_add_method("quick", "return 'local'")
+        assert amb.invoke("quick") == "local"
+        apo.broadcast(
+            lambda ref: ref.invoke("deleteMethod", ["quick"], caller=apo.principal)
+        )
+        with pytest.raises(Exception):
+            amb.invoke("quick")
+
+
+class TestCodeRenting:
+    """Section 3's "code renting": a level-1 meta-invoke whose
+    pre-procedure contacts a (remote) charging object per invocation."""
+
+    def make_rented_service(self, haifa, boston, credits=2):
+        # the charging object lives at the vendor's site (haifa)
+        vendor = Principal("mrom://haifa/90.90", "technion.ee", "vendor")
+        charger = haifa.create_object(display_name="charger", owner=vendor)
+        charger.define_fixed_data("credit", credits)
+        charger.define_fixed_method(
+            "charge",
+            "remaining = self.get('credit')\n"
+            "if remaining <= 0:\n"
+            "    return False\n"
+            "self.set('credit', remaining - 1)\n"
+            "return True",
+        )
+        charger.define_fixed_method("balance", "return self.get('credit')")
+        charger.seal()
+        haifa.register_object(charger, name="billing/charger")
+
+        # the rented object is deployed at the customer's site (boston)
+        rented = haifa.create_object(
+            display_name="rented", owner=vendor, extensible_meta=True,
+        )
+        rented.define_fixed_data("charger", haifa.ref_to(charger))
+        rented.define_fixed_method("work", "return 'value delivered'")
+        rented.seal()
+        rented.invoke(
+            "addMethod",
+            [
+                "invoke",
+                "return ctx.proceed()",
+                {
+                    "acl": allow_all().describe(),
+                    "pre": "return self.get('charger').invoke('charge', [])",
+                },
+            ],
+            caller=vendor,
+        )
+        MobilityManager(haifa).migrate(rented, "boston")
+        return boston.local_object(rented.guid), charger
+
+    def test_each_invocation_is_charged(self, world):
+        _network, haifa, boston = world
+        MobilityManager(boston)
+        rented, charger = self.make_rented_service(haifa, boston, credits=2)
+        customer = Principal("mrom://boston/5.5", "mit.lcs", "customer")
+        assert rented.invoke("work", caller=customer) == "value delivered"
+        assert rented.invoke("work", caller=customer) == "value delivered"
+        assert charger.get_data("credit") == 0
+        with pytest.raises(PreProcedureVeto):
+            rented.invoke("work", caller=customer)
+
+    def test_charging_happens_at_the_vendor_site(self, world):
+        network, haifa, boston = world
+        MobilityManager(boston)
+        rented, charger = self.make_rented_service(haifa, boston, credits=5)
+        before = network.messages_sent
+        rented.invoke("work", caller=Principal("mrom://boston/5.5", "mit.lcs"))
+        # the pre-procedure crossed the network to charge
+        assert network.messages_sent > before
+        assert charger.get_data("credit") == 4
+
+
+class TestNewcomerProtocol:
+    """Self-representation in anger: a host interrogates an arriving
+    object it has never seen and figures out how to use it."""
+
+    def test_full_newcomer_flow(self, world):
+        _network, haifa, boston = world
+        origin = MobilityManager(haifa)
+        MobilityManager(boston, policy=HostPolicy())
+
+        stranger = haifa.create_object(display_name="stranger")
+        stranger.define_fixed_method(
+            "convert",
+            "return args[0] * 3.785",
+            metadata={
+                "doc": "gallons to litres",
+                "params": [{"name": "gallons", "kind": "real"}],
+                "returns": "real",
+                "tags": ["service", "conversion"],
+            },
+        )
+        stranger.seal()
+        haifa.register_object(stranger)
+        origin.migrate(stranger, "boston")
+
+        arrived = boston.local_object(stranger.guid)
+        host = boston.principal
+        # 1. interrogate: what can we call, and how?
+        services = find_methods(arrived, host, tags=["conversion"])
+        assert services == ["convert"]
+        protocol = interrogate(arrived, host)
+        assert protocol["convert"]["params"][0]["name"] == "gallons"
+        # 2. decide and invoke
+        assert arrived.invoke("convert", [2.0], caller=host) == pytest.approx(7.57)
+
+
+class TestPersistentMigration:
+    """Self-containment across both axes: migrate, persist, restart,
+    restore, migrate home — state intact throughout."""
+
+    def test_object_survives_host_restart(self, world, tmp_path):
+        _network, haifa, boston = world
+        origin = MobilityManager(haifa)
+        MobilityManager(boston)
+
+        ledger = haifa.create_object(display_name="ledger", owner=haifa.principal)
+        ledger.define_fixed_data("entries", [])
+        ledger.define_fixed_method(
+            "record",
+            "log = self.get('entries')\nlog.append(args[0])\n"
+            "self.set('entries', log)\nreturn len(log)",
+        )
+        ledger.seal()
+        haifa.register_object(ledger)
+        ledger.invoke("record", ["created at haifa"], caller=haifa.principal)
+
+        origin.migrate(ledger, "boston")
+        settled = boston.local_object(ledger.guid)
+        settled.invoke("record", ["arrived at boston"], caller=haifa.principal)
+
+        # the host persists its guests, then "restarts"
+        store = ObjectStore(tmp_path / "boston-store")
+        store.save(settled)
+        boston.unregister_object(settled.guid)
+        del settled
+
+        restored = store.bootstrap()
+        assert len(restored) == 1
+        revived = restored[0]
+        boston.register_object(revived)
+        revived.invoke("record", ["revived after restart"], caller=haifa.principal)
+        assert revived.get_data("entries", caller=haifa.principal) == [
+            "created at haifa",
+            "arrived at boston",
+            "revived after restart",
+        ]
+
+
+class TestAuditedDistributedScenario:
+    def test_denials_and_arrivals_on_the_record(self, world):
+        network, haifa, boston = world
+        log = AuditLog(clock=lambda: network.now)
+        ioo_h, ioo_b = IOO(haifa), IOO(boston)
+        db = sample_database()
+        apo = ioo_h.integrate(
+            "employees", db, operations={"headcount": db.headcount}
+        )
+        ioo_b.link("haifa")
+        amb = ioo_b.import_apo("haifa", "employees")
+        log.record(AuditKind.ARRIVAL, amb.guid, "haifa")
+
+        host = boston.principal
+        audited_invoke(amb, log, "headcount", caller=host)
+        with pytest.raises(Exception):
+            audited_invoke(amb, log, "addMethod", ["evil", "return 1"], caller=host)
+
+        counts = log.counts()
+        assert counts["arrival"] == 1
+        assert counts["invocation"] == 1
+        assert counts["denial"] == 1
+
+
+class TestApprovalObject:
+    """The paper's other meta-invoke example: "an object contacts another
+    (possibly remote) 'approval' object prior to the actual invocation"."""
+
+    def test_remote_approval_gates_every_invocation(self, world):
+        network, haifa, boston = world
+        MobilityManager(boston)
+        shipping = MobilityManager(haifa)
+        compliance = Principal("mrom://haifa/60.1", "technion.ee", "compliance")
+
+        approver = haifa.create_object(display_name="approver", owner=compliance)
+        approver.define_fixed_data("open_hours", True)
+        approver.define_fixed_method("approve", "return self.get('open_hours')")
+        approver.define_fixed_method(
+            "set_hours", "self.set('open_hours', args[0])\nreturn args[0]"
+        )
+        approver.seal()
+        haifa.register_object(approver)
+
+        worker = haifa.create_object(
+            display_name="worker", owner=compliance, extensible_meta=True
+        )
+        worker.define_fixed_data("approver", haifa.ref_to(approver))
+        worker.define_fixed_method("work", "return 'done'")
+        worker.seal()
+        worker.invoke(
+            "addMethod",
+            ["invoke", "return ctx.proceed()",
+             {"acl": allow_all().describe(),
+              "pre": "return self.get('approver').invoke('approve', [])"}],
+            caller=compliance,
+        )
+        shipping.migrate(worker, "boston")
+        deployed = boston.local_object(worker.guid)
+
+        customer = Principal("mrom://boston/61.1", "mit.lcs", "customer")
+        assert deployed.invoke("work", caller=customer) == "done"
+        # compliance flips the switch at the origin; the deployed object
+        # obeys instantly, with no message to the object itself
+        approver.invoke("set_hours", [False], caller=compliance)
+        with pytest.raises(PreProcedureVeto):
+            deployed.invoke("work", caller=customer)
+        approver.invoke("set_hours", [True], caller=compliance)
+        assert deployed.invoke("work", caller=customer) == "done"

@@ -1,0 +1,271 @@
+"""MPL end to end: compile to portable MROM objects and run scripts."""
+
+import pytest
+
+from repro.core import PostProcedureError, PreProcedureVeto, Principal
+from repro.core.errors import (
+    AccessDeniedError,
+    MPLRuntimeError,
+    MPLSyntaxError,
+)
+from repro.lang import Interpreter
+
+COUNTER = """
+object counter {
+  fixed data count = 0
+  fixed method bump(step) {
+    count = count + step
+    return count
+  }
+  fixed method peek() { return count }
+}
+"""
+
+
+def run(source, **kwargs):
+    return Interpreter().run(source, **kwargs)
+
+
+class TestScripts:
+    def test_arithmetic_and_print(self):
+        result = run("print 2 + 3 * 4\nprint (2 + 3) * 4")
+        assert result.output == ["14", "20"]
+
+    def test_variables_and_reassignment(self):
+        result = run("let x = 1\nx = x + 41\nprint x")
+        assert result.output == ["42"]
+
+    def test_assignment_requires_let(self):
+        with pytest.raises(MPLRuntimeError):
+            run("y = 1")
+
+    def test_control_flow(self):
+        result = run(
+            """
+            let total = 0
+            for n in [1, 2, 3, 4] {
+              if n % 2 == 0 { total = total + n }
+            }
+            while total < 10 { total = total + 1 }
+            print total
+            """
+        )
+        assert result.output == ["10"]
+
+    def test_builtins(self):
+        result = run('print len([1, 2, 3])\nprint max([5, 2, 9])')
+        assert result.output == ["3", "9"]
+
+    def test_collections(self):
+        result = run(
+            """
+            let table = {"a": 1}
+            table["b"] = 2
+            print table["b"]
+            let rows = [10, 20]
+            rows[0] = 99
+            print rows[0]
+            """
+        )
+        assert result.output == ["99"] if False else result.output == ["2", "99"]
+
+    def test_rendering_of_special_values(self):
+        result = run("print null\nprint true\nprint false")
+        assert result.output == ["null", "true", "false"]
+
+    def test_last_value_returned(self):
+        assert run("1 + 1\n2 + 2").value == 4
+
+
+class TestObjects:
+    def test_declare_and_use(self):
+        result = run(COUNTER + "let c = new counter\nc.bump(3)\nprint c.bump(4)")
+        assert result.output == ["7"]
+
+    def test_instances_independent(self):
+        result = run(
+            COUNTER
+            + """
+            let a = new counter
+            let b = new counter
+            a.bump(10)
+            print b.peek()
+            """
+        )
+        assert result.output == ["0"]
+
+    def test_data_item_sugar_reads_and_writes(self):
+        result = run(
+            """
+            object box {
+              fixed data content = "empty"
+              fixed method fill(thing) {
+                content = thing
+                return content
+              }
+            }
+            let b = new box
+            print b.fill("gold")
+            """
+        )
+        assert result.output == ["gold"]
+
+    def test_requires_becomes_pre_procedure(self):
+        source = (
+            """
+            object account {
+              fixed data balance = 50
+              fixed method withdraw(x) requires x <= balance {
+                balance = balance - x
+                return balance
+              }
+            }
+            let a = new account
+            a.withdraw(100)
+            """
+        )
+        with pytest.raises(PreProcedureVeto):
+            run(source)
+
+    def test_ensures_becomes_post_procedure(self):
+        source = (
+            """
+            object broken {
+              fixed method answer() ensures result == 42 { return 41 }
+            }
+            let b = new broken
+            b.answer()
+            """
+        )
+        with pytest.raises(PostProcedureError):
+            run(source)
+
+    def test_extensible_members_land_in_extensible_section(self):
+        result = run(
+            """
+            object svc {
+              data version = 1
+              method ping() { return "pong" }
+            }
+            let s = new svc
+            print s.ping()
+            """
+        )
+        obj = result.variables["s"]
+        assert obj.containers.lookup_data("version")[1] == "extensible"
+        assert obj.containers.lookup_method("ping")[1] == "extensible"
+
+    def test_private_members_guarded(self):
+        result = run(
+            """
+            object vault {
+              fixed private data secret = "s3cret"
+              fixed method hint() { return len(secret) }
+            }
+            let v = new vault
+            print v.hint()
+            """
+        )
+        assert result.output == ["6"]
+        vault = result.variables["v"]
+        stranger = Principal("mrom://x/1.1", "elsewhere", "stranger")
+        with pytest.raises(AccessDeniedError):
+            vault.get_data("secret", caller=stranger)
+
+    def test_self_call_invokes_sibling(self):
+        result = run(
+            COUNTER.replace(
+                "fixed method peek() { return count }",
+                "fixed method peek() { return count }\n"
+                "  fixed method double_bump(step) {\n"
+                "    self.bump(step)\n    return self.bump(step)\n  }",
+            )
+            + "let c = new counter\nprint c.double_bump(2)"
+        )
+        assert result.output == ["4"]
+
+    def test_selfview_api_reachable(self):
+        result = run(
+            """
+            object flexible {
+              fixed method grow(name, value) {
+                self.add_data(name, value)
+                return self.get(name)
+              }
+            }
+            let f = new flexible
+            print f.grow("wings", 2)
+            """
+        )
+        assert result.output == ["2"]
+
+    def test_meta_methods_reachable_from_script(self):
+        result = run(
+            COUNTER
+            + """
+            let c = new counter
+            c.addDataItem("tag", "hot")
+            let described = c.getDataItem("tag")
+            print described[0]["section"]
+            """
+        )
+        assert result.output == ["extensible"]
+
+    def test_compile_error_unknown_name(self):
+        with pytest.raises(MPLSyntaxError):
+            run("object o { fixed method bad() { return nonexistent } }\nlet x = new o")
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(MPLSyntaxError):
+            run("object o { fixed method bad(args) { return 1 } }\nlet x = new o")
+
+
+class TestMobility:
+    def test_mpl_objects_are_portable_by_construction(self):
+        from repro.mobility import pack, unpack
+
+        result = run(COUNTER + "let c = new counter\nc.bump(5)")
+        original = result.variables["c"]
+        copy = unpack(pack(original))
+        owner = original.owner
+        assert copy.invoke("peek", caller=owner) == 5
+        assert copy.invoke("bump", [1], caller=owner) == 6
+
+    def test_mpl_object_migrates_over_the_network(self):
+        from repro.mobility import MobilityManager
+        from repro.net import Network, Site, WAN
+        from repro.sim import Simulator
+
+        network = Network(Simulator())
+        haifa = Site(network, "haifa", "technion.ee")
+        boston = Site(network, "boston", "mit.lcs")
+        network.topology.connect("haifa", "boston", *WAN)
+        sender = MobilityManager(haifa)
+        MobilityManager(boston)
+
+        interpreter = Interpreter(owner=haifa.principal)
+        result = interpreter.run(COUNTER + "let c = new counter\nc.bump(2)")
+        counter = result.variables["c"]
+        haifa.register_object(counter)
+        sender.migrate(counter, "boston")
+        settled = boston.local_object(counter.guid)
+        assert settled.invoke("bump", [1], caller=haifa.principal) == 3
+
+    def test_bindings_inject_remote_refs(self):
+        from repro.net import Network, Site, WAN
+        from repro.sim import Simulator
+
+        network = Network(Simulator())
+        haifa = Site(network, "haifa", "technion.ee")
+        boston = Site(network, "boston", "mit.lcs")
+        network.topology.connect("haifa", "boston", *WAN)
+        service = haifa.create_object(display_name="svc")
+        service.define_fixed_method("ping", "return 'pong'")
+        service.seal()
+        haifa.register_object(service, name="svc")
+        ref = boston.remote_resolve("haifa", "svc")
+
+        result = Interpreter().run(
+            "print remote.ping()", bindings={"remote": ref}
+        )
+        assert result.output == ["pong"]

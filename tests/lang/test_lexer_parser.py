@@ -1,0 +1,205 @@
+"""MPL front end: lexing and parsing."""
+
+import pytest
+
+from repro.core.errors import MPLSyntaxError
+from repro.lang import parse, tokenize
+from repro.lang import ast_nodes as ast
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("let x = 42")]
+        assert kinds == ["keyword", "ident", "punct", "int", "eof"]
+
+    def test_real_vs_int(self):
+        tokens = tokenize("1 2.5 .75")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("int", "1"), ("real", "2.5"), ("real", ".75"),
+        ]
+
+    def test_method_call_on_literal_is_not_a_real(self):
+        tokens = tokenize("x.invoke")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("ident", "x"), ("punct", "."), ("ident", "invoke"),
+        ]
+
+    def test_string_escapes(self):
+        token = tokenize(r'"a\n\t\"b\\"')[0]
+        assert token.text == 'a\n\t"b\\'
+
+    def test_unterminated_string(self):
+        with pytest.raises(MPLSyntaxError):
+            tokenize('"never closed')
+
+    def test_comments_ignored(self):
+        tokens = tokenize("x // the rest is noise = = =\ny")
+        texts = [t.text for t in tokens if t.kind == "ident"]
+        assert texts == ["x", "y"]
+
+    def test_newlines_collapse(self):
+        tokens = tokenize("a\n\n\nb")
+        assert [t.kind for t in tokens] == ["ident", "newline", "ident", "eof"]
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("a <= b == c != d >= e") if t.kind == "punct"]
+        assert texts == ["<=", "==", "!=", ">="]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nbb\n  ccc")
+        positions = {t.text: (t.line, t.column) for t in tokens if t.kind == "ident"}
+        assert positions == {"a": (1, 1), "bb": (2, 1), "ccc": (3, 3)}
+
+    def test_bad_character(self):
+        with pytest.raises(MPLSyntaxError):
+            tokenize("a @ b")
+
+
+class TestParserDeclarations:
+    def test_object_with_sections(self):
+        program = parse(
+            """
+            object thing extensible meta {
+              fixed data core = 1
+              data soft = 2
+              fixed method get_core() { return core }
+              method get_soft() { return soft }
+            }
+            """
+        )
+        decl = program.objects[0]
+        assert decl.name == "thing"
+        assert decl.extensible_meta
+        assert [(d.name, d.fixed) for d in decl.data] == [
+            ("core", True), ("soft", False),
+        ]
+        assert [(m.name, m.fixed) for m in decl.methods] == [
+            ("get_core", True), ("get_soft", False),
+        ]
+
+    def test_data_kind_annotation(self):
+        program = parse("object o { fixed data n: integer = 5 }")
+        assert program.objects[0].data[0].kind == "integer"
+
+    def test_requires_and_ensures(self):
+        program = parse(
+            """
+            object o {
+              fixed data balance = 10
+              fixed method spend(x)
+                requires x <= balance
+                ensures result >= 0
+              { return balance - x }
+            }
+            """
+        )
+        method = program.objects[0].methods[0]
+        assert isinstance(method.requires, ast.Binary)
+        assert isinstance(method.ensures, ast.Binary)
+
+    def test_private_members(self):
+        program = parse(
+            "object o { fixed private data secret = 1\n"
+            "fixed private method peek() { return secret } }"
+        )
+        assert program.objects[0].data[0].private
+        assert program.objects[0].methods[0].private
+
+    def test_malformed_member(self):
+        with pytest.raises(MPLSyntaxError):
+            parse("object o { banana }")
+
+
+class TestParserStatements:
+    def test_let_and_print(self):
+        program = parse("let x = 1 + 2\nprint x")
+        assert isinstance(program.statements[0], ast.Let)
+        assert isinstance(program.statements[1], ast.Print)
+
+    def test_precedence(self):
+        program = parse("let x = 1 + 2 * 3")
+        value = program.statements[0].value
+        assert value.op == "+"
+        assert value.right.op == "*"
+
+    def test_comparison_and_logic(self):
+        program = parse("let ok = a < 3 and not done or b == 2")
+        value = program.statements[0].value
+        assert value.op == "or"
+        assert value.left.op == "and"
+
+    def test_method_call_chain(self):
+        program = parse('let y = registry.find("db").invoke(1)')
+        call = program.statements[0].value
+        assert isinstance(call, ast.MethodCall)
+        assert call.name == "invoke"
+        assert isinstance(call.target, ast.MethodCall)
+        assert call.target.name == "find"
+
+    def test_index_and_index_assign(self):
+        program = parse("table[1] = rows[0]")
+        statement = program.statements[0]
+        assert isinstance(statement, ast.IndexAssign)
+
+    def test_if_else_and_while(self):
+        program = parse(
+            """
+            if x > 0 { print x } else { print 0 }
+            while x > 0 { x = x - 1 }
+            """
+        )
+        assert isinstance(program.statements[0], ast.If)
+        assert isinstance(program.statements[1], ast.While)
+
+    def test_for_each(self):
+        program = parse("for item in [1, 2] { print item }")
+        statement = program.statements[0]
+        assert isinstance(statement, ast.ForEach)
+        assert statement.name == "item"
+
+    def test_list_and_map_literals(self):
+        program = parse('let x = [1, "two", [3]]\nlet y = {"a": 1, 2: [3]}')
+        assert isinstance(program.statements[0].value, ast.ListExpr)
+        assert isinstance(program.statements[1].value, ast.MapExpr)
+
+    def test_new_expression(self):
+        program = parse("object o { }\nlet x = new o")
+        assert isinstance(program.statements[0].value, ast.NewObject)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(MPLSyntaxError):
+            parse("1 + 2 = 3")
+
+    def test_error_carries_location(self):
+        with pytest.raises(MPLSyntaxError) as excinfo:
+            parse("let = 5")
+        assert "line 1" in str(excinfo.value)
+
+
+class TestLineJoining:
+    def test_newlines_inside_parens_join(self):
+        program = parse("let x = (1 +\n         2 +\n         3)")
+        assert isinstance(program.statements[0], ast.Let)
+        assert len(program.statements) == 1
+
+    def test_newlines_inside_call_arguments_join(self):
+        program = parse('let y = helper(1,\n  2,\n  3)')
+        call = program.statements[0].value
+        assert isinstance(call, ast.FuncCall)
+        assert len(call.args) == 3
+
+    def test_newlines_inside_list_literal_join(self):
+        program = parse("let rows = [1,\n 2,\n 3]\nprint rows")
+        assert len(program.statements) == 2
+
+    def test_braces_do_not_join(self):
+        # blocks rely on newline statement separation
+        program = parse("if true {\n  print 1\n  print 2\n}")
+        statement = program.statements[0]
+        assert isinstance(statement, ast.If)
+        assert len(statement.then_body) == 2
+
+    def test_unbalanced_close_does_not_underflow(self):
+        # a stray ')' must not corrupt subsequent newline handling
+        with pytest.raises(MPLSyntaxError):
+            parse(")\nlet x = 1")

@@ -1,0 +1,138 @@
+"""MPL-written interoperability programs installed in IOOs."""
+
+import pytest
+
+from repro.apps import Calculator, sample_database
+from repro.core.errors import MPLSyntaxError, PreProcedureVeto
+from repro.hadas import IOO
+from repro.lang.compiler import compile_member_source
+from repro.net import Network, Site, WAN
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def world():
+    network = Network(Simulator())
+    haifa = Site(network, "haifa", "technion.ee")
+    boston = Site(network, "boston", "mit.lcs")
+    network.topology.connect("haifa", "boston", *WAN)
+    ioo_h, ioo_b = IOO(haifa), IOO(boston)
+    db = sample_database()
+    ioo_h.integrate(
+        "employees", db,
+        operations={
+            "payroll_total": db.payroll_total,
+            "headcount": db.headcount,
+            "salary_of": db.salary_of,
+        },
+    )
+    ioo_b.link("haifa")
+    ioo_b.import_apo("haifa", "employees")
+    return network, ioo_h, ioo_b
+
+
+class TestCompileMemberSource:
+    def test_single_method_compiles(self):
+        compiled = compile_member_source(
+            "method twice(x) { return x * 2 }"
+        )
+        assert compiled.name == "twice"
+        assert "args[0] * 2" in compiled.body_source
+
+    def test_data_names_resolve(self):
+        compiled = compile_member_source(
+            "method peek() { return imports }",
+            data_names=frozenset({"imports"}),
+        )
+        assert "self.get('imports')" in compiled.body_source
+
+    def test_requires_compiles_to_pre(self):
+        compiled = compile_member_source(
+            "method f(x) requires x > 0 { return x }"
+        )
+        assert compiled.pre_source.startswith("return bool(")
+
+    def test_multiple_methods_rejected(self):
+        with pytest.raises(MPLSyntaxError):
+            compile_member_source(
+                "method a() { return 1 }\nmethod b() { return 2 }"
+            )
+
+    def test_data_member_rejected(self):
+        with pytest.raises(MPLSyntaxError):
+            compile_member_source("data x = 1")
+
+    def test_non_member_source_rejected(self):
+        with pytest.raises(MPLSyntaxError):
+            compile_member_source("let x = 1")
+
+
+class TestMplPrograms:
+    def test_program_runs_across_the_import(self, world):
+        _network, _ioo_h, ioo_b = world
+        name = ioo_b.add_program_mpl(
+            """
+            method avg_salary() {
+              let db = imports["employees"]
+              return db.payroll_total() / db.headcount()
+            }
+            """,
+            doc="average salary across the imported database",
+        )
+        assert name == "avg_salary"
+        assert ioo_b.run_program("avg_salary") == pytest.approx(5150.0)
+        assert "avg_salary" in ioo_b.programs()
+
+    def test_program_with_arguments_and_logic(self, world):
+        _network, _ioo_h, ioo_b = world
+        ioo_b.add_program_mpl(
+            """
+            method raise_check(name, budget) {
+              let db = imports["employees"]
+              let current = db.salary_of(name)
+              if current + 500 <= budget {
+                return "affordable"
+              } else {
+                return "too expensive"
+              }
+            }
+            """
+        )
+        assert ioo_b.run_program("raise_check", ["moshe", 6000]) == "affordable"
+        assert ioo_b.run_program("raise_check", ["dana", 6000]) == "too expensive"
+
+    def test_requires_clause_guards_program(self, world):
+        _network, _ioo_h, ioo_b = world
+        ioo_b.add_program_mpl(
+            "method guarded(x) requires x > 0 { return x }"
+        )
+        assert ioo_b.run_program("guarded", [5]) == 5
+        with pytest.raises(PreProcedureVeto):
+            ioo_b.run_program("guarded", [-1])
+
+    def test_program_spanning_two_imports(self, world):
+        network, _ioo_h, ioo_b = world
+        paris = Site(network, "paris", "inria.fr")
+        network.topology.connect("boston", "paris", *WAN)
+        ioo_p = IOO(paris)
+        calc = Calculator()
+        ioo_p.integrate("calc", calc, operations={"evaluate": calc.evaluate})
+        ioo_b.link("paris")
+        ioo_b.import_apo("paris", "calc")
+        ioo_b.add_program_mpl(
+            """
+            method taxed_total(rate_percent) {
+              let db = imports["employees"]
+              let calc = imports["calc"]
+              let total = db.payroll_total()
+              return calc.evaluate(str(total) + " * " + str(rate_percent) + " / 100")
+            }
+            """
+        )
+        assert ioo_b.run_program("taxed_total", [110]) == 41200 * 110 / 100
+
+    def test_mpl_program_is_portable(self, world):
+        _network, _ioo_h, ioo_b = world
+        ioo_b.add_program_mpl("method answer() { return 42 }")
+        method, _section = ioo_b.obj.containers.lookup_method("answer")
+        assert method.portable

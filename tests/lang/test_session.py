@@ -1,0 +1,88 @@
+"""Stateful MPL sessions and the CLI REPL."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.errors import MPLRuntimeError
+from repro.lang import MplSession
+
+
+class TestMplSession:
+    def test_state_persists_across_feeds(self):
+        session = MplSession()
+        session.feed("let x = 10")
+        value, _output = session.feed("x + 5")
+        assert value == 15
+
+    def test_declarations_persist(self):
+        session = MplSession()
+        session.feed(
+            "object c { fixed data n = 0\n"
+            "  fixed method bump() { n = n + 1\nreturn n } }"
+        )
+        session.feed("let c1 = new c")
+        assert session.feed("c1.bump()")[0] == 1
+        assert session.feed("c1.bump()")[0] == 2
+
+    def test_objects_live_between_feeds(self):
+        session = MplSession()
+        session.feed("object box { fixed data v = null\n"
+                     "  fixed method put(x) { v = x\nreturn true }\n"
+                     "  fixed method take() { return v } }")
+        session.feed("let b = new box")
+        session.feed('b.put("payload")')
+        assert session.feed("b.take()")[0] == "payload"
+
+    def test_output_is_incremental(self):
+        session = MplSession()
+        _value, first = session.feed("print 1\nprint 2")
+        _value, second = session.feed("print 3")
+        assert first == ["1", "2"]
+        assert second == ["3"]
+
+    def test_errors_do_not_corrupt_the_session(self):
+        session = MplSession()
+        session.feed("let x = 1")
+        with pytest.raises(MPLRuntimeError):
+            session.feed("undefined_name")
+        assert session.feed("x")[0] == 1
+
+    def test_seed_bindings(self):
+        session = MplSession(bindings={"seeded": 99})
+        assert session.feed("seeded + 1")[0] == 100
+
+    def test_variables_view(self):
+        session = MplSession()
+        session.feed("let a = 1")
+        assert session.variables["a"] == 1
+
+
+class TestReplCommand:
+    def run_repl(self, script: str) -> str:
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "repl"],
+            input=script, capture_output=True, text=True, timeout=60,
+        )
+        assert completed.returncode == 0, completed.stderr
+        return completed.stdout
+
+    def test_values_echoed(self):
+        out = self.run_repl("1 + 1\n\n")
+        assert "=> 2" in out
+
+    def test_multi_line_declaration(self):
+        out = self.run_repl(
+            "object c { fixed data n = 5\n"
+            "  fixed method get_n() { return n } }\n"
+            "let c1 = new c\n"
+            "print c1.get_n()\n"
+            "\n"
+        )
+        assert "5" in out
+
+    def test_errors_reported_and_session_continues(self):
+        out = self.run_repl("ghost\nlet x = 7\nprint x\n\n")
+        assert "error: MPLRuntimeError" in out
+        assert "7" in out

@@ -1,0 +1,168 @@
+"""Packing and unpacking: objects as data."""
+
+import pytest
+
+from repro.core import (
+    Kind,
+    MROMObject,
+    NotPortableError,
+    Principal,
+    allow_all,
+    owner_only,
+)
+from repro.core.errors import MobilityError
+from repro.mobility import (
+    pack,
+    pack_bytes,
+    portability_report,
+    unpack,
+    unpack_bytes,
+)
+
+
+@pytest.fixture
+def owner():
+    return Principal("mrom://origin/1.1", "technion.ee", "origin")
+
+
+def make_portable(owner, extensible_meta=True):
+    obj = MROMObject(
+        guid="mrom://origin/2.1",
+        domain="technion.ee",
+        display_name="traveller",
+        owner=owner,
+        extensible_meta=extensible_meta,
+        meta_acl=owner_only(owner),
+    )
+    obj.define_fixed_data("balance", 100, kind=Kind.INTEGER)
+    obj.define_fixed_data("notes", ["a", "b"])
+    obj.define_fixed_method(
+        "spend",
+        "self.set('balance', self.get('balance') - args[0])\n"
+        "return self.get('balance')",
+        pre="return args[0] <= self.get('balance')",
+        post="return result >= 0",
+    )
+    obj.seal()
+    view = obj.self_view()
+    view.add_data("label", "hot", {"acl": allow_all().describe()})
+    view.add_method("hello", "return 'hi from ' + self.get('label')")
+    return obj
+
+
+class TestRoundTrip:
+    def test_identity_travels(self, owner):
+        original = make_portable(owner)
+        copy = unpack(pack(original))
+        assert copy.guid == original.guid
+        assert copy.owner.guid == owner.guid
+        assert copy.principal.display_name == "traveller"
+
+    def test_structure_and_behaviour_travel(self, owner):
+        copy = unpack(pack(make_portable(owner)))
+        assert copy.invoke("spend", [30], caller=owner) == 70
+        assert copy.invoke("hello", caller=owner) == "hi from hot"
+
+    def test_wrappers_travel(self, owner):
+        from repro.core import PreProcedureVeto
+
+        copy = unpack(pack(make_portable(owner)))
+        with pytest.raises(PreProcedureVeto):
+            copy.invoke("spend", [100000], caller=owner)
+
+    def test_sections_preserved(self, owner):
+        copy = unpack(pack(make_portable(owner)))
+        assert copy.containers.lookup_data("balance")[1] == "fixed"
+        assert copy.containers.lookup_data("label")[1] == "extensible"
+        assert copy.containers.lookup_method("spend")[1] == "fixed"
+
+    def test_kinds_and_acls_preserved(self, owner):
+        mallory = Principal("mrom://evil/1.1", "evil", "mallory")
+        copy = unpack(pack(make_portable(owner)))
+        item, _ = copy.containers.lookup_data("balance")
+        assert item.kind is Kind.INTEGER
+        # owner-only meta ACL survived the trip
+        from repro.core import AccessDeniedError
+
+        with pytest.raises(AccessDeniedError):
+            copy.invoke("addDataItem", ["evil", 1], caller=mallory)
+        copy.invoke("addDataItem", ["fine", 1], caller=owner)
+
+    def test_copies_are_independent(self, owner):
+        original = make_portable(owner)
+        copy = unpack(pack(original))
+        copy.invoke("spend", [50], caller=owner)
+        assert original.get_data("balance") == 100
+        copy.get_data("notes", caller=owner).append("c")
+        assert original.get_data("notes") == ["a", "b"]
+
+    def test_wire_round_trip(self, owner):
+        wire = pack_bytes(make_portable(owner))
+        assert isinstance(wire, bytes)
+        copy = unpack_bytes(wire)
+        assert copy.invoke("hello", caller=owner) == "hi from hot"
+
+    def test_tower_travels(self, owner):
+        original = make_portable(owner)
+        original.invoke(
+            "addMethod",
+            ["invoke", "return ['meta', ctx.proceed()]",
+             {"acl": allow_all().describe()}],
+            caller=owner,
+        )
+        copy = unpack(pack(original))
+        assert copy.invoke("hello", caller=owner) == ["meta", "hi from hot"]
+
+    def test_environment_travels_but_host_bindings_do_not(self, owner):
+        original = make_portable(owner)
+        original.environment.update(
+            {"goal": "explore", "site": "origin", "install_context": {"x": 1}}
+        )
+        copy = unpack(pack(original))
+        assert copy.environment.get("goal") == "explore"
+        assert "site" not in copy.environment
+        assert "install_context" not in copy.environment
+
+
+class TestPortability:
+    def test_native_code_blocks_packing(self, owner):
+        obj = MROMObject(owner=owner)
+        obj.define_fixed_method("local_only", lambda self, args, ctx: 42)
+        obj.seal()
+        report = portability_report(obj)
+        assert report == ["local_only"]
+        with pytest.raises(NotPortableError) as excinfo:
+            pack(obj)
+        assert "local_only" in str(excinfo.value)
+
+    def test_native_pre_procedure_blocks_packing(self, owner):
+        obj = MROMObject(owner=owner)
+        obj.define_fixed_method(
+            "m", "return 1", pre=lambda self, args, ctx: True
+        )
+        obj.seal()
+        assert portability_report(obj) == ["m"]
+
+    def test_meta_methods_do_not_block(self, owner):
+        # bundled meta-methods are native but reinstalled, never packed
+        obj = MROMObject(owner=owner)
+        obj.seal()
+        assert portability_report(obj) == []
+        assert unpack(pack(obj)).guid == obj.guid
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(MobilityError):
+            unpack({"format": "not-a-package"})
+
+    def test_unpacked_code_is_reverified(self, owner):
+        # tamper with a packed method body: the sandbox must reject it
+        # at first invocation on the receiving side
+        from repro.core import SandboxViolation
+
+        package = pack(make_portable(owner))
+        for method in package["ext_methods"]:
+            if method["name"] == "hello":
+                method["components"]["body"]["source"] = "import os\nreturn 1"
+        hostile = unpack(package)
+        with pytest.raises(SandboxViolation):
+            hostile.invoke("hello", caller=owner)

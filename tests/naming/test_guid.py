@@ -1,0 +1,80 @@
+"""Decentralized identity: guid minting, parsing, Lamport merging."""
+
+import pytest
+
+from repro.core.errors import NamingError
+from repro.naming import Guid, GuidFactory, is_guid_text, parse_guid
+
+
+class TestGuid:
+    def test_text_round_trip(self):
+        guid = Guid("haifa", 12, 3)
+        assert parse_guid(guid.text()) == guid
+
+    def test_text_form(self):
+        assert Guid("haifa", 12, 3).text() == "mrom://haifa/12.3"
+
+    def test_ordering_is_total_and_stable(self):
+        guids = [Guid("b", 1, 1), Guid("a", 2, 1), Guid("a", 1, 2), Guid("a", 1, 1)]
+        ordered = sorted(guids)
+        assert ordered == [
+            Guid("a", 1, 1),
+            Guid("a", 1, 2),
+            Guid("a", 2, 1),
+            Guid("b", 1, 1),
+        ]
+
+    @pytest.mark.parametrize(
+        "text",
+        ["mrom://", "mrom://site", "mrom://site/1", "http://site/1.2",
+         "mrom://site/1.2.3", "mrom://sp ace/1.2"],
+    )
+    def test_malformed_rejected(self, text):
+        assert not is_guid_text(text)
+        with pytest.raises(NamingError):
+            parse_guid(text)
+
+
+class TestFactory:
+    def test_fresh_never_repeats(self):
+        mint = GuidFactory("haifa")
+        minted = {mint.fresh() for _ in range(1000)}
+        assert len(minted) == 1000
+
+    def test_two_sites_never_collide(self):
+        haifa = GuidFactory("haifa")
+        boston = GuidFactory("boston")
+        ours = {haifa.fresh() for _ in range(100)}
+        theirs = {boston.fresh() for _ in range(100)}
+        assert not ours & theirs
+
+    def test_lamport_monotone(self):
+        mint = GuidFactory("haifa")
+        stamps = [mint.fresh().lamport for _ in range(10)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 10
+
+    def test_witness_merges_remote_clock(self):
+        mint = GuidFactory("haifa")
+        mint.fresh()
+        mint.witness(100)
+        assert mint.lamport == 101
+        assert mint.fresh().lamport > 101
+
+    def test_witness_of_old_clock_still_advances(self):
+        mint = GuidFactory("haifa")
+        for _ in range(5):
+            mint.fresh()
+        before = mint.lamport
+        mint.witness(1)
+        assert mint.lamport == before + 1
+
+    def test_invalid_site_rejected(self):
+        with pytest.raises(NamingError):
+            GuidFactory("")
+        with pytest.raises(NamingError):
+            GuidFactory("bad/site")
+
+    def test_fresh_text_parses(self):
+        mint = GuidFactory("haifa")
+        assert parse_guid(mint.fresh_text()).site == "haifa"

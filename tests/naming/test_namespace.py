@@ -1,0 +1,123 @@
+"""Hierarchical, federated naming."""
+
+import pytest
+
+from repro.core.errors import NamingError
+from repro.naming import NameService, join_path, split_path
+
+
+class TestPaths:
+    def test_split_normalises(self):
+        assert split_path("/apps/db/") == ["apps", "db"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(NamingError):
+            split_path("///")
+
+    def test_relative_segments_rejected(self):
+        with pytest.raises(NamingError):
+            split_path("apps/../etc")
+
+    def test_join_inverts_split(self):
+        assert join_path(split_path("/a/b/c")) == "a/b/c"
+
+
+class TestLocalBindings:
+    def test_bind_and_resolve(self):
+        names = NameService()
+        names.bind("apps/db", "g1")
+        assert names.resolve("apps/db") == "g1"
+        assert names.resolve("/apps/db/") == "g1"  # normalization
+
+    def test_rebind_requires_replace(self):
+        names = NameService()
+        names.bind("x", "g1")
+        with pytest.raises(NamingError):
+            names.bind("x", "g2")
+        names.bind("x", "g2", replace=True)
+        assert names.resolve("x") == "g2"
+
+    def test_unbind(self):
+        names = NameService()
+        names.bind("x", "g1")
+        assert names.unbind("x") == "g1"
+        with pytest.raises(NamingError):
+            names.resolve("x")
+
+    def test_unbind_missing(self):
+        with pytest.raises(NamingError):
+            NameService().unbind("ghost")
+
+    def test_contains_and_try_resolve(self):
+        names = NameService()
+        names.bind("x", "g1")
+        assert "x" in names
+        assert names.try_resolve("ghost") is None
+
+
+class TestFederation:
+    def make_pair(self):
+        haifa = NameService("haifa")
+        boston = NameService("boston")
+        haifa.bind("apps/db", "haifa-db")
+        boston.mount("haifa", haifa)
+        return haifa, boston
+
+    def test_resolution_through_mount(self):
+        _haifa, boston = self.make_pair()
+        assert boston.resolve("haifa/apps/db") == "haifa-db"
+
+    def test_local_binding_wins_over_mount(self):
+        haifa, boston = self.make_pair()
+        boston.bind("haifa/apps/db", "shadow")
+        assert boston.resolve("haifa/apps/db") == "shadow"
+        # the authoritative service is unaffected
+        assert haifa.resolve("apps/db") == "haifa-db"
+
+    def test_longest_prefix_mount_wins(self):
+        root = NameService("root")
+        shallow = NameService("shallow")
+        deep = NameService("deep")
+        shallow.bind("db", "shallow-db")
+        deep.bind("db", "deep-db")
+        root.mount("apps", shallow)
+        root.mount("apps/special", deep)
+        assert root.resolve("apps/db") == "shallow-db"
+        assert root.resolve("apps/special/db") == "deep-db"
+
+    def test_chained_mounts(self):
+        a, b, c = NameService("a"), NameService("b"), NameService("c")
+        c.bind("leaf", "deep-guid")
+        b.mount("c", c)
+        a.mount("b", b)
+        assert a.resolve("b/c/leaf") == "deep-guid"
+
+    def test_self_mount_rejected(self):
+        names = NameService()
+        with pytest.raises(NamingError):
+            names.mount("loop", names)
+
+    def test_duplicate_mount_rejected(self):
+        haifa, boston = self.make_pair()
+        with pytest.raises(NamingError):
+            boston.mount("haifa", haifa)
+
+    def test_unmount(self):
+        _haifa, boston = self.make_pair()
+        boston.unmount("haifa")
+        with pytest.raises(NamingError):
+            boston.resolve("haifa/apps/db")
+
+    def test_list_bindings_spans_mounts(self):
+        _haifa, boston = self.make_pair()
+        boston.bind("local/thing", "g-local")
+        listed = dict(boston.list_bindings())
+        assert listed == {"local/thing": "g-local", "haifa/apps/db": "haifa-db"}
+
+    def test_list_bindings_with_prefix(self):
+        names = NameService()
+        names.bind("apps/db", "g1")
+        names.bind("apps/calc", "g2")
+        names.bind("other", "g3")
+        listed = dict(names.list_bindings("apps"))
+        assert listed == {"apps/db": "g1", "apps/calc": "g2"}

@@ -1,0 +1,150 @@
+"""The wire format: round trips, strictness, hostile inputs."""
+
+import math
+
+import pytest
+
+from repro.core import HtmlText, Kind, kind_of
+from repro.core.errors import MarshalError
+from repro.net import MAGIC, Reference, marshal, marshalled_size, unmarshal
+
+
+def round_trip(value):
+    return unmarshal(marshal(value))
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 127, 128, -12345678901234567890,
+         2**70, 0.0, -2.5, 1e308, "", "shalom", "עברית ∑", b"", b"\x00\xff"],
+    )
+    def test_round_trip(self, value):
+        assert round_trip(value) == value
+
+    def test_bool_stays_bool(self):
+        assert round_trip(True) is True
+        assert round_trip(0) == 0 and not isinstance(round_trip(0), bool)
+
+    def test_float_identity(self):
+        assert round_trip(0.1) == 0.1
+        assert math.isnan(round_trip(float("nan")))
+        assert round_trip(float("inf")) == float("inf")
+
+    def test_html_tag_survives(self):
+        value = HtmlText("<b>42</b>")
+        back = round_trip(value)
+        assert isinstance(back, HtmlText)
+        assert kind_of(back) is Kind.HTML
+
+    def test_plain_text_does_not_become_html(self):
+        assert kind_of(round_trip("plain")) is Kind.TEXT
+
+
+class TestCollections:
+    def test_nested_structures(self):
+        value = {
+            "rows": [{"name": "moshe", "salary": 4500}, {"name": "dana"}],
+            "meta": {"count": 2, "tags": ["a", "b"], "blob": b"\x01"},
+            7: [None, True, [[]]],
+        }
+        assert round_trip(value) == value
+
+    def test_tuples_become_lists(self):
+        assert round_trip((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_deep_nesting_bounded(self):
+        value = []
+        for _ in range(100):
+            value = [value]
+        with pytest.raises(MarshalError):
+            marshal(value)
+
+    def test_empty_collections(self):
+        assert round_trip([]) == []
+        assert round_trip({}) == {}
+
+
+class TestReferences:
+    def test_reference_round_trip(self):
+        ref = Reference("mrom://haifa/1.1", "haifa")
+        assert round_trip(ref) == ref
+
+    def test_reference_without_site(self):
+        ref = Reference("mrom://haifa/1.1")
+        assert round_trip(ref) == ref
+
+    def test_object_with_guid_marshals_by_identity(self):
+        class Thing:
+            guid = "mrom://haifa/9.9"
+            site = "haifa"
+
+        back = round_trip(Thing())
+        assert back == Reference("mrom://haifa/9.9", "haifa")
+
+
+class TestRejections:
+    def test_unmarshalable_type(self):
+        with pytest.raises(MarshalError):
+            marshal(object())
+
+    def test_set_is_not_a_wire_value(self):
+        with pytest.raises(MarshalError):
+            marshal({1, 2})
+
+
+class TestStrictDecoding:
+    def test_bad_magic(self):
+        with pytest.raises(MarshalError):
+            unmarshal(b"XXXX" + marshal(1)[4:])
+
+    def test_truncated(self):
+        wire = marshal("hello world")
+        with pytest.raises(MarshalError):
+            unmarshal(wire[:-3])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(MarshalError):
+            unmarshal(marshal(1) + b"\x00")
+
+    def test_unknown_tag(self):
+        with pytest.raises(MarshalError):
+            unmarshal(MAGIC + b"Z")
+
+    def test_forged_huge_collection_length(self):
+        # claims 10^9 list elements with no payload: must fail fast,
+        # not allocate
+        forged = bytearray(MAGIC + b"L")
+        value = 1_000_000_000
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            forged.append(byte | 0x80 if value else byte)
+            if not value:
+                break
+        with pytest.raises(MarshalError):
+            unmarshal(bytes(forged))
+
+    def test_invalid_utf8_payload(self):
+        wire = bytearray(MAGIC + b"S")
+        wire.append(2)
+        wire += b"\xff\xfe"
+        with pytest.raises(MarshalError):
+            unmarshal(bytes(wire))
+
+    def test_unhashable_mapping_key(self):
+        # a mapping whose key is a list decodes to an unhashable key
+        inner_key = marshal([1])[len(MAGIC):]
+        inner_val = marshal(2)[len(MAGIC):]
+        wire = MAGIC + b"M" + b"\x01" + inner_key + inner_val
+        with pytest.raises(MarshalError):
+            unmarshal(wire)
+
+
+class TestSize:
+    def test_size_matches_marshal(self):
+        value = {"a": [1, 2, 3], "b": "text"}
+        assert marshalled_size(value) == len(marshal(value))
+
+    def test_varint_compactness(self):
+        assert marshalled_size(1) < marshalled_size(2**40)

@@ -1,0 +1,105 @@
+"""Remote meta-operations: handles tokenized over the wire."""
+
+import pytest
+
+from repro.core import Principal, StaleHandleError, owner_only
+from repro.core.errors import RemoteInvocationError
+from repro.net import Network, Site, WAN
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def pair():
+    network = Network(Simulator())
+    haifa = Site(network, "haifa", "technion.ee")
+    boston = Site(network, "boston", "mit.lcs")
+    network.topology.connect("haifa", "boston", *WAN)
+    return network, haifa, boston
+
+
+@pytest.fixture
+def owned(pair):
+    """A mutable object at haifa whose owner operates from boston."""
+    _network, haifa, boston = pair
+    owner = Principal("mrom://boston/50.1", "mit.lcs", "owner")
+    obj = haifa.create_object(
+        display_name="serviced", owner=owner, extensible_meta=True,
+        meta_acl=owner_only(owner),
+    )
+    obj.seal()
+    obj.self_view().add_method("op", "return 'v1'")
+    obj.self_view().add_data("config", {"mode": "fast"})
+    haifa.register_object(obj, name="svc")
+    ref = boston.remote_resolve("haifa", "svc")
+    return obj, ref, owner
+
+
+class TestRemoteSetMethod:
+    def test_get_then_set_across_the_wire(self, owned):
+        obj, ref, owner = owned
+        description, handle = ref.invoke("getMethod", ["op"], caller=owner)
+        assert description["name"] == "op"
+        assert isinstance(handle, dict)  # a token, not a live capability
+        ref.invoke("setMethod", [handle, {"body": "return 'v2'"}], caller=owner)
+        assert obj.invoke("op", caller=owner) == "v2"
+
+    def test_components_visible_to_owner(self, owned):
+        _obj, ref, owner = owned
+        description, _handle = ref.invoke("getMethod", ["op"], caller=owner)
+        assert description["components"]["body"]["source"] == "return 'v1'"
+
+    def test_token_goes_stale_after_replacement(self, owned):
+        obj, ref, owner = owned
+        _description, token = ref.invoke("getMethod", ["op"], caller=owner)
+        # delete and re-add under the same name: new item instance
+        ref.invoke("deleteMethod", ["op"], caller=owner)
+        ref.invoke("addMethod", ["op", "return 'reborn'"], caller=owner)
+        with pytest.raises(RemoteInvocationError) as excinfo:
+            ref.invoke("setMethod", [token, {"body": "return 'x'"}], caller=owner)
+        assert excinfo.value.remote_type == "StaleHandleError"
+        assert obj.invoke("op", caller=owner) == "reborn"
+
+    def test_forged_token_rejected(self, owned):
+        _obj, ref, owner = owned
+        forged = {"__item_handle__": True, "name": "op", "category": "method",
+                  "nonce": "0" * 12}
+        with pytest.raises(RemoteInvocationError) as excinfo:
+            ref.invoke("setMethod", [forged, {"body": "return 'x'"}], caller=owner)
+        assert excinfo.value.remote_type == "StaleHandleError"
+
+    def test_hostile_body_rejected_at_install(self, owned):
+        obj, ref, owner = owned
+        _description, handle = ref.invoke("getMethod", ["op"], caller=owner)
+        with pytest.raises(RemoteInvocationError) as excinfo:
+            ref.invoke(
+                "setMethod", [handle, {"body": "import os"}], caller=owner
+            )
+        assert excinfo.value.remote_type == "SandboxViolation"
+        # the method is untouched
+        assert obj.invoke("op", caller=owner) == "v1"
+
+
+class TestRemoteSetDataItem:
+    def test_rename_across_the_wire(self, owned):
+        obj, ref, owner = owned
+        _description, handle = ref.invoke("getDataItem", ["config"], caller=owner)
+        ref.invoke("setDataItem", [handle, {"name": "settings"}], caller=owner)
+        assert obj.containers.has_data("settings")
+        assert not obj.containers.has_data("config")
+
+    def test_stale_data_token(self, owned):
+        _obj, ref, owner = owned
+        _description, token = ref.invoke("getDataItem", ["config"], caller=owner)
+        ref.invoke("deleteDataItem", ["config"], caller=owner)
+        ref.invoke("addDataItem", ["config", {}], caller=owner)
+        with pytest.raises(RemoteInvocationError) as excinfo:
+            ref.invoke("setDataItem", [token, {"name": "x"}], caller=owner)
+        assert excinfo.value.remote_type == "StaleHandleError"
+
+    def test_local_handles_still_work(self, owned):
+        obj, _ref, owner = owned
+        description, handle = obj.invoke("getDataItem", ["config"], caller=owner)
+        assert not isinstance(handle, dict)
+        obj.invoke("setDataItem", [handle, {"metadata": {"t": 1}}], caller=owner)
+        updated, _h = obj.invoke("getDataItem", ["config"], caller=owner)
+        assert updated["metadata"]["t"] == 1

@@ -1,0 +1,185 @@
+"""Sites, transport and remote invocation (the RMI analog)."""
+
+import pytest
+
+from repro.core import Principal, owner_only
+from repro.core.errors import (
+    NetworkError,
+    PartitionError,
+    RemoteInvocationError,
+)
+from repro.net import Network, RemoteRef, Site, WAN
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def pair():
+    network = Network(Simulator())
+    haifa = Site(network, "haifa", "technion.ee")
+    boston = Site(network, "boston", "mit.lcs")
+    network.topology.connect("haifa", "boston", *WAN)
+    return network, haifa, boston
+
+
+def make_service(site, name="svc"):
+    obj = site.create_object(display_name=name)
+    obj.define_fixed_data("hits", 0)
+    obj.define_fixed_method(
+        "echo", "self.set('hits', self.get('hits') + 1)\nreturn args[0]"
+    )
+    obj.define_fixed_method("hits", "return self.get('hits')")
+    obj.seal()
+    site.register_object(obj, name=f"apps/{name}")
+    return obj
+
+
+class TestRegistry:
+    def test_created_objects_carry_site_identity(self, pair):
+        _net, haifa, _boston = pair
+        obj = make_service(haifa)
+        assert obj.guid.startswith("mrom://haifa/")
+        assert obj.principal.domain == "technion.ee"
+        assert obj.environment["site"] == "haifa"
+
+    def test_double_registration_rejected(self, pair):
+        _net, haifa, _boston = pair
+        obj = make_service(haifa)
+        with pytest.raises(NetworkError):
+            haifa.register_object(obj)
+
+    def test_unregister(self, pair):
+        _net, haifa, _boston = pair
+        obj = make_service(haifa)
+        haifa.unregister_object(obj.guid)
+        assert not haifa.has_object(obj.guid)
+        with pytest.raises(NetworkError):
+            haifa.local_object(obj.guid)
+
+    def test_duplicate_site_id_rejected(self, pair):
+        net, _haifa, _boston = pair
+        with pytest.raises(NetworkError):
+            Site(net, "haifa")
+
+
+class TestRemoteInvocation:
+    def test_resolve_then_invoke(self, pair):
+        _net, haifa, boston = pair
+        make_service(haifa)
+        ref = boston.remote_resolve("haifa", "apps/svc")
+        assert ref.invoke("echo", ["hello"]) == "hello"
+
+    def test_state_lives_at_the_origin(self, pair):
+        _net, haifa, boston = pair
+        obj = make_service(haifa)
+        ref = boston.remote_resolve("haifa", "apps/svc")
+        for _ in range(3):
+            ref.invoke("echo", ["x"])
+        assert obj.get_data("hits") == 3
+        assert ref.invoke("hits") == 3
+
+    def test_remote_error_propagates_with_type(self, pair):
+        _net, haifa, boston = pair
+        make_service(haifa)
+        ref = boston.remote_resolve("haifa", "apps/svc")
+        with pytest.raises(RemoteInvocationError) as excinfo:
+            ref.invoke("no_such_method")
+        assert excinfo.value.remote_type == "MethodNotFoundError"
+
+    def test_caller_principal_travels(self, pair):
+        _net, haifa, boston = pair
+        owner = Principal("mrom://boston/7.7", "mit.lcs", "researcher")
+        obj = haifa.create_object(display_name="guarded")
+        obj.define_fixed_method("secret", "return 42", acl=owner_only(owner))
+        obj.seal()
+        haifa.register_object(obj, name="apps/guarded")
+        ref = boston.remote_resolve("haifa", "apps/guarded")
+        assert ref.invoke("secret", caller=owner) == 42
+        with pytest.raises(RemoteInvocationError) as excinfo:
+            ref.invoke("secret")  # anonymous-ish: boston site principal
+        assert excinfo.value.remote_type == "AccessDeniedError"
+
+    def test_remote_get_data(self, pair):
+        _net, haifa, boston = pair
+        make_service(haifa)
+        ref = boston.remote_resolve("haifa", "apps/svc")
+        assert ref.get_data("hits") == 0
+
+    def test_remote_describe_is_visibility_filtered(self, pair):
+        _net, haifa, boston = pair
+        make_service(haifa)
+        ref = boston.remote_resolve("haifa", "apps/svc")
+        names = [item["name"] for item in ref.describe()["items"]]
+        assert "echo" in names
+        assert "addDataItem" not in names  # owner-only meta stays hidden
+
+    def test_rtt_reflects_topology(self, pair):
+        net, _haifa, boston = pair
+        rtt = boston.ping("haifa")
+        assert rtt >= 2 * WAN[0]
+
+    def test_arguments_pass_by_value(self, pair):
+        _net, haifa, boston = pair
+        obj = haifa.create_object(display_name="keeper")
+        obj.define_fixed_data("kept", None)
+        obj.define_fixed_method("keep", "self.set('kept', args[0])\nreturn True")
+        obj.seal()
+        haifa.register_object(obj, name="apps/keeper")
+        ref = boston.remote_resolve("haifa", "apps/keeper")
+        payload = {"numbers": [1, 2, 3]}
+        ref.invoke("keep", [payload])
+        payload["numbers"].append(4)  # caller-side mutation after the call
+        assert obj.get_data("kept") == {"numbers": [1, 2, 3]}
+
+    def test_object_references_travel_by_identity(self, pair):
+        _net, haifa, boston = pair
+        service = make_service(haifa)
+        directory = haifa.create_object(display_name="directory")
+        directory.define_fixed_data("entries", {})
+        directory.define_fixed_method(
+            "publish", "self.get('entries')[args[0]] = args[1]\nreturn True"
+        )
+        directory.define_fixed_method("find", "return self.get('entries')[args[0]]")
+        directory.seal()
+        haifa.register_object(directory, name="apps/directory")
+        directory.invoke("publish", ["svc", haifa.ref_to(service)])
+        remote_directory = boston.remote_resolve("haifa", "apps/directory")
+        found = remote_directory.invoke("find", ["svc"])
+        assert isinstance(found, RemoteRef)
+        assert found.guid == service.guid
+        assert found.invoke("echo", ["via returned ref"]) == "via returned ref"
+
+
+class TestPartitionBehaviour:
+    def test_send_into_partition_fails_fast(self, pair):
+        net, _haifa, boston = pair
+        make_service(_haifa)
+        ref = boston.remote_resolve("haifa", "apps/svc")
+        net.topology.partition({"haifa"}, {"boston"})
+        with pytest.raises(PartitionError):
+            ref.invoke("echo", ["lost"])
+
+    def test_heal_restores_service(self, pair):
+        net, haifa, boston = pair
+        make_service(haifa)
+        ref = boston.remote_resolve("haifa", "apps/svc")
+        net.topology.partition({"haifa"}, {"boston"})
+        with pytest.raises(PartitionError):
+            ref.invoke("echo", ["lost"])
+        net.topology.heal()
+        assert ref.invoke("echo", ["back"]) == "back"
+
+
+class TestFederatedNaming:
+    def test_mount_remote_names(self, pair):
+        _net, haifa, boston = pair
+        make_service(haifa)
+        boston.mount_remote_names("haifa", "haifa")
+        guid = boston.names.resolve("haifa/apps/svc")
+        assert guid.startswith("mrom://haifa/")
+
+    def test_lamport_clocks_advance_with_traffic(self, pair):
+        _net, haifa, boston = pair
+        make_service(haifa)
+        before = boston.guids.lamport
+        boston.ping("haifa")
+        assert boston.guids.lamport > before

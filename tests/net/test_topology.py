@@ -1,0 +1,127 @@
+"""The simulated internetwork: routing, cost model, partitions."""
+
+import pytest
+
+from repro.core.errors import NetworkError, PartitionError
+from repro.net import LAN, MODEM, Topology, WAN
+
+
+@pytest.fixture
+def triangle():
+    """a -- b -- c plus a slow direct a -- c link."""
+    topo = Topology()
+    for node in "abc":
+        topo.add_node(node)
+    topo.connect("a", "b", latency=0.010, bandwidth=1_000_000)
+    topo.connect("b", "c", latency=0.010, bandwidth=1_000_000)
+    topo.connect("a", "c", latency=0.100, bandwidth=1_000_000)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(NetworkError):
+            topo.add_node("a")
+
+    def test_link_needs_known_nodes(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(NetworkError):
+            topo.connect("a", "ghost")
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(NetworkError):
+            topo.connect("a", "a")
+
+    def test_duplicate_link_rejected(self, triangle):
+        with pytest.raises(NetworkError):
+            triangle.connect("a", "b")
+
+    def test_invalid_parameters(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        with pytest.raises(NetworkError):
+            topo.connect("a", "b", latency=-1)
+        with pytest.raises(NetworkError):
+            topo.connect("a", "b", bandwidth=0)
+
+
+class TestRouting:
+    def test_local_delivery_is_free(self, triangle):
+        assert triangle.path_cost("a", "a", 10**9) == 0.0
+
+    def test_picks_lower_latency_path(self, triangle):
+        # a->b->c totals 20ms, direct a->c is 100ms
+        cost = triangle.path_cost("a", "c", 0)
+        assert cost == pytest.approx(0.020)
+
+    def test_cost_includes_transmission_time(self, triangle):
+        size = 1_000_000
+        cost = triangle.path_cost("a", "b", size)
+        assert cost == pytest.approx(0.010 + size / 1_000_000)
+
+    def test_bottleneck_bandwidth(self):
+        topo = Topology()
+        for node in "abc":
+            topo.add_node(node)
+        topo.connect("a", "b", latency=0.0, bandwidth=1_000_000)
+        topo.connect("b", "c", latency=0.0, bandwidth=1_000)  # narrow
+        assert topo.path_cost("a", "c", 1_000) == pytest.approx(1.0)
+
+    def test_unknown_node(self, triangle):
+        with pytest.raises(NetworkError):
+            triangle.path_cost("a", "ghost", 1)
+
+    def test_presets_have_expected_ordering(self):
+        # LAN fastest, MODEM slowest for a 10 KB transfer
+        costs = []
+        for latency, bandwidth in (LAN, WAN, MODEM):
+            costs.append(latency + 10_000 / bandwidth)
+        assert costs == sorted(costs)
+
+
+class TestPartitions:
+    def test_down_link_forces_detour(self, triangle):
+        triangle.set_link_state("a", "b", up=False)
+        assert triangle.path_cost("a", "c", 0) == pytest.approx(0.100)
+        assert triangle.path_cost("a", "b", 0) == pytest.approx(0.110)
+
+    def test_full_partition_raises(self, triangle):
+        cut = triangle.partition({"a"}, {"b", "c"})
+        assert cut == 2
+        with pytest.raises(PartitionError):
+            triangle.path_cost("a", "c", 0)
+        assert not triangle.reachable("a", "b")
+        assert triangle.reachable("b", "c")
+
+    def test_heal_restores_routes(self, triangle):
+        triangle.partition({"a"}, {"b", "c"})
+        triangle.heal()
+        assert triangle.reachable("a", "c")
+        assert triangle.path_cost("a", "c", 0) == pytest.approx(0.020)
+
+    def test_topology_change_recomputes_routes(self, triangle):
+        before = triangle.path_cost("a", "c", 0)
+        triangle.set_link_state("b", "c", up=False)
+        after = triangle.path_cost("a", "c", 0)
+        assert before == pytest.approx(0.020)
+        assert after == pytest.approx(0.100)
+
+
+class TestNodeIdentifiers:
+    @pytest.mark.parametrize("bad", ["", "a|b", "a/b", "a b", "héllo"])
+    def test_wire_hostile_identifiers_rejected(self, bad):
+        topo = Topology()
+        with pytest.raises(NetworkError):
+            topo.add_node(bad)
+
+    def test_reasonable_identifiers_accepted(self):
+        topo = Topology()
+        for node in ("haifa", "db-east", "net.node_1"):
+            topo.add_node(node)
+        assert topo.nodes() == ("db-east", "haifa", "net.node_1")

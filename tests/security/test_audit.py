@@ -1,0 +1,100 @@
+"""The audit log: every outcome accounted for."""
+
+import pytest
+
+from repro.core import (
+    AccessDeniedError,
+    MROMObject,
+    PreProcedureVeto,
+    Principal,
+    owner_only,
+)
+from repro.security import AuditKind, AuditLog, audited_invoke
+
+
+@pytest.fixture
+def owner():
+    return Principal("mrom://h/1.1", "dom", "owner")
+
+
+@pytest.fixture
+def guarded(owner):
+    obj = MROMObject(display_name="guarded", owner=owner)
+    obj.define_fixed_data("x", 0)
+    obj.define_fixed_method("bump", "self.set('x', self.get('x') + 1)\nreturn self.get('x')")
+    obj.define_fixed_method("secret", "return 42", acl=owner_only(owner))
+    obj.define_fixed_method("picky", "return 1", pre="return False")
+    obj.define_fixed_method("broken", "return args[0] / 0")
+    obj.seal()
+    return obj
+
+
+class TestAuditedInvoke:
+    def test_success_recorded(self, guarded, owner):
+        log = AuditLog()
+        assert audited_invoke(guarded, log, "bump", caller=owner) == 1
+        events = log.events(AuditKind.INVOCATION)
+        assert len(events) == 1
+        assert events[0].detail == "bump"
+        assert events[0].actor == owner.guid
+
+    def test_denial_recorded_and_reraised(self, guarded):
+        log = AuditLog()
+        stranger = Principal("mrom://evil/1.1", "evil", "stranger")
+        with pytest.raises(AccessDeniedError):
+            audited_invoke(guarded, log, "secret", caller=stranger)
+        denials = log.denials()
+        assert len(denials) == 1
+        assert denials[0].actor == stranger.guid
+
+    def test_veto_recorded(self, guarded, owner):
+        log = AuditLog()
+        with pytest.raises(PreProcedureVeto):
+            audited_invoke(guarded, log, "picky", caller=owner)
+        assert log.counts() == {"veto": 1}
+
+    def test_error_recorded(self, guarded, owner):
+        log = AuditLog()
+        with pytest.raises(ZeroDivisionError):
+            audited_invoke(guarded, log, "broken", [1], caller=owner)
+        assert log.counts() == {"error": 1}
+
+
+class TestLogQueries:
+    def test_by_actor(self, guarded, owner):
+        log = AuditLog()
+        other = Principal("mrom://h/2.2", "dom", "other")
+        audited_invoke(guarded, log, "bump", caller=owner)
+        audited_invoke(guarded, log, "bump", caller=other)
+        audited_invoke(guarded, log, "bump", caller=owner)
+        assert len(log.by_actor(owner.guid)) == 2
+        assert len(log.by_actor(other.guid)) == 1
+
+    def test_clock_source(self, guarded, owner):
+        ticks = iter([1.5, 2.5])
+        log = AuditLog(clock=lambda: next(ticks))
+        audited_invoke(guarded, log, "bump", caller=owner)
+        audited_invoke(guarded, log, "bump", caller=owner)
+        times = [event.time for event in log]
+        assert times == [1.5, 2.5]
+
+    def test_sink_receives_events(self, guarded, owner):
+        log = AuditLog()
+        seen = []
+        log.add_sink(seen.append)
+        audited_invoke(guarded, log, "bump", caller=owner)
+        assert len(seen) == 1
+        assert seen[0].kind is AuditKind.INVOCATION
+
+    def test_manual_mobility_events(self):
+        log = AuditLog()
+        log.record(AuditKind.ARRIVAL, "mrom://g/1.1", "siteA")
+        log.record(AuditKind.DEPARTURE, "mrom://g/1.1", "siteA")
+        log.record(AuditKind.REJECTION, "mrom://g/2.2", "siteB", detail="policy")
+        assert log.counts() == {"arrival": 1, "departure": 1, "rejection": 1}
+
+    def test_str_rendering(self, guarded, owner):
+        log = AuditLog()
+        audited_invoke(guarded, log, "bump", caller=owner)
+        rendered = str(log.events()[0])
+        assert "invocation" in rendered and "bump" in rendered

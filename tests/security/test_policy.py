@@ -1,0 +1,102 @@
+"""Host/guest policies: admission control and its bypass-resistance."""
+
+import pytest
+
+from repro.core import MROMObject, Principal
+from repro.core.errors import PolicyViolationError
+from repro.mobility import pack
+from repro.security import GuestPolicy, HostPolicy
+
+
+@pytest.fixture
+def owner():
+    return Principal("mrom://origin/1.1", "technion.ee", "origin")
+
+
+def packaged(owner, domain="technion.ee", methods=1, tower=0, source="return 1"):
+    obj = MROMObject(
+        guid="mrom://origin/5.5",
+        domain=domain,
+        owner=owner,
+        extensible_meta=bool(tower),
+    )
+    for index in range(methods):
+        obj.define_fixed_method(f"op{index}", source)
+    obj.seal()
+    for _ in range(tower):
+        obj.invoke("addMethod", ["invoke", "return ctx.proceed()"], caller=owner)
+    return pack(obj)
+
+
+class TestHostPolicy:
+    def test_default_admits_wellformed_object(self, owner):
+        HostPolicy().admit(packaged(owner), "somewhere")
+
+    def test_domain_allow_list(self, owner):
+        policy = HostPolicy(allowed_domains=("technion",))
+        policy.admit(packaged(owner, domain="technion.ee"), "x")
+        with pytest.raises(PolicyViolationError):
+            policy.admit(packaged(owner, domain="evil.example"), "x")
+
+    def test_domain_matching_is_segment_wise(self, owner):
+        policy = HostPolicy(allowed_domains=("technion",))
+        with pytest.raises(PolicyViolationError):
+            policy.admit(packaged(owner, domain="techniom.fake"), "x")
+
+    def test_item_count_bound(self, owner):
+        policy = HostPolicy(max_items=3)
+        policy.admit(packaged(owner, methods=3), "x")
+        with pytest.raises(PolicyViolationError):
+            policy.admit(packaged(owner, methods=4), "x")
+
+    def test_tower_depth_bound(self, owner):
+        policy = HostPolicy(max_tower_depth=1)
+        policy.admit(packaged(owner, tower=1), "x")
+        with pytest.raises(PolicyViolationError):
+            policy.admit(packaged(owner, tower=2), "x")
+
+    def test_banned_names(self, owner):
+        policy = HostPolicy(banned_method_names=frozenset({"op0"}))
+        with pytest.raises(PolicyViolationError):
+            policy.admit(packaged(owner), "x")
+
+    def test_hostile_code_rejected_at_admission(self, owner):
+        from repro.core import SandboxViolation
+
+        package = packaged(owner)
+        package["fixed_methods"][0]["components"]["body"]["source"] = "import os"
+        with pytest.raises(SandboxViolation):
+            HostPolicy().admit(package, "x")
+
+    def test_code_size_bound(self, owner):
+        policy = HostPolicy(max_code_bytes=10)
+        package = packaged(owner, source="x = 'aaaaaaaaaaaaaaaaaaaa'\nreturn x")
+        with pytest.raises(PolicyViolationError):
+            policy.admit(package, "x")
+
+    def test_lazy_verification_mode_skips_code_check(self, owner):
+        package = packaged(owner)
+        package["fixed_methods"][0]["components"]["body"]["source"] = "import os"
+        HostPolicy(verify_code_eagerly=False).admit(package, "x")
+
+    def test_policy_is_callable(self, owner):
+        HostPolicy()(packaged(owner), "x")
+
+
+class TestGuestPolicy:
+    def test_trusted_domains(self):
+        guest = GuestPolicy(trusted_domains=("technion",))
+        guest.check_host("technion.ee")
+        with pytest.raises(PolicyViolationError):
+            guest.check_host("evil.example")
+
+    def test_empty_trust_list_trusts_everyone(self):
+        GuestPolicy().check_host("anywhere.at.all")
+
+    def test_binding_filter(self):
+        guest = GuestPolicy(accepted_bindings=("clock", "logger"))
+        offered = {"clock": 1, "logger": 2, "filesystem": 3}
+        assert guest.filter_bindings(offered) == {"clock": 1, "logger": 2}
+
+    def test_no_accepted_bindings_means_none(self):
+        assert GuestPolicy().filter_bindings({"anything": 1}) == {}

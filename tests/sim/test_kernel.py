@@ -1,0 +1,130 @@
+"""The discrete-event kernel: ordering, determinism, control."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestOrdering:
+    def test_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abc":
+            sim.schedule(1.0, lambda label=label: fired.append(label))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_execution(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(("first", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+
+class TestControl:
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run_until(2.0)
+        assert fired == [1.0, 2.0]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_run_while_converges(self):
+        sim = Simulator()
+        box = {"done": False}
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: box.update(done=True))
+        sim.schedule(3.0, lambda: None)
+        sim.run_while(lambda: not box["done"])
+        assert box["done"]
+        assert sim.pending == 1  # the 3.0 event was not consumed
+
+    def test_run_while_guards_against_livelock(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(RuntimeError):
+            sim.run_while(lambda: True, max_events=100)
+
+    def test_max_events(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending == 6
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_streams(self):
+        a, b = Simulator(seed=42), Simulator(seed=42)
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_full_run_reproducible(self):
+        def run_once():
+            sim = Simulator(seed=7)
+            trace = []
+
+            def noisy(label):
+                trace.append((label, round(sim.now, 9)))
+                if sim.rng.random() > 0.5:
+                    sim.schedule(sim.rng.random(), lambda: trace.append(("x", sim.now)))
+
+            for i in range(10):
+                sim.schedule(sim.rng.random() * 3, lambda i=i: noisy(i))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

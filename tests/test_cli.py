@@ -1,0 +1,128 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import MROMObject, Principal
+from repro.mobility import pack_bytes
+from repro.persistence import ObjectStore, persist
+
+
+@pytest.fixture
+def mpl_script(tmp_path):
+    script = tmp_path / "demo.mpl"
+    script.write_text(
+        """
+        object greeter {
+          fixed data greeting = "shalom"
+          fixed method greet(name) { return greeting + ", " + name }
+        }
+        let g = new greeter
+        print g.greet("olam")
+        """,
+        encoding="utf-8",
+    )
+    return script
+
+
+@pytest.fixture
+def packed_file(tmp_path):
+    obj = MROMObject(display_name="artifact", guid="mrom://cli/1.1")
+    obj.define_fixed_data("x", 1)
+    obj.define_fixed_method("get_x", "return self.get('x')", pre="return True")
+    obj.seal()
+    target = tmp_path / "artifact.mrom"
+    target.write_bytes(pack_bytes(obj))
+    return target
+
+
+class TestRun:
+    def test_run_prints_output(self, mpl_script, capsys):
+        assert main(["run", str(mpl_script)]) == 0
+        assert capsys.readouterr().out.strip() == "shalom, olam"
+
+    def test_show_value(self, tmp_path, capsys):
+        script = tmp_path / "v.mpl"
+        script.write_text("1 + 41", encoding="utf-8")
+        assert main(["run", "--show-value", str(script)]) == 0
+        assert "=> 42" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/x.mpl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        script = tmp_path / "bad.mpl"
+        script.write_text("let = nonsense", encoding="utf-8")
+        assert main(["run", str(script)]) == 1
+        assert "MPLSyntaxError" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_check_reports_counts(self, mpl_script, capsys):
+        assert main(["check", str(mpl_script)]) == 0
+        out = capsys.readouterr().out
+        assert "1 object(s)" in out and "1 method(s)" in out
+
+    def test_check_catches_compile_errors(self, tmp_path, capsys):
+        script = tmp_path / "bad.mpl"
+        script.write_text(
+            "object o { fixed method f() { return unknown_name } }",
+            encoding="utf-8",
+        )
+        assert main(["check", str(script)]) == 1
+
+
+class TestInspect:
+    def test_inspect_describes_package(self, packed_file, capsys):
+        assert main(["inspect", str(packed_file)]) == 0
+        out = capsys.readouterr().out
+        assert "mrom://cli/1.1" in out
+        assert "artifact" in out
+        assert "get_x [p]" in out  # the pre-procedure marker
+
+    def test_inspect_garbage_fails_cleanly(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.mrom"
+        garbage.write_bytes(b"not a package")
+        assert main(["inspect", str(garbage)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStore:
+    @pytest.fixture
+    def store_root(self, tmp_path):
+        store = ObjectStore(tmp_path / "store")
+        owner = Principal("mrom://cli/9.9", "dom", "owner")
+        obj = MROMObject(guid="mrom://cli/2.2", display_name="kept", owner=owner)
+        obj.define_fixed_data("x", 5)
+        obj.seal()
+        persist(obj, store)
+        return tmp_path / "store", obj.guid
+
+    def test_list(self, store_root, capsys):
+        root, guid = store_root
+        assert main(["store", "--root", str(root), "list"]) == 0
+        assert guid in capsys.readouterr().out
+
+    def test_list_empty(self, tmp_path, capsys):
+        assert main(["store", "--root", str(tmp_path / "empty"), "list"]) == 0
+        assert "(empty store)" in capsys.readouterr().out
+
+    def test_show(self, store_root, capsys):
+        root, guid = store_root
+        assert main(["store", "--root", str(root), "show", guid]) == 0
+        out = capsys.readouterr().out
+        assert "kept" in out and "x" in out
+
+    def test_verify_clean(self, store_root, capsys):
+        root, guid = store_root
+        assert main(["store", "--root", str(root), "verify"]) == 0
+        assert f"ok      {guid}" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, store_root, capsys):
+        root, guid = store_root
+        store = ObjectStore(root)
+        version = store.versions(guid)[-1]
+        store._image_path(guid, version).write_bytes(b"junk")
+        assert main(["store", "--root", str(root), "verify"]) == 1
+        assert "CORRUPT" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Every example script runs to completion and prints what it promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+#: script -> fragments that must appear in its output
+EXPECTATIONS = {
+    "quickstart.py": ["withdraw 30 -> 70", "4500", "identity travels: True"],
+    "two_level_invocation.py": [
+        "level 2: match -> body",
+        "level 0: lookup -> match -> body",
+    ],
+    "database_shutdown.py": [
+        "down for maintenance",
+        "boston asks salary_of(moshe) -> 4500",
+    ],
+    "code_renting.py": ["REFUSED: out of credit", "service resumes"],
+    "hadas_topology.py": ["Vicinity:", "payroll_with_bonus"],
+    "mobile_agent_tour.py": ["market-feed", "back home"],
+    "mpl_demo.py": ["refused", "spent: 950"],
+    "service_marketplace.py": [
+        "adapted: salary_of->comp_lookup",
+        "salary_band(dana) -> senior",
+    ],
+}
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, (
+        f"{name} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    return completed.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert on_disk == set(EXPECTATIONS), (
+        "EXPECTATIONS out of sync with examples/ — add the new script here"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs(name):
+    output = run_example(name)
+    for fragment in EXPECTATIONS[name]:
+        assert fragment in output, (
+            f"{name}: expected {fragment!r} in output:\n{output}"
+        )

@@ -1,0 +1,288 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Targets: the wire format (round-trip totality), generic coercion
+(idempotence and stability), ACL algebra (deny dominance, monotonicity),
+containers (add/remove inverses), guids (uniqueness), and pack/unpack
+(behavioural equivalence).
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AccessControlList,
+    AclEntry,
+    Decision,
+    HtmlText,
+    Kind,
+    MROMObject,
+    Permission,
+    Principal,
+    coerce,
+    kind_of,
+)
+from repro.core.containers import ItemContainer
+from repro.core.errors import CoercionError, MarshalError
+from repro.core.items import DataItem
+from repro.mobility import pack, unpack
+from repro.naming import GuidFactory
+from repro.net import marshal, unmarshal
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**100), max_value=2**100),
+    st.floats(allow_nan=False),
+    st.text(max_size=80),
+    st.binary(max_size=80),
+    st.builds(HtmlText, st.text(max_size=40)),
+)
+
+wire_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(
+            st.one_of(st.text(max_size=10), st.integers(), st.booleans()),
+            children,
+            max_size=5,
+        ),
+    ),
+    max_leaves=25,
+)
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+
+permissions = st.sampled_from(
+    [Permission.GET, Permission.SET, Permission.INVOKE, Permission.META]
+)
+
+principals = st.builds(
+    Principal,
+    guid=st.text(alphabet=string.ascii_lowercase + ":", min_size=1, max_size=20),
+    domain=st.one_of(
+        st.just(""),
+        st.text(alphabet=string.ascii_lowercase + ".", min_size=1, max_size=15)
+        .map(lambda s: s.strip(".")),
+    ),
+)
+
+acl_entries = st.builds(
+    AclEntry,
+    subject=st.one_of(
+        st.just("*"),
+        names.map(lambda n: f"domain:{n}"),
+        names,
+    ),
+    permissions=st.sets(permissions, min_size=1).map(
+        lambda flags: __import__("functools").reduce(lambda a, b: a | b, flags)
+    ),
+    decision=st.sampled_from([Decision.ALLOW, Decision.DENY]),
+)
+
+
+# ---------------------------------------------------------------------------
+# wire format
+# ---------------------------------------------------------------------------
+
+
+class TestMarshalProperties:
+    @given(wire_values)
+    @settings(max_examples=300)
+    def test_round_trip_is_identity_up_to_tuples(self, value):
+        assert unmarshal(marshal(value)) == _normalize(value)
+
+    @given(wire_values)
+    def test_double_round_trip_is_fixed_point(self, value):
+        once = unmarshal(marshal(value))
+        twice = unmarshal(marshal(once))
+        assert once == twice
+
+    @given(wire_values)
+    def test_kind_preserved_for_scalars(self, value):
+        back = unmarshal(marshal(value))
+        try:
+            original_kind = kind_of(value)
+        except Exception:
+            return
+        assert kind_of(back) == original_kind
+
+    @given(st.binary(max_size=200))
+    def test_decoder_never_crashes_unmanaged(self, noise):
+        # arbitrary bytes: either a clean MarshalError or (astronomically
+        # unlikely) a valid message — never any other exception
+        try:
+            unmarshal(b"MRM1" + noise)
+        except MarshalError:
+            pass
+
+
+def _normalize(value):
+    if isinstance(value, tuple):
+        return [_normalize(v) for v in value]
+    if isinstance(value, list):
+        return [_normalize(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, (bytearray, memoryview)):
+        return bytes(value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# coercion
+# ---------------------------------------------------------------------------
+
+
+class TestCoercionProperties:
+    @given(scalars, st.sampled_from(list(Kind)))
+    @settings(max_examples=300)
+    def test_coercion_is_idempotent(self, value, kind):
+        try:
+            once = coerce(value, kind)
+        except (CoercionError, Exception) as exc:
+            if not isinstance(exc, CoercionError):
+                raise
+            return
+        assert coerce(once, kind) == once
+
+    @given(st.text(max_size=60).map(lambda s: " ".join(s.split())))
+    def test_text_html_text_round_trip(self, text):
+        # escaping into HTML and rendering back is the identity on
+        # whitespace-normalised text (rendering collapses whitespace)
+        html = coerce(text, Kind.HTML)
+        assert coerce(html, Kind.TEXT) == text.strip()
+
+    @given(st.integers(min_value=-(10**12), max_value=10**12))
+    def test_integer_text_integer_round_trip(self, number):
+        assert coerce(coerce(number, Kind.TEXT), Kind.INTEGER) == number
+
+
+def coerce_or_none(value, kind):
+    try:
+        return coerce(value, kind)
+    except CoercionError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# ACL algebra
+# ---------------------------------------------------------------------------
+
+
+class TestAclProperties:
+    @given(st.lists(acl_entries, max_size=8), principals, permissions)
+    @settings(max_examples=300)
+    def test_deny_dominates(self, entries, principal, permission):
+        acl = AccessControlList(entries)
+        denied_applicable = any(
+            e.decision is Decision.DENY
+            and e.applies_to(principal)
+            and e.covers(permission)
+            for e in entries
+        )
+        if denied_applicable:
+            assert not acl.permits(principal, permission)
+
+    @given(st.lists(acl_entries, max_size=8), principals, permissions)
+    def test_adding_a_grant_never_shrinks_access_for_others(
+        self, entries, principal, permission
+    ):
+        acl = AccessControlList(entries)
+        before = acl.permits(principal, permission)
+        acl.grant("someone-else-entirely", Permission.ALL)
+        assert acl.permits(principal, permission) == before
+
+    @given(st.lists(acl_entries, max_size=8))
+    def test_describe_round_trip_preserves_decisions(self, entries):
+        acl = AccessControlList(entries)
+        rebuilt = AccessControlList.from_description(acl.describe())
+        probe_principals = [
+            Principal("alice", "a.b"),
+            Principal("bob", ""),
+        ] + [Principal(e.subject, "") for e in entries if ":" not in e.subject]
+        for principal in probe_principals:
+            for permission in (
+                Permission.GET, Permission.SET, Permission.INVOKE, Permission.META,
+            ):
+                assert rebuilt.permits(principal, permission) == acl.permits(
+                    principal, permission
+                )
+
+
+# ---------------------------------------------------------------------------
+# containers
+# ---------------------------------------------------------------------------
+
+
+class TestContainerProperties:
+    @given(st.lists(names, unique=True, min_size=1, max_size=20))
+    def test_insertion_order_is_enumeration_order(self, item_names):
+        container = ItemContainer("p")
+        for name in item_names:
+            container.add(DataItem(name, 0))
+        assert list(container.names()) == item_names
+
+    @given(
+        st.lists(names, unique=True, min_size=2, max_size=20),
+        st.data(),
+    )
+    def test_remove_is_inverse_of_add(self, item_names, data):
+        container = ItemContainer("p")
+        for name in item_names:
+            container.add(DataItem(name, 0))
+        victim = data.draw(st.sampled_from(item_names))
+        container.remove(victim)
+        assert victim not in container
+        assert list(container.names()) == [n for n in item_names if n != victim]
+
+
+# ---------------------------------------------------------------------------
+# guids
+# ---------------------------------------------------------------------------
+
+
+class TestGuidProperties:
+    @given(st.integers(min_value=1, max_value=300), st.integers(min_value=0, max_value=1000))
+    def test_uniqueness_across_witnessing(self, count, noise_clock):
+        mint = GuidFactory("site")
+        minted = set()
+        for index in range(count):
+            if index % 3 == 0:
+                mint.witness(noise_clock)
+            minted.add(mint.fresh())
+        assert len(minted) == count
+
+
+# ---------------------------------------------------------------------------
+# pack/unpack behavioural equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestPackProperties:
+    @given(
+        st.lists(
+            st.tuples(names, st.integers(min_value=-1000, max_value=1000)),
+            unique_by=lambda pair: pair[0],
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50)
+    def test_unpacked_object_computes_the_same(self, fields):
+        owner = Principal("mrom://origin/1.1", "dom", "owner")
+        obj = MROMObject(guid="mrom://origin/3.3", owner=owner)
+        for name, value in fields:
+            obj.define_fixed_data(name, value)
+        total_expr = " + ".join(f"self.get({name!r})" for name, _ in fields)
+        obj.define_fixed_method("total", f"return {total_expr}")
+        obj.seal()
+        expected = sum(value for _, value in fields)
+        assert obj.invoke("total", caller=owner) == expected
+        copy = unpack(pack(obj))
+        assert copy.invoke("total", caller=owner) == expected

@@ -1,0 +1,185 @@
+"""Model-based (stateful) testing of the MROM object.
+
+Hypothesis drives random sequences of meta-operations and invocations
+against an MROM object while a plain-Python mirror tracks expected
+state. Invariants checked continuously:
+
+* the fixed section never changes (names, count, behaviour);
+* the extensible section matches the mirror exactly;
+* data values read back as the mirror predicts;
+* every lookup failure the mirror predicts is a typed MROM error;
+* pack -> unpack at any point yields an object that agrees with the
+  mirror (mobility preserves observable state).
+"""
+
+import string
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import (
+    DuplicateItemError,
+    ItemNotFoundError,
+    MROMObject,
+    Principal,
+    allow_all,
+)
+from repro.core.errors import FixedSectionError
+from repro.mobility import pack, unpack
+
+OWNER = Principal("mrom://model/1.1", "model", "owner")
+FIXED_DATA = {"base": 10}
+FIXED_METHODS = {"get_base": "return self.get('base')"}
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+values = st.one_of(
+    st.integers(min_value=-100, max_value=100),
+    st.text(max_size=10),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=3),
+)
+
+
+def build_subject() -> MROMObject:
+    obj = MROMObject(
+        display_name="subject", owner=OWNER, extensible_meta=True,
+        meta_acl=allow_all(),
+    )
+    for name, value in FIXED_DATA.items():
+        obj.define_fixed_data(name, value)
+    for name, source in FIXED_METHODS.items():
+        obj.define_fixed_method(name, source)
+    obj.seal()
+    return obj
+
+
+class MromMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.obj = build_subject()
+        self.data: dict[str, object] = {}  # extensible data mirror
+        self.methods: dict[str, int] = {}  # extensible method -> constant
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(name=names, value=values)
+    def add_data(self, name, value):
+        occupied = name in self.data or name in FIXED_DATA
+        try:
+            self.obj.invoke("addDataItem", [name, value], caller=OWNER)
+        except DuplicateItemError:
+            assert occupied
+        else:
+            assert not occupied
+            self.data[name] = value
+
+    @rule(name=names)
+    def delete_data(self, name):
+        try:
+            self.obj.invoke("deleteDataItem", [name], caller=OWNER)
+        except ItemNotFoundError:
+            assert name not in self.data and name not in FIXED_DATA
+        except FixedSectionError:
+            assert name in FIXED_DATA
+        else:
+            assert name in self.data
+            del self.data[name]
+
+    @rule(name=names, value=values)
+    def set_data_value(self, name, value):
+        if name in self.data:
+            self.obj.set_data(name, value, caller=OWNER)
+            self.data[name] = value
+
+    @rule(name=names, constant=st.integers(min_value=0, max_value=999))
+    def add_method(self, name, constant):
+        occupied = (
+            name in self.methods
+            or name in FIXED_METHODS
+            or name in self.obj.containers.fixed_methods.names()
+        )
+        if name == "invoke":
+            return  # tower levels are exercised elsewhere
+        try:
+            self.obj.invoke(
+                "addMethod",
+                [name, f"return {constant}", {"acl": allow_all().describe()}],
+                caller=OWNER,
+            )
+        except DuplicateItemError:
+            assert occupied
+        else:
+            assert not occupied
+            self.methods[name] = constant
+
+    @rule(name=names)
+    def delete_method(self, name):
+        if name == "invoke":
+            return
+        try:
+            self.obj.invoke("deleteMethod", [name], caller=OWNER)
+        except ItemNotFoundError:
+            assert name not in self.methods
+            assert not self.obj.containers.has_method(name)
+        except FixedSectionError:
+            assert name in FIXED_METHODS or self.obj.containers.fixed_methods.find(name)
+        else:
+            assert name in self.methods
+            del self.methods[name]
+
+    @rule(name=names)
+    def invoke_method(self, name):
+        if name in self.methods:
+            assert self.obj.invoke(name, caller=OWNER) == self.methods[name]
+
+    @precondition(lambda self: True)
+    @rule()
+    def round_trip_through_pack(self):
+        copy = unpack(pack(self.obj))
+        for name, value in self.data.items():
+            assert copy.get_data(name, caller=OWNER) == value
+        for name, constant in self.methods.items():
+            assert copy.invoke(name, caller=OWNER) == constant
+        assert copy.invoke("get_base", caller=OWNER) == 10
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def fixed_section_is_immortal(self):
+        assert set(self.obj.containers.fixed_data.names()) == set(FIXED_DATA)
+        for name, value in FIXED_DATA.items():
+            assert self.obj.get_data(name, caller=OWNER) == value
+        assert self.obj.invoke("get_base", caller=OWNER) == FIXED_DATA["base"]
+
+    @invariant()
+    def extensible_data_matches_mirror(self):
+        actual = set(self.obj.containers.ext_data.names())
+        assert actual == set(self.data)
+        for name, value in self.data.items():
+            assert self.obj.get_data(name, caller=OWNER) == value
+
+    @invariant()
+    def extensible_methods_match_mirror(self):
+        actual = {
+            name
+            for name in self.obj.containers.ext_methods.names()
+            if not self.obj.containers.ext_methods.get(name).metadata.get("meta")
+        }
+        assert actual == set(self.methods)
+
+    @invariant()
+    def counts_are_consistent(self):
+        counts = self.obj.containers.counts()
+        assert counts["extensible_data"] == len(self.data)
+        assert counts["fixed_data"] == len(FIXED_DATA)
+
+
+MromMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestMromModel = MromMachine.TestCase
