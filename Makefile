@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples series check all
+.PHONY: install test chaos bench examples series check all
 
 install:
 	$(PYTHON) setup.py develop || pip install -e .
 
+# `make test` runs everything, chaos tests included; `make chaos` runs
+# only the seeded fault-injection suite (marker: chaos).
 test:
 	$(PYTHON) -m pytest tests/
+
+chaos:
+	$(PYTHON) -m pytest -m chaos tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

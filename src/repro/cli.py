@@ -7,7 +7,9 @@ Commands:
   verification a host performs before admitting MPL-borne code);
 * ``inspect PACKAGE.mrom`` — describe a packed object file without
   executing any of its code (safe interrogation of an artifact at rest);
-* ``store list / show / verify`` — inspect a persistence store.
+* ``store list / show / verify`` — inspect a persistence store;
+* ``chaos --seed N`` — run the deterministic fault-injection scenario
+  (see ``docs/FAULTS.md``); identical seeds print identical reports.
 """
 
 from __future__ import annotations
@@ -145,6 +147,26 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import run_chaos_scenario
+
+    report = run_chaos_scenario(
+        seed=args.seed,
+        n_sites=args.sites,
+        passes=args.passes,
+        drop=args.drop,
+        dup=args.dup,
+        reorder=args.reorder,
+        jitter=args.jitter,
+        flap=args.flap,
+        crash=args.crash,
+        store_root=args.store_root,
+    )
+    for line in report.to_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -188,6 +210,30 @@ def build_parser() -> argparse.ArgumentParser:
     show_parser.add_argument("--version", type=int, default=None)
     store_commands.add_parser("verify", help="checksum-verify every image")
     store_parser.set_defaults(handler=_cmd_store)
+
+    chaos_parser = commands.add_parser(
+        "chaos",
+        help="run the seeded fault-injection scenario (deterministic)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument("--sites", type=int, default=5)
+    chaos_parser.add_argument("--passes", type=int, default=2)
+    chaos_parser.add_argument("--drop", type=float, default=0.10,
+                              help="per-message drop probability")
+    chaos_parser.add_argument("--dup", type=float, default=0.10,
+                              help="per-message duplication probability")
+    chaos_parser.add_argument("--reorder", type=float, default=0.05,
+                              help="per-message reorder probability")
+    chaos_parser.add_argument("--jitter", type=float, default=0.005,
+                              help="max additive latency noise (seconds)")
+    chaos_parser.add_argument("--flap", action=argparse.BooleanOptionalAction,
+                              default=True, help="flap one ring link")
+    chaos_parser.add_argument("--crash", action=argparse.BooleanOptionalAction,
+                              default=True,
+                              help="crash-restart one site from checkpoint")
+    chaos_parser.add_argument("--store-root", default=None,
+                              help="directory for the crash checkpoint store")
+    chaos_parser.set_defaults(handler=_cmd_chaos)
     return parser
 
 

@@ -222,6 +222,25 @@ class NotPortableError(MobilityError):
         self.offenders = tuple(offenders)
 
 
+class TransferUnresolvedError(MobilityError):
+    """A two-phase transfer timed out in an ambiguous state.
+
+    The PREPARE may or may not have settled at the destination; the
+    local original is still registered (nothing was unregistered without
+    a confirmed ACK). :meth:`~repro.mobility.transfer.MobilityManager.reconcile`
+    queries the destination and resolves the transfer either way.
+    """
+
+    def __init__(self, transfer_id: str, guid: str, dst: str):
+        super().__init__(
+            f"transfer {transfer_id} of {guid} to {dst!r} is unresolved "
+            "(no ACK; reconcile once the destination is reachable)"
+        )
+        self.transfer_id = transfer_id
+        self.guid = guid
+        self.dst = dst
+
+
 class SandboxViolation(MobilityError, SecurityError):
     """Portable code used a construct outside the mobile-code whitelist."""
 
@@ -241,6 +260,16 @@ class NetworkError(MROMError):
 
 class PartitionError(NetworkError):
     """The destination is unreachable due to a network partition."""
+
+
+class RequestTimeoutError(NetworkError):
+    """A request exhausted its retry budget without a reply.
+
+    Crucially *ambiguous*: at least one attempt reached the wire, so the
+    remote side may or may not have executed the request. Callers that
+    need exactly-once semantics must resolve the ambiguity out of band
+    (the mobility layer does, via ``transfer.query`` reconciliation).
+    """
 
 
 class RemoteInvocationError(NetworkError):

@@ -1,15 +1,34 @@
 """The migration protocol: ship an object to another site as data.
 
-The sequence follows the paper's Import/Export narrative (Section 5):
+The sequence follows the paper's Import/Export narrative (Section 5),
+hardened into an idempotent **two-phase handoff** so that a migration
+survives dropped, duplicated, reordered and delayed messages with
+exactly one live copy of the object at the end:
 
-1. the sender packs the object (portable code as verified source);
-2. the package travels as an ordinary data message;
-3. the receiving :class:`MobilityManager` runs its *admission policy*
-   (the host restricting the guest — one half of the security duality);
-4. the object is unpacked, registered, handed an **installation
-   context** (host bindings in its environment), and — if it defines an
-   ``install`` method — invoked "which in turn installs itself";
-5. the sender receives a remote reference to the settled object.
+1. **PREPARE** — the sender packs the object and ships it under a fresh
+   *transfer id* (a per-site package sequence number). The request is
+   retried with timeout and backoff; every retry carries the same id.
+2. **settle** — the receiving :class:`MobilityManager` runs its
+   *admission policy* (the host restricting the guest — one half of the
+   security duality), unpacks, registers and installs the object, and
+   records the outcome in its transfer ledger. A re-delivered PREPARE —
+   a network duplicate or a retry whose first copy already settled — is
+   suppressed by the ledger and answered with the recorded report.
+3. **ACK** — the settle report travels back as the reply. Only on a
+   confirmed ACK does the sender unregister its original; a rejected or
+   failed transfer leaves the object exactly where it was.
+
+If every attempt times out the transfer is *unresolved* (the PREPARE may
+or may not have settled remotely): the sender keeps its original, records
+the transfer id, and raises
+:class:`~repro.core.errors.TransferUnresolvedError`.
+:meth:`MobilityManager.reconcile` later asks the destination
+(``transfer.query``) and either completes the move (unregister the
+original) or confirms the abort — the destination marks never-seen ids
+*aborted* on query, so a PREPARE that is still crawling through the
+network when the verdict falls is refused on arrival. The result is
+exactly-once migration under any message-fault schedule, given eventual
+connectivity.
 
 Two modes:
 
@@ -20,17 +39,26 @@ Two modes:
 
 A ``forward`` request lets a remote party that is entitled to do so bounce
 an object onward to a third site — the hop primitive multi-site agent
-itineraries are built from.
+itineraries are built from. Forwards ride the same two-phase machinery.
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import OrderedDict
 from typing import Any, Callable, Mapping, Sequence
 
 from ..core.acl import Principal
-from ..core.errors import MobilityError, PolicyViolationError
+from ..core.errors import (
+    MobilityError,
+    MROMError,
+    PolicyViolationError,
+    RemoteInvocationError,
+    RequestTimeoutError,
+    TransferUnresolvedError,
+)
 from ..core.mobject import MROMObject
-from ..net.rmi import RemoteRef
+from ..net.rmi import RemoteRef, RetryPolicy
 from ..net.site import Site
 from ..net.transport import Message
 from .package import pack, unpack
@@ -49,13 +77,31 @@ class InstallReport(dict):
 class MobilityManager:
     """Attaches the migration protocol to a :class:`~repro.net.site.Site`."""
 
-    def __init__(self, site: Site, policy: AdmissionPolicy | None = None):
+    #: receiver-side dedup table size: settled/aborted transfer ids kept
+    _LEDGER_CAP = 1024
+
+    def __init__(
+        self,
+        site: Site,
+        policy: AdmissionPolicy | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ):
         self.site = site
         self.policy = policy
+        #: per-manager override for outgoing transfer requests; None
+        #: falls through to the site's default retry policy
+        self.retry_policy = retry_policy
         self.arrivals = 0
         self.departures = 0
         self.rejections = 0
+        self.duplicates_suppressed = 0
+        self._transfer_seq = itertools.count(1)
+        self._ledger: OrderedDict[str, dict] = OrderedDict()
+        #: transfer_id -> {"guid", "dst", "mode"} for unresolved handoffs
+        self.unresolved: dict[str, dict] = {}
         site.add_handler("transfer", self._handle_transfer)
+        site.add_handler("transfer.prepare", self._handle_prepare)
+        site.add_handler("transfer.query", self._handle_query)
         site.add_handler("forward", self._handle_forward)
 
     # ------------------------------------------------------------------
@@ -70,14 +116,12 @@ class MobilityManager:
     ) -> RemoteRef:
         """Move *obj* to *dst*; the local original ceases to exist here.
 
-        The local object is unregistered only after the destination
-        acknowledged installation, so a rejected or failed transfer
-        leaves the object where it was.
+        The local object is unregistered only after the destination's
+        confirmed ACK, so a rejected or failed transfer leaves the
+        object where it was — and an ambiguous one (timeout) keeps it
+        here too, flagged for :meth:`reconcile`.
         """
-        report = self._ship(obj, dst, install_args)
-        if self.site.has_object(obj.guid):
-            self.site.unregister_object(obj.guid)
-        self.departures += 1
+        report = self._handoff(obj, dst, install_args, mode="move")
         return RemoteRef(self.site, dst, str(report["guid"]))
 
     def deploy_copy(
@@ -88,22 +132,83 @@ class MobilityManager:
     ) -> RemoteRef:
         """Ship an independent replica of *obj* to *dst*, keeping the
         original registered here (the APO → Ambassador pattern)."""
-        report = self._ship(obj, dst, install_args)
-        self.departures += 1
+        report = self._handoff(obj, dst, install_args, mode="copy")
         return RemoteRef(self.site, dst, str(report["guid"]))
 
-    def _ship(
-        self, obj: MROMObject, dst: str, install_args: Sequence[Any]
+    def _mint_transfer_id(self) -> str:
+        """A package sequence number, unique across site incarnations."""
+        return (
+            f"xfer:{self.site.site_id}#{self.site.incarnation}"
+            f":{next(self._transfer_seq)}"
+        )
+
+    def _handoff(
+        self, obj: MROMObject, dst: str, install_args: Sequence[Any], mode: str
     ) -> Mapping:
         package = pack(obj)
-        result = self.site.request(
-            dst,
-            "transfer",
-            {"package": package, "install_args": list(install_args)},
-        )
-        if not isinstance(result, Mapping):
+        transfer_id = self._mint_transfer_id()
+        try:
+            report = self.site.request(
+                dst,
+                "transfer.prepare",
+                {
+                    "transfer_id": transfer_id,
+                    "package": package,
+                    "install_args": list(install_args),
+                },
+                policy=self.retry_policy,
+            )
+        except RemoteInvocationError:
+            # the destination answered and refused: nothing settled there
+            raise
+        except RequestTimeoutError as exc:
+            # ambiguous: the PREPARE may have settled; keep the original
+            # and leave the verdict to reconcile()
+            self.unresolved[transfer_id] = {
+                "guid": obj.guid, "dst": dst, "mode": mode,
+            }
+            raise TransferUnresolvedError(transfer_id, obj.guid, dst) from exc
+        # PartitionError before anything was sent propagates as-is: the
+        # failure is atomic, the object never left
+        if not isinstance(report, Mapping):
             raise MobilityError(f"malformed transfer report from {dst!r}")
-        return result
+        if mode == "move" and self.site.has_object(obj.guid):
+            self.site.unregister_object(obj.guid)
+        self.departures += 1
+        return report
+
+    def reconcile(self) -> dict[str, str]:
+        """Resolve unresolved transfers; returns transfer_id -> outcome.
+
+        ``settled``: the destination installed the object — for a move,
+        the local original is unregistered now (the deferred half of the
+        handoff). ``aborted``: the destination never saw the PREPARE and
+        has vetoed late arrivals — the original simply stays. Still
+        unreachable destinations stay ``unreachable`` and keep their
+        entry for a later reconcile.
+        """
+        outcomes: dict[str, str] = {}
+        for transfer_id, entry in sorted(self.unresolved.items()):
+            try:
+                status = self.site.request(
+                    entry["dst"],
+                    "transfer.query",
+                    {"transfer_id": transfer_id},
+                    policy=self.retry_policy,
+                )
+            except MROMError:
+                outcomes[transfer_id] = "unreachable"
+                continue
+            state = status.get("state") if isinstance(status, Mapping) else None
+            if state == "settled":
+                if entry["mode"] == "move" and self.site.has_object(entry["guid"]):
+                    self.site.unregister_object(entry["guid"])
+                self.departures += 1
+                outcomes[transfer_id] = "settled"
+            else:
+                outcomes[transfer_id] = "aborted"
+            del self.unresolved[transfer_id]
+        return outcomes
 
     def forward(
         self,
@@ -123,6 +228,7 @@ class MobilityManager:
                 "install_args": list(install_args),
                 "caller": self.site._caller_payload(caller),
             },
+            policy=self.retry_policy,
         )
         if not isinstance(report, Mapping):
             raise MobilityError(f"malformed forward report from {via!r}")
@@ -132,7 +238,58 @@ class MobilityManager:
     # receiver side
     # ------------------------------------------------------------------
 
+    def _record(self, transfer_id: str, state: str, report: dict | None = None) -> None:
+        if not transfer_id:
+            return
+        self._ledger[transfer_id] = {"state": state, "report": report}
+        self._ledger.move_to_end(transfer_id)
+        while len(self._ledger) > self._LEDGER_CAP:
+            self._ledger.popitem(last=False)
+
+    def _handle_prepare(self, message: Message) -> dict:
+        body = message.payload
+        transfer_id = str(body.get("transfer_id", ""))
+        entry = self._ledger.get(transfer_id) if transfer_id else None
+        if entry is not None:
+            if entry["state"] == "settled":
+                # re-delivery (network duplicate, or a retry racing its
+                # own first copy): answer with the recorded report
+                self.duplicates_suppressed += 1
+                return dict(entry["report"])
+            raise MobilityError(
+                f"transfer {transfer_id} was aborted by reconciliation"
+            )
+        package = body.get("package")
+        if not isinstance(package, Mapping):
+            raise MobilityError("transfer message carries no package")
+        guid = str(package.get("guid", ""))
+        if guid and self.site.has_object(guid):
+            # the object is already here — an earlier incarnation settled
+            # it before a crash, or a checkpoint restore brought it back;
+            # settle without installing a second copy
+            self.duplicates_suppressed += 1
+            report = InstallReport(
+                guid=guid, site=self.site.site_id, install_result=None
+            )
+            self._record(transfer_id, "settled", dict(report))
+            return report
+        install_args = self.site.import_value(body.get("install_args", []))
+        report = self.install_package(package, install_args, src=message.src)
+        self._record(transfer_id, "settled", dict(report))
+        return report
+
+    def _handle_query(self, message: Message) -> dict:
+        transfer_id = str(message.payload.get("transfer_id", ""))
+        entry = self._ledger.get(transfer_id)
+        if entry is None:
+            # never seen: veto it, so a PREPARE still in flight when the
+            # sender gave up cannot settle afterwards and mint a second copy
+            self._record(transfer_id, "aborted")
+            return {"state": "aborted"}
+        return {"state": entry["state"]}
+
     def _handle_transfer(self, message: Message) -> dict:
+        """Legacy single-shot transfer (no transfer id, no dedup)."""
         body = message.payload
         package = body.get("package")
         if not isinstance(package, Mapping):
@@ -175,9 +332,17 @@ class MobilityManager:
         if obj.containers.has_method("install"):
             # "passes to it an installation context and invokes the
             # Ambassador, which in turn installs itself"
-            install_result = obj.invoke(
-                "install", list(install_args), caller=self.site.principal
-            )
+            try:
+                install_result = obj.invoke(
+                    "install", list(install_args), caller=self.site.principal
+                )
+            except MROMError:
+                # a guest that cannot install does not stay: the sender
+                # keeps its original on a failed transfer, so leaving the
+                # copy registered would mint a second live object
+                self.site.unregister_object(obj.guid)
+                self.arrivals -= 1
+                raise
         return InstallReport(
             guid=obj.guid,
             site=self.site.site_id,
@@ -196,7 +361,4 @@ class MobilityManager:
             raise PolicyViolationError(
                 f"{caller.guid} may not forward {guid} (owner: {obj.owner.guid})"
             )
-        report = self._ship(obj, dst, list(body.get("install_args", [])))
-        self.site.unregister_object(guid)
-        self.departures += 1
-        return report
+        return self._handoff(obj, dst, list(body.get("install_args", [])), mode="move")

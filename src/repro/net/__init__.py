@@ -2,7 +2,7 @@
 
 from .gateway import TcpGateway, TcpGatewayClient
 from .marshal import MAGIC, Reference, marshal, marshalled_size, unmarshal
-from .rmi import RemoteRef
+from .rmi import RemoteRef, RetryPolicy
 from .site import Site
 from .topology import LAN, Link, MODEM, Topology, WAN
 from .transport import Message, Network
@@ -22,6 +22,7 @@ __all__ = [
     "Message",
     "Site",
     "RemoteRef",
+    "RetryPolicy",
     "TcpGateway",
     "TcpGatewayClient",
 ]

@@ -6,6 +6,14 @@ simulator until the matching reply lands (synchronous semantics, like
 RMI), and returns the decoded result — or re-raises the remote failure
 as :class:`~repro.core.errors.RemoteInvocationError`.
 
+Remote calls may carry a :class:`RetryPolicy`: each attempt gets a
+per-request timeout (a scheduled simulator event, so timeouts are as
+deterministic as everything else), failed attempts back off
+exponentially, and every attempt of one logical request shares a single
+``request_id`` — the receiving site executes it at most once and replays
+the recorded reply to retries, which is what makes retrying
+non-idempotent operations safe (see ``docs/FAULTS.md``).
+
 Remote references are themselves weakly-typed *reference* values: they
 expose a ``guid``, so they classify as :data:`repro.core.values.Kind.REFERENCE`
 and can be stored in data items, passed as arguments (travelling as wire
@@ -14,15 +22,47 @@ references), and returned from methods.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Sequence, TYPE_CHECKING
 
 from ..core.acl import Principal
-from ..core.errors import RemoteInvocationError
+from ..core.errors import NetworkError, RemoteInvocationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from .site import Site
 
-__all__ = ["RemoteRef"]
+__all__ = ["RemoteRef", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + exponential-backoff schedule for one logical request.
+
+    ``attempts`` bounds total tries; each waits ``timeout`` simulated
+    seconds for the reply; between tries the caller sleeps ``backoff``
+    seconds, multiplied by ``multiplier`` per retry and capped at
+    ``max_backoff``. All values are in simulated time and contain no
+    randomness, so a retried run is exactly as reproducible as a clean
+    one.
+    """
+
+    attempts: int = 4
+    timeout: float = 2.0
+    backoff: float = 0.25
+    multiplier: float = 2.0
+    max_backoff: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise NetworkError("a retry policy needs at least one attempt")
+        if self.timeout <= 0 or self.backoff < 0 or self.multiplier < 1:
+            raise NetworkError(
+                "timeout must be > 0, backoff >= 0, multiplier >= 1"
+            )
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (0-based)."""
+        return min(self.backoff * self.multiplier**attempt, self.max_backoff)
 
 
 class RemoteRef:
@@ -41,19 +81,37 @@ class RemoteRef:
         method: str,
         args: Sequence[Any] = (),
         caller: Principal | None = None,
+        policy: "RetryPolicy | None" = None,
     ) -> Any:
-        """Synchronously invoke *method* on the remote object."""
+        """Synchronously invoke *method* on the remote object.
+
+        *policy* overrides the holder site's default retry policy for
+        this one call (None = use the site's default).
+        """
         return self.holder.remote_invoke(
-            self.site, self.guid, method, list(args), caller=caller
+            self.site, self.guid, method, list(args), caller=caller, policy=policy
         )
 
-    def get_data(self, name: str, caller: Principal | None = None) -> Any:
+    def get_data(
+        self,
+        name: str,
+        caller: Principal | None = None,
+        policy: "RetryPolicy | None" = None,
+    ) -> Any:
         """Read a remote data item (the remote site applies the ACL)."""
-        return self.holder.remote_get_data(self.site, self.guid, name, caller=caller)
+        return self.holder.remote_get_data(
+            self.site, self.guid, name, caller=caller, policy=policy
+        )
 
-    def describe(self, caller: Principal | None = None) -> dict:
+    def describe(
+        self,
+        caller: Principal | None = None,
+        policy: "RetryPolicy | None" = None,
+    ) -> dict:
         """Interrogate the remote object (visibility-filtered remotely)."""
-        return self.holder.remote_describe(self.site, self.guid, caller=caller)
+        return self.holder.remote_describe(
+            self.site, self.guid, caller=caller, policy=policy
+        )
 
     def is_local(self) -> bool:
         return self.site == self.holder.site_id

@@ -22,16 +22,24 @@ authorization (ACLs, policies) on top of claimed principals.
 
 from __future__ import annotations
 
+import itertools
+from collections import OrderedDict
 from typing import Any, Callable, Mapping, Sequence
 
 from ..core.acl import Principal
-from ..core.errors import MROMError, NamingError, NetworkError, RemoteInvocationError
+from ..core.errors import (
+    MROMError,
+    NamingError,
+    NetworkError,
+    RemoteInvocationError,
+    RequestTimeoutError,
+)
 from ..core.introspection import describe as describe_object
 from ..core.items import ItemHandle
 from ..core.mobject import MROMObject
 from ..naming import GuidFactory, NameService
 from .marshal import Reference
-from .rmi import RemoteRef
+from .rmi import RemoteRef, RetryPolicy
 from .transport import Message, Network
 
 __all__ = ["Site"]
@@ -60,7 +68,22 @@ class Site:
             "ping": self._handle_ping,
         }
         self._pending: dict[int, Message] = {}
-        network.register(self)
+        self._awaiting: set[int] = set()
+        self._served: OrderedDict[str, Any] = OrderedDict()
+        self._served_cap = 1024
+        self._request_seq = itertools.count(1)
+        #: default timeout/retry schedule for outgoing requests; None
+        #: keeps the legacy fail-fast semantics (wait until the
+        #: simulation drains, partitions raise at send time)
+        self.retry_policy: RetryPolicy | None = None
+        self.stale_replies = 0
+        self.replayed_requests = 0
+        self.replies_unsendable = 0
+        #: >0 while a handler is executing (possibly pumping nested
+        #: requests); the crash injector uses it to fail-stop the site
+        #: only at a quiescent instant
+        self.handling_depth = 0
+        self.incarnation = network.register(self)
 
     # ------------------------------------------------------------------
     # object registry
@@ -131,30 +154,65 @@ class Site:
         self.guids.witness(remote)
 
     def receive(self, message: Message) -> None:
-        """Transport delivery entry point."""
+        """Transport delivery entry point.
+
+        Replies are matched against the set of requests still awaited;
+        a reply to a request this site has abandoned (timed out, or a
+        previous incarnation's) is discarded rather than leaking into
+        ``_pending`` forever. Requests carrying a ``request_id`` are
+        executed **at most once**: the reply is recorded and replayed to
+        any retry or duplicate delivery of the same logical request.
+        """
         if message.kind == "reply":
-            self._pending[message.reply_to] = message
+            if message.reply_to in self._awaiting:
+                self._pending[message.reply_to] = message
+            else:
+                self.stale_replies += 1
+            return
+        if message.request_id and message.request_id in self._served:
+            self.replayed_requests += 1
+            self._send_reply(message, self._served[message.request_id])
             return
         handler = self._handlers.get(message.kind)
         if handler is None:
             self._reply_error(message, NetworkError(f"unknown kind {message.kind!r}"))
             return
+        self.handling_depth += 1
         try:
             result = handler(message)
         except MROMError as exc:
             self._reply_error(message, exc)
             return
+        finally:
+            self.handling_depth -= 1
         self._reply(message, {"ok": True, "result": self.export_value(result)})
 
     def _reply(self, request: Message, payload: Any) -> None:
-        self.network.send(
-            self.site_id,
-            request.src,
-            "reply",
-            payload,
-            reply_to=request.msg_id,
-            lamport=self.guids.tick(),
-        )
+        if request.request_id:
+            # record before sending: even if the reply is lost on the
+            # wire, a retry replays the same outcome instead of
+            # re-executing the handler
+            self._served[request.request_id] = payload
+            self._served.move_to_end(request.request_id)
+            while len(self._served) > self._served_cap:
+                self._served.popitem(last=False)
+        self._send_reply(request, payload)
+
+    def _send_reply(self, request: Message, payload: Any) -> None:
+        try:
+            self.network.send(
+                self.site_id,
+                request.src,
+                "reply",
+                payload,
+                reply_to=request.msg_id,
+                lamport=self.guids.tick(),
+            )
+        except NetworkError:
+            # the requester's link died between request and reply; it
+            # will time out and retry — never let a reply-path partition
+            # unwind an unrelated caller's simulation pump
+            self.replies_unsendable += 1
 
     def _reply_error(self, request: Message, error: Exception) -> None:
         self._reply(
@@ -166,18 +224,116 @@ class Site:
             },
         )
 
-    def request(self, dst: str, kind: str, payload: Any) -> Any:
-        """Send a request and pump the simulator until its reply arrives."""
-        msg_id = self.network.send(
-            self.site_id, dst, kind, self.export_value(payload),
-            lamport=self.guids.tick(),
-        )
-        self.network.run_while(lambda: msg_id not in self._pending)
-        reply = self._pending.pop(msg_id, None)
-        if reply is None:
-            raise NetworkError(
-                f"no reply for {kind!r} from {dst!r} (simulation drained)"
+    def request(
+        self,
+        dst: str,
+        kind: str,
+        payload: Any,
+        policy: RetryPolicy | None = None,
+    ) -> Any:
+        """Send a request and pump the simulator until its reply arrives.
+
+        With a :class:`RetryPolicy` (per-call, or the site's default
+        ``retry_policy``), each attempt waits ``policy.timeout`` simulated
+        seconds and failed attempts back off exponentially; all attempts
+        share one ``request_id`` so the receiver executes the request at
+        most once. Without a policy: legacy semantics (pump until the
+        reply lands or the simulation drains).
+        """
+        policy = policy if policy is not None else self.retry_policy
+        wire_payload = self.export_value(payload)
+        if policy is None:
+            msg_id = self.network.send(
+                self.site_id, dst, kind, wire_payload, lamport=self.guids.tick()
             )
+            self._awaiting.add(msg_id)
+            try:
+                self.network.run_while(lambda: msg_id not in self._pending)
+            finally:
+                self._awaiting.discard(msg_id)
+            reply = self._pending.pop(msg_id, None)
+            if reply is None:
+                raise NetworkError(
+                    f"no reply for {kind!r} from {dst!r} (simulation drained)"
+                )
+            return self._decode_reply(reply)
+        request_id = f"{self.site_id}#{self.incarnation}:{next(self._request_seq)}"
+        simulator = self.network.simulator
+        attempt_ids: list[int] = []
+        sent_any = False
+        last_error: NetworkError | None = None
+        try:
+            for attempt in range(policy.attempts):
+                reply = self._claim_reply(attempt_ids)
+                if reply is not None:  # a late reply landed during backoff
+                    return self._decode_reply(reply)
+                try:
+                    msg_id = self.network.send(
+                        self.site_id, dst, kind, wire_payload,
+                        lamport=self.guids.tick(), request_id=request_id,
+                    )
+                except NetworkError as exc:
+                    last_error = exc
+                else:
+                    sent_any = True
+                    attempt_ids.append(msg_id)
+                    self._awaiting.add(msg_id)
+                    expired: dict[str, bool] = {}
+                    timer = simulator.schedule(
+                        policy.timeout,
+                        lambda expired=expired: expired.setdefault("fired", True),
+                        label=f"timeout {kind} {request_id}",
+                    )
+                    self.network.run_while(
+                        lambda: "fired" not in expired
+                        and not any(m in self._pending for m in attempt_ids)
+                    )
+                    simulator.cancel(timer)
+                    reply = self._claim_reply(attempt_ids)
+                    if reply is not None:
+                        return self._decode_reply(reply)
+                    last_error = RequestTimeoutError(
+                        f"no reply for {kind!r} from {dst!r} within "
+                        f"{policy.timeout}s (attempt {attempt + 1}/{policy.attempts})"
+                    )
+                if attempt + 1 < policy.attempts:
+                    self._sleep(policy.backoff_for(attempt))
+            reply = self._claim_reply(attempt_ids)
+            if reply is not None:
+                return self._decode_reply(reply)
+        finally:
+            for msg_id in attempt_ids:
+                self._awaiting.discard(msg_id)
+                self._pending.pop(msg_id, None)
+        assert last_error is not None
+        if sent_any and not isinstance(last_error, RequestTimeoutError):
+            # at least one attempt reached the wire: the outcome is
+            # ambiguous even though the last failure was at send time
+            raise RequestTimeoutError(
+                f"request {kind!r} to {dst!r} unresolved after "
+                f"{policy.attempts} attempts: {last_error}"
+            ) from last_error
+        raise last_error
+
+    def _claim_reply(self, attempt_ids: Sequence[int]) -> Message | None:
+        """Pop the reply to whichever attempt of a logical request landed."""
+        for msg_id in attempt_ids:
+            reply = self._pending.pop(msg_id, None)
+            if reply is not None:
+                return reply
+        return None
+
+    def _sleep(self, duration: float) -> None:
+        """Advance simulated time by *duration*, serving traffic meanwhile."""
+        woken: dict[str, bool] = {}
+        self.network.simulator.schedule(
+            duration,
+            lambda: woken.setdefault("fired", True),
+            label=f"backoff {self.site_id}",
+        )
+        self.network.run_while(lambda: "fired" not in woken)
+
+    def _decode_reply(self, reply: Message) -> Any:
         body = reply.payload
         if isinstance(body, Mapping) and body.get("ok") is False:
             raise RemoteInvocationError(
@@ -254,6 +410,7 @@ class Site:
         method: str,
         args: Sequence[Any] = (),
         caller: Principal | None = None,
+        policy: RetryPolicy | None = None,
     ) -> Any:
         return self.request(
             dst,
@@ -264,22 +421,36 @@ class Site:
                 "args": list(args),
                 "caller": self._caller_payload(caller),
             },
+            policy=policy,
         )
 
     def remote_get_data(
-        self, dst: str, guid: str, name: str, caller: Principal | None = None
+        self,
+        dst: str,
+        guid: str,
+        name: str,
+        caller: Principal | None = None,
+        policy: RetryPolicy | None = None,
     ) -> Any:
         return self.request(
             dst,
             "get_data",
             {"target": guid, "name": name, "caller": self._caller_payload(caller)},
+            policy=policy,
         )
 
     def remote_describe(
-        self, dst: str, guid: str, caller: Principal | None = None
+        self,
+        dst: str,
+        guid: str,
+        caller: Principal | None = None,
+        policy: RetryPolicy | None = None,
     ) -> dict:
         return self.request(
-            dst, "describe", {"target": guid, "caller": self._caller_payload(caller)}
+            dst,
+            "describe",
+            {"target": guid, "caller": self._caller_payload(caller)},
+            policy=policy,
         )
 
     def remote_resolve(self, dst: str, path: str) -> RemoteRef:

@@ -99,6 +99,12 @@ class Topology:
         self._dirty = True
         return link
 
+    def links(self) -> tuple[Link, ...]:
+        """Every link, in a deterministic (sorted-endpoint) order."""
+        return tuple(
+            sorted(self._links.values(), key=lambda link: (link.a, link.b))
+        )
+
     def link_between(self, a: str, b: str) -> Link:
         try:
             return self._links[frozenset((a, b))]

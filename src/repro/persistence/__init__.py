@@ -1,6 +1,11 @@
 """Self-contained object persistence (host-allocated space, versioned)."""
 
-from .checkpoint import CheckpointReport, checkpoint_site, restore_site
+from .checkpoint import (
+    CheckpointReport,
+    checkpoint_site,
+    restore_site,
+    schedule_checkpoints,
+)
 from .store import ObjectStore, persist, restore
 
 __all__ = [
@@ -9,5 +14,6 @@ __all__ = [
     "restore",
     "checkpoint_site",
     "restore_site",
+    "schedule_checkpoints",
     "CheckpointReport",
 ]

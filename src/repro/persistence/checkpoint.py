@@ -23,7 +23,12 @@ from ..mobility.package import portability_report
 from ..net.site import Site
 from .store import ObjectStore
 
-__all__ = ["CheckpointReport", "checkpoint_site", "restore_site"]
+__all__ = [
+    "CheckpointReport",
+    "checkpoint_site",
+    "restore_site",
+    "schedule_checkpoints",
+]
 
 
 @dataclass
@@ -54,6 +59,36 @@ def checkpoint_site(site: Site, store: ObjectStore, keep: int = 3) -> Checkpoint
             continue
         report.saved.append(obj.guid)
     return report
+
+
+def schedule_checkpoints(
+    site: Site, store: ObjectStore, period: float, keep: int = 3
+):
+    """Checkpoint *site* every *period* simulated seconds, forever.
+
+    The recurring event reschedules itself, so the site always has an
+    image at most one period old — the standing posture a host needs for
+    the crash-restart story (see :mod:`repro.faults`). Returns a zero-
+    argument cancel function that stops future checkpoints.
+    """
+    if period <= 0:
+        raise PersistenceError(f"checkpoint period must be > 0, got {period}")
+    simulator = site.network.simulator
+    state = {"live": True, "reports": []}
+
+    def tick() -> None:
+        if not state["live"] or not site.network.is_live(site.site_id):
+            return
+        state["reports"].append(checkpoint_site(site, store, keep=keep))
+        simulator.schedule(period, tick, label=f"checkpoint {site.site_id}")
+
+    simulator.schedule(period, tick, label=f"checkpoint {site.site_id}")
+
+    def cancel() -> None:
+        state["live"] = False
+
+    cancel.reports = state["reports"]  # type: ignore[attr-defined]
+    return cancel
 
 
 def _rebind_references(site: Site, obj) -> None:

@@ -49,8 +49,19 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._cancelled: set[int] = set()
+        self.seed = seed
         self.rng = random.Random(seed)
         self.events_processed = 0
+
+    def derive_rng(self, name: str) -> random.Random:
+        """An independent random stream derived from this run's seed.
+
+        Seeding from a string is deterministic across processes (CPython
+        hashes str/bytes seeds with SHA-512), so every consumer — each
+        fault injector, for instance — gets its own reproducible stream
+        that does not perturb, and is not perturbed by, ``self.rng``.
+        """
+        return random.Random(f"{self.seed}:{name}")
 
     # -- clock ---------------------------------------------------------------
 

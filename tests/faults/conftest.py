@@ -1,0 +1,46 @@
+"""Shared scaffolding for the fault-injection suite."""
+
+from __future__ import annotations
+
+from repro.net import LAN, Network, Site
+from repro.sim import Simulator
+
+
+class Recorder:
+    """A bare endpoint that logs every delivery, for transport-level tests."""
+
+    def __init__(self, network: Network, site_id: str):
+        self.site_id = site_id
+        self.received = []
+        self.lamports = []
+        network.register(self)
+
+    def receive(self, message) -> None:
+        self.received.append(message)
+
+    def witness_lamport(self, remote: int) -> None:
+        self.lamports.append(remote)
+
+
+def make_recorders(
+    seed: int = 0, names: tuple[str, ...] = ("a", "b")
+) -> tuple[Network, dict[str, Recorder]]:
+    """A LAN chain of :class:`Recorder` endpoints (sends must originate
+    from a live endpoint, so even pure senders need one)."""
+    network = Network(Simulator(seed))
+    recorders = {name: Recorder(network, name) for name in names}
+    for left, right in zip(names, names[1:]):
+        network.topology.connect(left, right, *LAN)
+    return network, recorders
+
+
+def make_sites(
+    seed: int = 0, names: tuple[str, ...] = ("a", "b")
+) -> tuple[Network, dict[str, Site]]:
+    """A network of real sites on a LAN chain (sites self-register, which
+    adds their topology nodes; links are wired afterwards)."""
+    network = Network(Simulator(seed))
+    sites = {name: Site(network, name, f"dom.{name}") for name in names}
+    for left, right in zip(names, names[1:]):
+        network.topology.connect(left, right, *LAN)
+    return network, sites

@@ -1,0 +1,112 @@
+"""FaultPlane pipeline: composition, verdicts, accounting, digests."""
+
+from __future__ import annotations
+
+from repro.faults import (
+    DropInjector,
+    DuplicateInjector,
+    FaultPlane,
+    JitterInjector,
+    MessageInfo,
+)
+from repro.net import Network
+from repro.sim import Simulator
+
+from .conftest import make_recorders
+
+
+def composed_world(seed):
+    network, recorders = make_recorders(seed=seed)
+    plane = FaultPlane(network, seed=seed)
+    plane.add(DropInjector(rate=0.2))
+    plane.add(DuplicateInjector(rate=0.2))
+    plane.add(JitterInjector(max_jitter=0.01, rate=0.5))
+    for index in range(60):
+        network.send("a", "b", "data", index)
+    network.run()
+    return network, plane, recorders
+
+
+class TestPipeline:
+    def test_counters_match_the_trace(self):
+        network, plane, _ = composed_world(seed=21)
+        assert network.messages_dropped == plane.counts["drop"]
+        assert network.messages_duplicated == plane.counts["duplicate"]
+        assert plane.counts["drop"] > 0  # the seed actually exercises faults
+        assert plane.counts["duplicate"] > 0
+
+    def test_compound_verdicts_are_stamped_on_messages(self):
+        _, plane, recorders = composed_world(seed=21)
+        verdicts = {m.verdict for m in recorders["b"].received}
+        assert "ok" in verdicts  # unfaulted messages say so
+        compound = [v for v in verdicts if "+" in v]
+        assert any("jitter" in v for v in verdicts if v != "ok")
+        for verdict in compound:
+            assert set(verdict.split("+")) <= {"duplicate", "jitter"}
+
+    def test_drop_short_circuits_the_pipeline(self):
+        network, recorders = make_recorders()
+        plane = FaultPlane(network, seed=1)
+        plane.add(DropInjector(rate=1.0))
+        trailing = plane.add(DuplicateInjector(rate=1.0))
+        network.send("a", "b", "data", "x")
+        network.run()
+        # the dropped message never reached the duplicate stage
+        assert trailing.injected == 0
+        assert network.messages_duplicated == 0
+
+    def test_seed_defaults_to_the_simulator(self):
+        network = Network(Simulator(99))
+        plane = FaultPlane(network)
+        assert plane.seed == 99
+        assert network.fault_plane is plane
+
+    def test_same_name_injectors_get_distinct_streams(self):
+        network, _ = make_recorders()
+        plane = FaultPlane(network, seed=7)
+        first = plane.add(DropInjector(rate=0.5))
+        second = plane.add(DropInjector(rate=0.5))
+        draws_first = [first.rng.random() for _ in range(8)]
+        draws_second = [second.rng.random() for _ in range(8)]
+        assert draws_first != draws_second
+
+
+class TestDigest:
+    def test_identical_worlds_identical_digests(self):
+        _, plane_a, rec_a = composed_world(seed=33)
+        _, plane_b, rec_b = composed_world(seed=33)
+        assert plane_a.digest() == plane_b.digest()
+        assert [m.payload for m in rec_a["b"].received] == [
+            m.payload for m in rec_b["b"].received
+        ]
+
+    def test_different_seeds_different_digests(self):
+        _, plane_a, _ = composed_world(seed=33)
+        _, plane_b, _ = composed_world(seed=34)
+        assert plane_a.digest() != plane_b.digest()
+
+    def test_digest_is_stable_for_an_empty_trace(self):
+        network, _ = make_recorders()
+        plane = FaultPlane(network, seed=1)
+        assert plane.digest() == FaultPlane(
+            make_recorders()[0], seed=2
+        ).digest()
+
+
+class TestMessageInfo:
+    def test_injectors_see_metadata_not_payloads(self):
+        seen: list[MessageInfo] = []
+
+        class Spy(DropInjector):
+            def judge(self, info, delays):
+                seen.append(info)
+                return None, delays
+
+        network, _ = make_recorders()
+        FaultPlane(network, seed=1).add(Spy(rate=1.0))
+        network.send("a", "b", "data", {"secret": "payload"})
+        network.run()
+        info = seen[0]
+        assert info.kind == "data" and info.src == "a" and info.dst == "b"
+        assert info.size > 0 and info.base_delay > 0
+        assert not hasattr(info, "payload")

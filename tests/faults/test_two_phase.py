@@ -1,0 +1,232 @@
+"""Exactly-once migration under message faults: the two-phase handoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    PartitionError,
+    RemoteInvocationError,
+    TransferUnresolvedError,
+)
+from repro.faults import DropInjector, DuplicateInjector, FaultPlane, ReorderInjector
+from repro.mobility import MobilityManager
+from repro.mobility.package import pack
+from repro.net import RetryPolicy
+
+from .conftest import make_sites
+
+FAST = RetryPolicy(attempts=3, timeout=0.5, backoff=0.05, multiplier=2.0)
+
+
+def make_traveller(site):
+    obj = site.create_object(display_name="traveller", owner=site.principal)
+    obj.define_fixed_data("log", [])
+    obj.define_fixed_method(
+        "install",
+        "context = self.env.get('install_context', {})\n"
+        "log = self.get('log')\n"
+        "log.append(context.get('site'))\n"
+        "self.set('log', log)\n"
+        "return context.get('site')",
+    )
+    obj.define_fixed_method("log_of", "return self.get('log')")
+    obj.seal()
+    site.register_object(obj)
+    return obj
+
+
+@pytest.fixture
+def world():
+    network, sites = make_sites(seed=0, names=("a", "b", "c"))
+    managers = {
+        name: MobilityManager(site, retry_policy=FAST)
+        for name, site in sites.items()
+    }
+    return network, sites, managers
+
+
+def live_copies(sites, guid):
+    return [name for name, site in sorted(sites.items()) if site.has_object(guid)]
+
+
+class TestFaultedMigration:
+    def test_dropped_prepare_is_retried(self, world):
+        network, sites, managers = world
+        FaultPlane(network, seed=1).add(
+            DropInjector(rate=1.0, only_kinds=["transfer.prepare"], limit=1)
+        )
+        traveller = make_traveller(sites["a"])
+        ref = managers["a"].migrate(traveller, "b")
+        assert live_copies(sites, traveller.guid) == ["b"]
+        assert managers["b"].arrivals == 1
+        assert ref.invoke("log_of", caller=traveller.owner) == ["b"]
+
+    def test_duplicated_prepare_installs_once(self, world):
+        network, sites, managers = world
+        FaultPlane(network, seed=1).add(
+            DuplicateInjector(rate=1.0, only_kinds=["transfer.prepare"])
+        )
+        traveller = make_traveller(sites["a"])
+        managers["a"].migrate(traveller, "b")
+        network.run()  # let the duplicate delivery land too
+        assert live_copies(sites, traveller.guid) == ["b"]
+        assert managers["b"].arrivals == 1
+        # the duplicate was absorbed by the served-request ledger
+        assert sites["b"].replayed_requests == 1
+        # install ran once: exactly one arrival entry in the object's log
+        obj = sites["b"].local_object(traveller.guid)
+        assert obj.invoke("log_of", [], caller=traveller.owner) == ["b"]
+
+    def test_lost_ack_is_replayed(self, world):
+        network, sites, managers = world
+        FaultPlane(network, seed=1).add(
+            DropInjector(rate=1.0, only_kinds=["reply"], limit=1)
+        )
+        traveller = make_traveller(sites["a"])
+        managers["a"].migrate(traveller, "b")
+        assert live_copies(sites, traveller.guid) == ["b"]
+        assert managers["b"].arrivals == 1
+        assert managers["a"].departures == 1
+
+
+class TestUnresolvedTransfers:
+    def test_all_prepares_lost_leaves_the_original(self, world):
+        network, sites, managers = world
+        FaultPlane(network, seed=1).add(
+            DropInjector(rate=1.0, only_kinds=["transfer.prepare"])
+        )
+        traveller = make_traveller(sites["a"])
+        with pytest.raises(TransferUnresolvedError) as excinfo:
+            managers["a"].migrate(traveller, "b")
+        assert live_copies(sites, traveller.guid) == ["a"]
+        assert excinfo.value.guid == traveller.guid
+        assert excinfo.value.transfer_id in managers["a"].unresolved
+
+    def test_reconcile_confirms_the_abort(self, world):
+        network, sites, managers = world
+        plane = FaultPlane(network, seed=1)
+        injector = plane.add(
+            DropInjector(rate=1.0, only_kinds=["transfer.prepare"])
+        )
+        traveller = make_traveller(sites["a"])
+        with pytest.raises(TransferUnresolvedError):
+            managers["a"].migrate(traveller, "b")
+        injector.rate = 0.0  # the weather clears
+        outcomes = managers["a"].reconcile()
+        assert list(outcomes.values()) == ["aborted"]
+        assert managers["a"].unresolved == {}
+        assert live_copies(sites, traveller.guid) == ["a"]
+
+    def test_reconcile_completes_a_settled_move(self, world):
+        network, sites, managers = world
+        plane = FaultPlane(network, seed=1)
+        # the PREPARE lands, every ACK dies: settled remotely, unresolved
+        # locally — transiently two registered copies, by design
+        injector = plane.add(DropInjector(rate=1.0, only_kinds=["reply"]))
+        traveller = make_traveller(sites["a"])
+        with pytest.raises(TransferUnresolvedError):
+            managers["a"].migrate(traveller, "b")
+        assert live_copies(sites, traveller.guid) == ["a", "b"]
+        injector.rate = 0.0
+        outcomes = managers["a"].reconcile()
+        assert list(outcomes.values()) == ["settled"]
+        assert live_copies(sites, traveller.guid) == ["b"]
+        assert managers["a"].departures == 1
+
+    def test_reconcile_keeps_unreachable_entries(self, world):
+        network, sites, managers = world
+        FaultPlane(network, seed=1).add(
+            DropInjector(rate=1.0, only_kinds=["transfer.prepare"])
+        )
+        traveller = make_traveller(sites["a"])
+        with pytest.raises(TransferUnresolvedError):
+            managers["a"].migrate(traveller, "b")
+        network.topology.set_link_state("a", "b", False)
+        outcomes = managers["a"].reconcile()
+        assert list(outcomes.values()) == ["unreachable"]
+        assert len(managers["a"].unresolved) == 1  # kept for the next pass
+
+    def test_late_prepare_after_abort_is_vetoed(self, world):
+        network, sites, managers = world
+        plane = FaultPlane(network, seed=1)
+        # hold the only PREPARE far beyond the sender's patience
+        plane.add(
+            ReorderInjector(
+                rate=1.0, hold=30.0, only_kinds=["transfer.prepare"], limit=1
+            )
+        )
+        impatient = RetryPolicy(attempts=1, timeout=0.5, backoff=0.05)
+        managers["a"].retry_policy = impatient
+        traveller = make_traveller(sites["a"])
+        with pytest.raises(TransferUnresolvedError):
+            managers["a"].migrate(traveller, "b")
+        outcomes = managers["a"].reconcile()  # query beats the crawling PREPARE
+        assert list(outcomes.values()) == ["aborted"]
+        network.run()  # now the held PREPARE finally arrives...
+        # ...and is refused: the veto prevents a resurrected second copy
+        assert live_copies(sites, traveller.guid) == ["a"]
+
+    def test_partition_before_send_is_atomic(self, world):
+        network, sites, managers = world
+        network.topology.set_link_state("a", "b", False)
+        network.topology.set_link_state("b", "c", False)
+        traveller = make_traveller(sites["a"])
+        with pytest.raises(PartitionError):
+            managers["a"].migrate(traveller, "b")
+        # nothing went out, so nothing is unresolved
+        assert managers["a"].unresolved == {}
+        assert live_copies(sites, traveller.guid) == ["a"]
+
+
+class TestReceiverLedger:
+    def test_prepare_for_an_object_already_here_settles_without_reinstall(
+        self, world
+    ):
+        network, sites, managers = world
+        traveller = make_traveller(sites["b"])  # "restored from checkpoint"
+        report = sites["a"].request(
+            "b",
+            "transfer.prepare",
+            {
+                "transfer_id": "xfer:test:1",
+                "package": pack(traveller),
+                "install_args": [],
+            },
+        )
+        assert report["guid"] == traveller.guid
+        assert managers["b"].duplicates_suppressed == 1
+        assert managers["b"].arrivals == 0  # no second install
+        assert live_copies(sites, traveller.guid) == ["b"]
+
+    def test_query_for_unknown_transfer_aborts_it(self, world):
+        network, sites, managers = world
+        status = sites["a"].request(
+            "b", "transfer.query", {"transfer_id": "xfer:ghost:9"}
+        )
+        assert status == {"state": "aborted"}
+        # and the veto sticks: a later PREPARE under that id is refused
+        traveller = make_traveller(sites["a"])
+        with pytest.raises(RemoteInvocationError, match="aborted"):
+            sites["a"].request(
+                "b",
+                "transfer.prepare",
+                {
+                    "transfer_id": "xfer:ghost:9",
+                    "package": pack(traveller),
+                    "install_args": [],
+                },
+            )
+
+
+class TestForward:
+    def test_forward_rides_the_two_phase_machinery(self, world):
+        network, sites, managers = world
+        FaultPlane(network, seed=1).add(
+            DropInjector(rate=1.0, only_kinds=["transfer.prepare"], limit=1)
+        )
+        traveller = make_traveller(sites["a"])
+        managers["a"].migrate(traveller, "b")
+        ref = managers["a"].forward("b", traveller.guid, "c")
+        assert live_copies(sites, traveller.guid) == ["c"]
+        assert ref.site == "c"

@@ -179,3 +179,42 @@ class TestSiteRestart:
         assert report.restored == [good.guid]
         assert len(report.failed) == 1
         assert report.failed[0][0] == bad.guid
+
+
+@pytest.mark.chaos
+class TestChaosItinerary:
+    """The headline chaos scenario: an agent completes a multi-site tour
+    under flapping links, message faults, and one site crash-restarting
+    from its checkpoint — and ends up exactly where and what a fault-free
+    run ends up."""
+
+    def test_faulted_tour_equals_fault_free_tour(self, tmp_path):
+        from repro.faults import run_chaos_scenario
+
+        faulted = run_chaos_scenario(seed=5, store_root=tmp_path)
+        clean = run_chaos_scenario(
+            seed=5, drop=0, dup=0, reorder=0, jitter=0, flap=False, crash=False
+        )
+        # the weather actually happened...
+        assert faulted.faults.get("crash", 0) >= 1
+        assert faulted.faults.get("flap", 0) >= 1
+        # ...and yet: same itinerary, same observations, one live copy home
+        assert faulted.completed and clean.completed
+        assert faulted.itinerary == clean.itinerary
+        assert faulted.observations == clean.observations
+        assert faulted.live_copies == clean.live_copies == 1
+        assert faulted.agent_at == clean.agent_at == ("site0",)
+        assert faulted.unresolved == 0 and faulted.stray_objects == 0
+
+    def test_crashed_site_rejoins_and_keeps_serving(self, tmp_path):
+        from repro.faults import run_chaos_scenario
+
+        report = run_chaos_scenario(seed=5, store_root=tmp_path)
+        assert report.ok
+        # the crash fired and the restarted incarnation re-entered the
+        # protocol: visits at the crash site appear in the observations
+        # on both tour passes, before and after the fail-stop
+        assert report.faults["crash"] == 1
+        crash_site = report.sites[len(report.sites) // 2]
+        visits = [stop for stop, _ in report.observations if stop == crash_site]
+        assert len(visits) == 2
