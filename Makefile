@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench examples series check all
+.PHONY: install test chaos lint lint-tests bench examples series check all
 
 install:
 	$(PYTHON) setup.py develop || pip install -e .
@@ -15,6 +15,15 @@ test:
 chaos:
 	$(PYTHON) -m pytest -m chaos tests/
 
+# Static analysis: lint the MPL corpus (standalone .mpl files and MPL
+# programs embedded in python hosts) with warnings promoted to errors.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint examples/ src/repro/apps/ --strict
+
+# Only the static-analysis test suite (marker: analysis).
+lint-tests:
+	$(PYTHON) -m pytest -m analysis tests/
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -24,6 +33,6 @@ series: bench
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; echo; done
 
-check: test bench
+check: test lint bench
 
 all: install check examples

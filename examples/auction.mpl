@@ -1,0 +1,73 @@
+// A sealed-bid auction house and a bidding strategy, written in MPL.
+//
+// Standalone MPL: run with     python -m repro run examples/auction.mpl
+//                 lint with    python -m repro lint examples/auction.mpl --strict
+//
+// Both objects are portable by construction (the MPL compiler only emits
+// sandbox-verified source), so either could migrate to another site.
+
+object auction_house {
+  fixed data listings = {}
+  fixed data closed = []
+
+  fixed method list_item(name, reserve)
+    requires reserve > 0
+  {
+    let book = listings
+    book[name] = {"reserve": reserve, "best": 0, "holder": null}
+    listings = book
+    return name
+  }
+
+  fixed method offer(name, who, amount)
+  {
+    let book = listings
+    let entry = book[name]
+    if amount > entry["best"] and amount >= entry["reserve"] {
+      entry["best"] = amount
+      entry["holder"] = who
+      book[name] = entry
+      listings = book
+      return true
+    }
+    return false
+  }
+
+  fixed method settle(name)
+  {
+    let book = listings
+    let entry = book[name]
+    let record = [name, entry["holder"], entry["best"]]
+    closed = closed + [record]
+    return record
+  }
+}
+
+object sniper {
+  fixed data budget = 500
+
+  fixed method quote(reserve)
+    requires reserve > 0
+  {
+    let margin = budget - reserve
+    if margin < 0 {
+      return 0
+    }
+    return reserve + margin / 2
+  }
+}
+
+let house = new auction_house
+let bot = new sniper
+
+house.list_item("lamp", 120)
+house.list_item("atlas", 300)
+
+for lot in [["lamp", 150], ["atlas", 340]] {
+  let item = lot[0]
+  let ask = bot.quote(lot[1])
+  if ask > 0 {
+    house.offer(item, "sniper", ask)
+  }
+  print house.settle(item)
+}

@@ -1,0 +1,137 @@
+"""The shared diagnostic core of the static-analysis subsystem.
+
+Every front end — the MPL linter, the sandbox verifier, the migration
+admission analyzer — reports findings as :class:`Diagnostic` values: a
+stable rule id, a severity, a source span, a human message and an
+optional fix hint. One diagnostic type means one rendering pipeline
+(:func:`render_text` / :func:`render_json`), one exit-code policy
+(:func:`worst_severity`), and one structured refusal format for the
+mobility admission gate.
+
+This module deliberately imports nothing from the rest of the package so
+any layer (core, lang, mobility, net) may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "render_text",
+    "render_json",
+    "worst_severity",
+    "fails",
+]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is meaningful (ERROR > WARNING)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass.
+
+    *rule* is a stable dotted identifier (``mpl.undefined-name``,
+    ``sandbox.forbidden-name``, ``adm.native-code``); *source* names the
+    artifact the span refers to (a file path, an embedded-program label,
+    an object guid or an item name). ``line``/``column`` are 1-based;
+    0 means "no precise location".
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    source: str = ""
+    line: int = 0
+    column: int = 0
+    hint: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        if self.line:
+            place = f"{self.source or '<input>'}:{self.line}"
+            return f"{place}:{self.column}" if self.column else place
+        return self.source or "<input>"
+
+    def format(self) -> str:
+        text = f"{self.location}: {self.severity.label}[{self.rule}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_mapping(self) -> dict:
+        payload = {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "source": self.source,
+            "line": self.line,
+            "column": self.column,
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+
+def _ordered(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    return sorted(
+        diagnostics,
+        key=lambda d: (d.source, d.line, d.column, d.rule),
+    )
+
+
+def render_text(diagnostics: list[Diagnostic]) -> list[str]:
+    """Human-facing report, one line per diagnostic plus a summary."""
+    lines = [diagnostic.format() for diagnostic in _ordered(diagnostics)]
+    errors = sum(1 for d in diagnostics if d.severity >= Severity.ERROR)
+    warnings = sum(1 for d in diagnostics if d.severity == Severity.WARNING)
+    if diagnostics:
+        lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return lines
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    """Machine-facing report: a single JSON document."""
+    return json.dumps(
+        {
+            "diagnostics": [d.to_mapping() for d in _ordered(diagnostics)],
+            "summary": {
+                "errors": sum(
+                    1 for d in diagnostics if d.severity >= Severity.ERROR
+                ),
+                "warnings": sum(
+                    1 for d in diagnostics if d.severity == Severity.WARNING
+                ),
+                "total": len(diagnostics),
+            },
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def worst_severity(diagnostics: list[Diagnostic]) -> Severity | None:
+    """The highest severity present, or None for a clean report."""
+    return max((d.severity for d in diagnostics), default=None)
+
+
+def fails(diagnostics: list[Diagnostic], strict: bool = False) -> bool:
+    """Exit-code policy: errors always fail; warnings fail under strict."""
+    threshold = Severity.WARNING if strict else Severity.ERROR
+    return any(d.severity >= threshold for d in diagnostics)

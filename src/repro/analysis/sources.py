@@ -1,0 +1,156 @@
+"""Discovery of lintable MPL program units in files and trees.
+
+MPL programs live in two habitats: standalone ``.mpl`` files, and string
+constants embedded in Python hosts (the idiom throughout ``examples/``
+and ``repro.apps`` — an agent's source shipped as a module-level
+constant). :func:`iter_units` finds both, so ``repro lint <path>`` works
+on either a file or a whole tree.
+
+Telling an embedded MPL program apart from any other string uses the
+languages themselves: a candidate counts as MPL iff it **parses as MPL
+and does not compile as Python**. The compiled "portable dialect" that
+method bodies are lowered to is valid Python, so it is never re-linted;
+``let``/``object`` source is not valid Python, so it always is.
+
+Embedded units are linted with ``allow_unknown_toplevel`` — their
+top-level free names are bindings the host seeds at ``Interpreter.run``
+time — and their diagnostics are shifted by the string's position so
+they point into the real host file.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..core.errors import MPLSyntaxError
+from ..lang.parser import parse
+from .diagnostics import Diagnostic
+from .mpl_lint import lint_source
+
+__all__ = ["LintUnit", "iter_units", "lint_unit", "lint_paths"]
+
+
+@dataclass(frozen=True)
+class LintUnit:
+    """One MPL program to lint, with provenance.
+
+    *line_offset* maps the unit's line 1 onto ``line_offset + 1`` of the
+    containing file (0 for standalone files).
+    """
+
+    label: str
+    source: str
+    line_offset: int = 0
+    embedded: bool = False
+
+
+def _looks_like_mpl(text: str) -> bool:
+    """True iff *text* parses as MPL but not as Python (see module doc)."""
+    if "\n" not in text.strip():
+        return False  # one-liners are never whole programs here
+    try:
+        program = parse(text)
+    except MPLSyntaxError:
+        return False
+    if not program.objects and not program.statements:
+        return False
+    # The portable dialect is, by definition, a Python *function body*
+    # (it may use bare 'return'), so that is the compile target to test
+    # against — a module-level compile would misclassify bodies with
+    # top-level returns as MPL.
+    indented = "\n".join("    " + line for line in text.splitlines())
+    try:
+        compile(f"def probe():\n{indented}\n", "<candidate>", "exec")
+    except (SyntaxError, ValueError):
+        return True
+    return False
+
+
+def _embedded_units(path: Path, text: str) -> Iterator[LintUnit]:
+    try:
+        module = python_ast.parse(text)
+    except SyntaxError:
+        return
+    skip: set[int] = set()  # f-string fragments are never whole programs
+    for node in python_ast.walk(module):
+        if isinstance(node, python_ast.JoinedStr):
+            for part in python_ast.walk(node):
+                skip.add(id(part))
+    named: dict[int, str] = {}
+    for node in python_ast.walk(module):
+        if isinstance(node, python_ast.Assign) and isinstance(
+            node.value, python_ast.Constant
+        ):
+            for target in node.targets:
+                if isinstance(target, python_ast.Name):
+                    named[id(node.value)] = target.id
+    for node in python_ast.walk(module):
+        if (
+            not isinstance(node, python_ast.Constant)
+            or not isinstance(node.value, str)
+            or id(node) in skip
+        ):
+            continue
+        if not _looks_like_mpl(node.value):
+            continue
+        name = named.get(id(node), f"L{node.lineno}")
+        yield LintUnit(
+            label=f"{path}#{name}",
+            source=node.value,
+            # a triple-quoted constant opening on line N usually starts its
+            # content with a newline, so unit line k is file line N + k - 1
+            line_offset=node.lineno - 1,
+            embedded=True,
+        )
+
+
+def iter_units(paths: Iterable[str | Path]) -> Iterator[LintUnit]:
+    """Every lintable MPL unit under *paths* (files or directories)."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files = sorted(
+                candidate
+                for pattern in ("*.mpl", "*.py")
+                for candidate in entry.rglob(pattern)
+            )
+        else:
+            files = [entry]
+        for file in files:
+            if file.suffix == ".mpl":
+                yield LintUnit(label=str(file), source=file.read_text())
+            elif file.suffix == ".py":
+                yield from _embedded_units(file, file.read_text())
+            else:
+                # an explicit non-.py path is taken to be MPL text
+                yield LintUnit(label=str(file), source=file.read_text())
+
+
+def lint_unit(unit: LintUnit) -> list[Diagnostic]:
+    """Lint one unit, re-anchoring diagnostics into the containing file."""
+    findings = lint_source(
+        unit.source,
+        path=unit.label,
+        allow_unknown_toplevel=unit.embedded,
+    )
+    if not unit.line_offset:
+        return findings
+    return [
+        dataclasses.replace(
+            finding,
+            line=finding.line + unit.line_offset if finding.line else 0,
+        )
+        for finding in findings
+    ]
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Diagnostic]:
+    """Lint every unit under *paths*; the one-call form the CLI uses."""
+    findings: list[Diagnostic] = []
+    for unit in iter_units(paths):
+        findings.extend(lint_unit(unit))
+    return findings

@@ -7,6 +7,9 @@ Commands:
   verification a host performs before admitting MPL-borne code);
 * ``inspect PACKAGE.mrom`` — describe a packed object file without
   executing any of its code (safe interrogation of an artifact at rest);
+* ``lint PATH... [--object PACKAGE.mrom] [--strict] [--json]`` — static
+  analysis: MPL lint over files/trees plus migration admission analysis
+  over packed objects (see ``docs/ANALYSIS.md``);
 * ``store list / show / verify`` — inspect a persistence store;
 * ``chaos --seed N`` — run the deterministic fault-injection scenario
   (see ``docs/FAULTS.md``); identical seeds print identical reports.
@@ -115,6 +118,35 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import fails, render_json, render_text
+    from .analysis.sources import lint_paths
+
+    findings = []
+    if args.object:
+        from .analysis.admission import analyze_package
+        from .net.marshal import unmarshal
+
+        for package_path in args.object:
+            findings.extend(
+                analyze_package(unmarshal(Path(package_path).read_bytes()))
+            )
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+    findings.extend(lint_paths(args.paths))
+    if args.json:
+        print(render_json(findings))
+    else:
+        for line in render_text(findings):
+            print(line)
+        if not findings:
+            print("clean: no findings")
+    return 1 if fails(findings, strict=args.strict) else 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     store = ObjectStore(args.root)
     if args.store_command == "list":
@@ -198,6 +230,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect_parser.add_argument("package")
     inspect_parser.set_defaults(handler=_cmd_inspect)
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="static analysis: lint MPL sources and audit packed objects",
+        description=(
+            "Lint .mpl files (and MPL programs embedded in .py files) "
+            "under the given paths, and/or run the migration admission "
+            "analysis over packed .mrom objects. Exit codes: 0 clean, "
+            "1 findings, 2 usage error."
+        ),
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories to lint (.mpl, or .py with embedded MPL)",
+    )
+    lint_parser.add_argument(
+        "--object", action="append", default=[], metavar="PACKAGE.mrom",
+        help="also run admission analysis over a packed object file",
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     store_parser = commands.add_parser("store", help="inspect an object store")
     store_parser.add_argument("--root", required=True)

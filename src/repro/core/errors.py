@@ -242,12 +242,19 @@ class TransferUnresolvedError(MobilityError):
 
 
 class SandboxViolation(MobilityError, SecurityError):
-    """Portable code used a construct outside the mobile-code whitelist."""
+    """Portable code used a construct outside the mobile-code whitelist.
 
-    def __init__(self, construct: str, detail: str = ""):
+    When raised by the verifier, ``diagnostic`` carries the structured
+    :class:`~repro.analysis.diagnostics.Diagnostic` form of the finding
+    (rule id, severity, source span) for analysis tooling; ad-hoc raisers
+    may leave it None.
+    """
+
+    def __init__(self, construct: str, detail: str = "", diagnostic=None):
         extra = f": {detail}" if detail else ""
         super().__init__(f"forbidden construct {construct!r}{extra}")
         self.construct = construct
+        self.diagnostic = diagnostic
 
 
 class PersistenceError(MROMError):

@@ -30,7 +30,24 @@ from ..core.errors import MPLSyntaxError
 from . import ast_nodes as ast
 from .lexer import Token, tokenize
 
-__all__ = ["parse"]
+__all__ = ["parse", "span_of"]
+
+
+def _mark(node, token: Token):
+    """Attach the source span of *token* to *node*.
+
+    AST nodes are frozen dataclasses, so the span travels as a non-field
+    attribute (equality and repr are untouched); :func:`span_of` reads it
+    back. Static analysis uses this to anchor diagnostics.
+    """
+    object.__setattr__(node, "line", token.line)
+    object.__setattr__(node, "column", token.column)
+    return node
+
+
+def span_of(node) -> tuple[int, int]:
+    """(line, column) recorded by the parser, or (0, 0) when absent."""
+    return getattr(node, "line", 0), getattr(node, "column", 0)
 
 
 class _Parser:
@@ -96,7 +113,7 @@ class _Parser:
     # -- declarations --------------------------------------------------------
 
     def parse_object(self) -> ast.ObjectDecl:
-        self.expect("keyword", "object")
+        start = self.expect("keyword", "object")
         name = self.expect("ident").text
         extensible_meta = False
         if self.accept("keyword", "extensible"):
@@ -118,10 +135,13 @@ class _Parser:
             else:
                 raise self.error("expected 'data' or 'method' in object body")
             self.skip_newlines()
-        return ast.ObjectDecl(name, extensible_meta, tuple(data), tuple(methods))
+        return _mark(
+            ast.ObjectDecl(name, extensible_meta, tuple(data), tuple(methods)),
+            start,
+        )
 
     def parse_data_decl(self, fixed: bool, private: bool) -> ast.DataDecl:
-        self.expect("keyword", "data")
+        start = self.expect("keyword", "data")
         name = self.expect("ident").text
         kind = "any"
         if self.accept("punct", ":"):
@@ -129,11 +149,14 @@ class _Parser:
         initial = None
         if self.accept("punct", "="):
             initial = self.parse_expression()
-        return ast.DataDecl(name, fixed=fixed, kind=kind, initial=initial,
-                            private=private)
+        return _mark(
+            ast.DataDecl(name, fixed=fixed, kind=kind, initial=initial,
+                         private=private),
+            start,
+        )
 
     def parse_method_decl(self, fixed: bool, private: bool) -> ast.MethodDecl:
-        self.expect("keyword", "method")
+        start = self.expect("keyword", "method")
         name = self.expect("ident").text
         self.expect("punct", "(")
         params: list[str] = []
@@ -153,9 +176,12 @@ class _Parser:
                 ensures = clause
             self.skip_newlines()
         body = self.parse_block()
-        return ast.MethodDecl(
-            name, fixed=fixed, params=tuple(params), body=body,
-            requires=requires, ensures=ensures, private=private,
+        return _mark(
+            ast.MethodDecl(
+                name, fixed=fixed, params=tuple(params), body=body,
+                requires=requires, ensures=ensures, private=private,
+            ),
+            start,
         )
 
     def parse_block(self) -> tuple:
@@ -170,14 +196,15 @@ class _Parser:
     # -- statements -----------------------------------------------------------
 
     def parse_statement(self):
+        start = self.current
         if self.accept("keyword", "let"):
             name = self.expect("ident").text
             self.expect("punct", "=")
-            return ast.Let(name, self.parse_expression())
+            return _mark(ast.Let(name, self.parse_expression()), start)
         if self.accept("keyword", "return"):
             if self.at("newline") or self.at("punct", "}") or self.at("eof"):
-                return ast.Return(None)
-            return ast.Return(self.parse_expression())
+                return _mark(ast.Return(None), start)
+            return _mark(ast.Return(self.parse_expression()), start)
         if self.accept("keyword", "if"):
             condition = self.parse_expression()
             then_body = self.parse_block()
@@ -185,27 +212,30 @@ class _Parser:
             self.skip_newlines()
             if self.accept("keyword", "else"):
                 else_body = self.parse_block()
-            return ast.If(condition, then_body, else_body)
+            return _mark(ast.If(condition, then_body, else_body), start)
         if self.accept("keyword", "while"):
             condition = self.parse_expression()
-            return ast.While(condition, self.parse_block())
+            return _mark(ast.While(condition, self.parse_block()), start)
         if self.accept("keyword", "for"):
             name = self.expect("ident").text
             self.expect("keyword", "in")
             iterable = self.parse_expression()
-            return ast.ForEach(name, iterable, self.parse_block())
+            return _mark(ast.ForEach(name, iterable, self.parse_block()), start)
         if self.accept("keyword", "print"):
-            return ast.Print(self.parse_expression())
+            return _mark(ast.Print(self.parse_expression()), start)
         # assignment vs expression: parse an expression, then look for '='
         expression = self.parse_expression()
         if self.accept("punct", "="):
             value = self.parse_expression()
             if isinstance(expression, ast.Name):
-                return ast.Assign(expression.ident, value)
+                return _mark(ast.Assign(expression.ident, value), start)
             if isinstance(expression, ast.Index):
-                return ast.IndexAssign(expression.target, expression.index, value)
+                return _mark(
+                    ast.IndexAssign(expression.target, expression.index, value),
+                    start,
+                )
             raise self.error("invalid assignment target")
-        return ast.ExprStmt(expression)
+        return _mark(ast.ExprStmt(expression), start)
 
     # -- expressions -------------------------------------------------------------
 
@@ -258,6 +288,7 @@ class _Parser:
         return self.parse_postfix()
 
     def parse_postfix(self):
+        start = self.current
         expression = self.parse_atom()
         while True:
             if self.accept("punct", "."):
@@ -270,12 +301,14 @@ class _Parser:
                     args.append(self.parse_expression())
                     if not self.at("punct", ")"):
                         self.expect("punct", ",")
-                expression = ast.MethodCall(expression, name.text, tuple(args))
+                expression = _mark(
+                    ast.MethodCall(expression, name.text, tuple(args)), name
+                )
                 continue
             if self.accept("punct", "["):
                 index = self.parse_expression()
                 self.expect("punct", "]")
-                expression = ast.Index(expression, index)
+                expression = _mark(ast.Index(expression, index), start)
                 continue
             if self.at("punct", "("):
                 self.advance()
@@ -284,7 +317,7 @@ class _Parser:
                     args.append(self.parse_expression())
                     if not self.at("punct", ")"):
                         self.expect("punct", ",")
-                expression = ast.FuncCall(expression, tuple(args))
+                expression = _mark(ast.FuncCall(expression, tuple(args)), start)
                 continue
             return expression
 
@@ -306,12 +339,12 @@ class _Parser:
         if self.accept("keyword", "null"):
             return ast.Literal(None)
         if self.accept("keyword", "self"):
-            return ast.SelfRef()
+            return _mark(ast.SelfRef(), token)
         if self.accept("keyword", "new"):
-            return ast.NewObject(self.expect("ident").text)
+            return _mark(ast.NewObject(self.expect("ident").text), token)
         if token.kind == "ident":
             self.advance()
-            return ast.Name(token.text)
+            return _mark(ast.Name(token.text), token)
         if self.accept("punct", "("):
             inner = self.parse_expression()
             self.expect("punct", ")")

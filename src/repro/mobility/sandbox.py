@@ -30,14 +30,32 @@ from __future__ import annotations
 import ast
 from typing import Any, Iterable, Mapping
 
+from ..analysis.diagnostics import Diagnostic, Severity
 from ..core.errors import SandboxViolation
 
 __all__ = [
     "ALLOWED_BUILTINS",
+    "SANDBOX_RULES",
     "validate_source",
+    "collect_violations",
+    "audit_function_body",
     "compile_restricted",
     "build_function",
 ]
+
+#: Every rule id the verifier can emit (all errors — the sandbox has no
+#: warnings: a construct is either whitelisted or it is not).
+SANDBOX_RULES: dict[str, str] = {
+    "sandbox.syntax": "the portable source does not parse (error)",
+    "sandbox.node-type": "an AST node type outside the whitelist (error)",
+    "sandbox.underscore-attribute": "access to an underscore-prefixed attribute (error)",
+    "sandbox.dunder-subscript": "a '__name__'-shaped mapping key (error)",
+    "sandbox.forbidden-name": "a builtin outside the whitelist, e.g. eval/type (error)",
+    "sandbox.dunder-name": "a dunder identifier, incl. except-aliases and nonlocals (error)",
+    "sandbox.decorator": "a decorated function definition (error)",
+    "sandbox.underscore-function": "an underscore-prefixed function name (error)",
+    "sandbox.dunder-parameter": "a dunder parameter or keyword-argument name (error)",
+}
 
 
 _ALLOWED_NODES: tuple[type, ...] = (
@@ -173,43 +191,132 @@ _FORBIDDEN_NAMES = frozenset(
 
 
 class _Verifier(ast.NodeVisitor):
-    """Walk the AST, rejecting anything outside the whitelist."""
+    """Walk the AST, rejecting anything outside the whitelist.
 
-    def __init__(self, source_name: str):
+    In the default mode the first violation raises
+    :class:`SandboxViolation` (install-time rejection). With *collect*
+    set, every violation is recorded as a
+    :class:`~repro.analysis.diagnostics.Diagnostic` and the walk
+    continues — the mode the static-analysis front ends use to report a
+    complete picture instead of the first offence.
+    """
+
+    def __init__(self, source_name: str, collect: list[Diagnostic] | None = None):
         self.source_name = source_name
+        self.collect = collect
 
-    def _violation(self, node: ast.AST, construct: str, detail: str = "") -> None:
+    def _violation(
+        self, node: ast.AST, construct: str, detail: str = "", rule: str = "sandbox.construct"
+    ) -> None:
         line = getattr(node, "lineno", 0)
         where = f"{self.source_name}:{line}"
-        raise SandboxViolation(construct, f"{detail or 'not permitted'} at {where}")
+        diagnostic = Diagnostic(
+            rule=rule,
+            severity=Severity.ERROR,
+            message=f"forbidden construct {construct!r}: {detail or 'not permitted'}",
+            source=self.source_name,
+            line=line,
+            column=getattr(node, "col_offset", 0) + 1 if line else 0,
+        )
+        if self.collect is not None:
+            self.collect.append(diagnostic)
+            return
+        raise SandboxViolation(
+            construct, f"{detail or 'not permitted'} at {where}",
+            diagnostic=diagnostic,
+        )
 
     def generic_visit(self, node: ast.AST) -> None:
         if not isinstance(node, _ALLOWED_NODES):
-            self._violation(node, type(node).__name__, "AST node type not whitelisted")
+            self._violation(
+                node, type(node).__name__, "AST node type not whitelisted",
+                rule="sandbox.node-type",
+            )
+            if self.collect is not None:
+                return  # do not descend into an already-rejected construct
         super().generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if node.attr.startswith("_"):
-            self._violation(node, f".{node.attr}", "underscore attribute access")
+            self._violation(
+                node, f".{node.attr}", "underscore attribute access",
+                rule="sandbox.underscore-attribute",
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # the subscript analogue of dunder attribute access: mappings that
+        # mirror object internals (install contexts, descriptions) must
+        # not hand portable code a '__dict__'-shaped key as a side door
+        key = node.slice
+        if (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and key.value.startswith("__")
+            and key.value.endswith("__")
+        ):
+            self._violation(
+                node, f"[{key.value!r}]", "dunder subscript key",
+                rule="sandbox.dunder-subscript",
+            )
         self.generic_visit(node)
 
     def visit_Name(self, node: ast.Name) -> None:
         if node.id in _FORBIDDEN_NAMES:
-            self._violation(node, node.id, "forbidden builtin")
+            self._violation(
+                node, node.id, "forbidden builtin", rule="sandbox.forbidden-name"
+            )
         if node.id.startswith("__"):
-            self._violation(node, node.id, "dunder name")
+            self._violation(node, node.id, "dunder name", rule="sandbox.dunder-name")
         self.generic_visit(node)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         if node.decorator_list:
-            self._violation(node, "decorator", "decorators not permitted")
+            self._violation(
+                node, "decorator", "decorators not permitted",
+                rule="sandbox.decorator",
+            )
         if node.name.startswith("_"):
-            self._violation(node, node.name, "underscore function name")
+            self._violation(
+                node, node.name, "underscore function name",
+                rule="sandbox.underscore-function",
+            )
         self.generic_visit(node)
 
     def visit_arg(self, node: ast.arg) -> None:
         if node.arg.startswith("__"):
-            self._violation(node, node.arg, "dunder parameter name")
+            self._violation(
+                node, node.arg, "dunder parameter name",
+                rule="sandbox.dunder-parameter",
+            )
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        # 'except E as __alias' binds without a Name node at the binding
+        # site — an alias the Name rule alone would miss
+        if node.name and node.name.startswith("__"):
+            self._violation(
+                node, node.name, "dunder exception alias",
+                rule="sandbox.dunder-name",
+            )
+        self.generic_visit(node)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        # nonlocal lists raw strings, not Name nodes
+        for name in node.names:
+            if name.startswith("__") or name in _FORBIDDEN_NAMES:
+                self._violation(
+                    node, name, "forbidden nonlocal name",
+                    rule="sandbox.dunder-name",
+                )
+        self.generic_visit(node)
+
+    def visit_keyword(self, node: ast.keyword) -> None:
+        if node.arg and node.arg.startswith("__"):
+            self._violation(
+                node, f"{node.arg}=", "dunder keyword argument",
+                rule="sandbox.dunder-parameter",
+            )
         self.generic_visit(node)
 
 
@@ -222,9 +329,83 @@ def validate_source(source: str, source_name: str = "<portable>") -> ast.Module:
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
-        raise SandboxViolation("syntax", f"{exc.msg} (line {exc.lineno})") from exc
+        raise SandboxViolation(
+            "syntax",
+            f"{exc.msg} (line {exc.lineno})",
+            diagnostic=Diagnostic(
+                rule="sandbox.syntax",
+                severity=Severity.ERROR,
+                message=f"does not parse: {exc.msg}",
+                source=source_name,
+                line=exc.lineno or 0,
+            ),
+        ) from exc
     _Verifier(source_name).visit(tree)
     return tree
+
+
+def collect_violations(
+    source: str, source_name: str = "<portable>"
+) -> list[Diagnostic]:
+    """Every violation in *source* as diagnostics (empty when clean).
+
+    The collecting twin of :func:`validate_source`: nothing is raised, so
+    analysis front ends (``repro lint``, the migration admission gate)
+    can report the complete set of problems in one pass.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="sandbox.syntax",
+                severity=Severity.ERROR,
+                message=f"does not parse: {exc.msg}",
+                source=source_name,
+                line=exc.lineno or 0,
+            )
+        ]
+    found: list[Diagnostic] = []
+    _Verifier(source_name, collect=found).visit(tree)
+    return found
+
+
+def audit_function_body(
+    body_source: str,
+    parameters: Iterable[str],
+    source_name: str = "<portable>",
+) -> list[Diagnostic]:
+    """Verify a *function body* exactly as :func:`build_function` would.
+
+    Wraps the body in the same ``def`` scaffold, so the diagnostics
+    predict precisely what the destination sandbox will reject — the
+    linter's portability pass and the admission analyzer both rely on
+    that equivalence. Reported line numbers are shifted back so they
+    refer to the body text, not the wrapper.
+    """
+    params = ", ".join(parameters)
+    lines = body_source.splitlines() or ["pass"]
+    indented = "\n".join("    " + line for line in lines)
+    wrapped = f"def {_AUDIT_NAME}({params}):\n{indented}\n"
+    shifted: list[Diagnostic] = []
+    for diagnostic in collect_violations(wrapped, source_name):
+        line = max(diagnostic.line - 1, 0)
+        column = max(diagnostic.column - 4, 0) if diagnostic.column else 0
+        shifted.append(
+            Diagnostic(
+                rule=diagnostic.rule,
+                severity=diagnostic.severity,
+                message=diagnostic.message,
+                source=diagnostic.source,
+                line=line,
+                column=column,
+                hint=diagnostic.hint,
+            )
+        )
+    return shifted
+
+
+_AUDIT_NAME = "portable"
 
 
 def compile_restricted(source: str, source_name: str = "<portable>"):

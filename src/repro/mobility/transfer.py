@@ -85,8 +85,27 @@ class MobilityManager:
         site: Site,
         policy: AdmissionPolicy | None = None,
         retry_policy: RetryPolicy | None = None,
+        verify_arrivals: bool = False,
+        strict_admission: bool = False,
     ):
         self.site = site
+        if verify_arrivals:
+            # the opt-in admission gate: run the static admission analysis
+            # over every arriving package at PREPARE, before the caller's
+            # own policy and before anything is unpacked. Lazy import —
+            # the analysis subsystem depends on this module.
+            from ..analysis.admission import admission_policy
+
+            gate = admission_policy(strict=strict_admission)
+            if policy is None:
+                policy = gate
+            else:
+                caller_policy = policy
+
+                def policy(package: Mapping, src: str) -> None:
+                    gate(package, src)
+                    caller_policy(package, src)
+
         self.policy = policy
         #: per-manager override for outgoing transfer requests; None
         #: falls through to the site's default retry policy
@@ -134,6 +153,18 @@ class MobilityManager:
         original registered here (the APO → Ambassador pattern)."""
         report = self._handoff(obj, dst, install_args, mode="copy")
         return RemoteRef(self.site, dst, str(report["guid"]))
+
+    def preflight(self, obj: MROMObject) -> list:
+        """Sender-side admission analysis of a live object.
+
+        Returns the :class:`~repro.analysis.diagnostics.Diagnostic` list a
+        destination running the admission gate would raise about *obj* —
+        run it before :meth:`migrate` to avoid paying for a round trip
+        that ends in an :class:`~repro.analysis.admission.AdmissionRefusal`.
+        """
+        from ..analysis.admission import analyze_object
+
+        return analyze_object(obj)
 
     def _mint_transfer_id(self) -> str:
         """A package sequence number, unique across site incarnations."""

@@ -1,0 +1,8 @@
+object probe {
+  method double(n) {
+    return n * 2
+  }
+  method m() {
+    return self.double(1, 2) //! mpl.arity-mismatch
+  }
+}

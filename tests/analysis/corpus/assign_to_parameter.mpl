@@ -1,0 +1,6 @@
+object probe {
+  method m(n) {
+    n = n + 1 //! mpl.assign-to-parameter
+    return n
+  }
+}

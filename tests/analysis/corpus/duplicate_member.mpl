@@ -1,0 +1,4 @@
+object probe {
+  data twin = 1
+  data twin = 2 //! mpl.duplicate-member
+}

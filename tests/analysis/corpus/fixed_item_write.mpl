@@ -1,0 +1,7 @@
+object probe {
+  fixed data seal = 1
+  method m() {
+    self.delete_data("seal") //! mpl.fixed-item-write
+    return self.get("seal")
+  }
+}

@@ -1,0 +1,5 @@
+object probe {
+  method m() {
+    return new probe //! mpl.invalid-construct
+  }
+}

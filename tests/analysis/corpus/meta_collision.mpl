@@ -1,0 +1,5 @@
+object probe {
+  method invoke(x) { //! mpl.meta-collision
+    return x
+  }
+}

@@ -1,0 +1,6 @@
+object probe {
+  method m() {
+    let type = 1 //! mpl.nonportable-name
+    return type
+  }
+}

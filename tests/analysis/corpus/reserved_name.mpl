@@ -1,0 +1,6 @@
+object probe {
+  method m() {
+    let args = [] //! mpl.reserved-name
+    return 0
+  }
+}

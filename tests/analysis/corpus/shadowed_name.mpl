@@ -1,0 +1,7 @@
+object probe {
+  data count = 0
+  method m(n) {
+    let n = 2 //! mpl.shadowed-name
+    return count
+  }
+}

@@ -1,0 +1,4 @@
+// members must be 'data' or 'method'; the parser stops here
+object broken {
+  banana //! mpl.syntax
+}

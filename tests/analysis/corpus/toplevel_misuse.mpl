@@ -1,0 +1,1 @@
+return 5 //! mpl.toplevel-misuse

@@ -1,0 +1,6 @@
+object probe {
+  data count = 0
+  method m() {
+    return self.get("total") //! mpl.undeclared-item
+  }
+}

@@ -1,0 +1,5 @@
+object probe {
+  method m() {
+    return zap //! mpl.undefined-name
+  }
+}

@@ -1,0 +1,5 @@
+object probe {
+  method ping() {
+    return self.pong() //! mpl.unknown-method
+  }
+}

@@ -1,0 +1,2 @@
+let g = new ghost //! mpl.unknown-object
+print g

@@ -1,0 +1,6 @@
+object probe {
+  method m() {
+    return 1
+    print "late" //! mpl.unreachable-code
+  }
+}

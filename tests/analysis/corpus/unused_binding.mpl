@@ -1,0 +1,6 @@
+object probe {
+  method m() {
+    let scratch = 1 //! mpl.unused-binding
+    return 0
+  }
+}

@@ -1,0 +1,7 @@
+object probe {
+  method m() {
+    print total //! mpl.use-before-let
+    let total = 1
+    return total
+  }
+}

@@ -1,0 +1,87 @@
+"""The shared diagnostic core: formatting, rendering, exit policy."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    fails,
+    render_json,
+    render_text,
+    worst_severity,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+def diag(rule="mpl.test", severity=Severity.ERROR, line=3, **kw):
+    return Diagnostic(
+        rule=rule, severity=severity, message="boom", source="a.mpl",
+        line=line, column=7, **kw,
+    )
+
+
+class TestDiagnostic:
+    def test_format_carries_span_rule_and_hint(self):
+        text = diag(hint="try harder").format()
+        assert text == (
+            "a.mpl:3:7: error[mpl.test] boom (hint: try harder)"
+        )
+
+    def test_location_without_span(self):
+        finding = Diagnostic(
+            rule="adm.native-code", severity=Severity.ERROR,
+            message="m", source="object:g",
+        )
+        assert finding.location == "object:g"
+
+    def test_to_mapping_omits_empty_optionals(self):
+        payload = diag().to_mapping()
+        assert "hint" not in payload and "extra" not in payload
+        assert payload["severity"] == "error"
+
+    def test_frozen_and_hashable_enough_for_sets(self):
+        assert diag() == diag()
+
+
+class TestRendering:
+    def test_text_report_is_sorted_and_summarised(self):
+        findings = [
+            diag(line=9, severity=Severity.WARNING),
+            diag(line=2),
+        ]
+        lines = render_text(findings)
+        assert lines[0].startswith("a.mpl:2")
+        assert lines[-1] == "1 error(s), 1 warning(s)"
+
+    def test_empty_report_renders_empty(self):
+        assert render_text([]) == []
+
+    def test_json_report_round_trips(self):
+        document = json.loads(render_json([diag(), diag(line=5)]))
+        assert document["summary"] == {
+            "errors": 2, "warnings": 0, "total": 2,
+        }
+        assert [d["line"] for d in document["diagnostics"]] == [3, 5]
+
+
+class TestExitPolicy:
+    def test_errors_always_fail(self):
+        assert fails([diag()])
+
+    def test_warnings_fail_only_under_strict(self):
+        warnings = [diag(severity=Severity.WARNING)]
+        assert not fails(warnings)
+        assert fails(warnings, strict=True)
+
+    def test_info_never_fails(self):
+        notes = [diag(severity=Severity.INFO)]
+        assert not fails(notes) and not fails(notes, strict=True)
+
+    def test_worst_severity(self):
+        assert worst_severity([]) is None
+        assert worst_severity(
+            [diag(severity=Severity.WARNING), diag()]
+        ) is Severity.ERROR

@@ -1,0 +1,24 @@
+"""docs/ANALYSIS.md must document every registered rule id."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rule_ids
+
+pytestmark = pytest.mark.analysis
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "ANALYSIS.md"
+
+
+def test_every_rule_id_is_documented():
+    text = DOC.read_text()
+    missing = sorted(rid for rid in all_rule_ids() if rid not in text)
+    assert not missing, f"undocumented rule ids: {missing}"
+
+
+def test_rule_registry_is_nontrivial():
+    ids = all_rule_ids()
+    assert sum(1 for r in ids if r.startswith("mpl.")) >= 10
+    assert any(r.startswith("sandbox.") for r in ids)
+    assert any(r.startswith("adm.") for r in ids)

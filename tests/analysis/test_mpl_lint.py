@@ -1,0 +1,239 @@
+"""Behavioural tests for the MPL lint passes (beyond the seeded corpus)."""
+
+import pytest
+
+from repro.analysis import Severity
+from repro.analysis.mpl_lint import lint_source
+from repro.analysis.sources import LintUnit, iter_units, lint_unit
+
+pytestmark = pytest.mark.analysis
+
+
+def rules_of(findings):
+    return {d.rule for d in findings}
+
+
+CLEAN_PROGRAM = """
+object bidder {
+  fixed data budget = 1000
+  fixed data spent = 0
+  data strategy = "cautious"
+
+  fixed method bid(item, price)
+    requires price > 0 and spent + price <= budget
+    ensures result == true
+  {
+    spent = spent + price
+    let log = [item, price]
+    print log
+    return true
+  }
+
+  fixed method remaining() { return budget - spent }
+}
+
+let agent = new bidder
+agent.bid("lamp", 300)
+print agent.remaining()
+"""
+
+
+class TestCleanPrograms:
+    def test_realistic_program_is_clean(self):
+        assert lint_source(CLEAN_PROGRAM) == []
+
+    def test_add_then_get_idiom_is_not_flagged(self):
+        # run-time extension with a literal name counts as declared
+        source = """
+        object cache {
+          method fill() {
+            self.add_data("hot", 1)
+            return self.get("hot")
+          }
+          method use_elsewhere() { return self.get("hot") }
+        }
+        """
+        assert lint_source(source) == []
+
+    def test_underscore_binding_suppresses_unused_warning(self):
+        source = """
+        object o {
+          method m() {
+            let _ignored = 1
+            return 0
+          }
+        }
+        """
+        assert lint_source(source) == []
+
+    def test_branch_defined_local_not_use_before_let(self):
+        # optimistic branch join: a let inside either branch counts as
+        # defined afterwards (mirrors the compiler's flat local scope)
+        source = """
+        object o {
+          method m(flag) {
+            if flag {
+              let v = 1
+              print v
+            } else {
+              let v = 2
+              print v
+            }
+            return v
+          }
+        }
+        """
+        assert lint_source(source) == []
+
+
+class TestMethodPasses:
+    def test_value_write_to_fixed_data_is_legal(self):
+        source = """
+        object o {
+          fixed data total = 0
+          method m(n) {
+            total = total + n
+            return total
+          }
+        }
+        """
+        assert lint_source(source) == []
+
+    def test_indirect_self_call_arity(self):
+        source = """
+        object o {
+          method double(n) { return n * 2 }
+          method m() { return self.call("double", 1, 2) }
+        }
+        """
+        assert rules_of(lint_source(source)) == {"mpl.arity-mismatch"}
+
+    def test_indirect_self_call_unknown_target(self):
+        source = """
+        object o {
+          method m() { return self.call("vanish") }
+        }
+        """
+        assert rules_of(lint_source(source)) == {"mpl.unknown-method"}
+
+    def test_meta_method_calls_have_arity_checked(self):
+        source = """
+        object o {
+          data x = 0
+          method m() { return self.setDataItem("x") }
+        }
+        """
+        assert rules_of(lint_source(source)) == {"mpl.arity-mismatch"}
+
+    def test_result_only_in_ensures(self):
+        source = """
+        object o {
+          method m()
+            ensures result == 1
+          { return 1 }
+          method bad() { return result }
+        }
+        """
+        findings = lint_source(source)
+        assert rules_of(findings) == {"mpl.undefined-name"}
+        assert len(findings) == 1
+
+    def test_data_initializer_cannot_reference_names(self):
+        source = """
+        object o {
+          data seeded = other + 1
+        }
+        """
+        assert rules_of(lint_source(source)) == {"mpl.undefined-name"}
+
+    def test_unused_binding_is_a_warning_not_error(self):
+        source = """
+        object o {
+          method m() {
+            let idle = 1
+            return 0
+          }
+        }
+        """
+        [finding] = lint_source(source)
+        assert finding.severity is Severity.WARNING
+        assert finding.rule == "mpl.unused-binding"
+
+
+class TestToplevelPasses:
+    def test_known_target_call_checked_via_let_new(self):
+        source = """
+        object greeter {
+          method hello(name) { return name }
+        }
+        let g = new greeter
+        g.hello()
+        """
+        assert rules_of(lint_source(source)) == {"mpl.arity-mismatch"}
+
+    def test_reassignment_clears_the_tracked_type(self):
+        source = """
+        object greeter {
+          method hello(name) { return name }
+        }
+        let g = new greeter
+        g = 5
+        g.hello()
+        """
+        assert lint_source(source) == []
+
+    def test_unknown_toplevel_names_allowed_for_embedded_units(self):
+        source = """
+        let summary = agent.report()
+        print summary
+        """
+        assert rules_of(lint_source(source)) == {"mpl.undefined-name"}
+        assert lint_source(source, allow_unknown_toplevel=True) == []
+
+
+class TestSourceDiscovery:
+    def test_portable_dialect_strings_are_not_mpl(self, tmp_path):
+        host = tmp_path / "host.py"
+        host.write_text(
+            'BODY = (\n'
+            '    "n = self.get(\'count\')\\n"\n'
+            '    "self.set(\'count\', n + 1)\\n"\n'
+            '    "return n + 1"\n'
+            ')\n'
+        )
+        assert list(iter_units([host])) == []
+
+    def test_embedded_mpl_is_discovered_with_offset(self, tmp_path):
+        host = tmp_path / "host.py"
+        host.write_text(
+            "# host application\n"
+            'PROGRAM = """\n'
+            "let x = nope\n"
+            'print x\n'
+            '"""\n'
+        )
+        [unit] = list(iter_units([host]))
+        assert unit.embedded
+        assert unit.label.endswith("#PROGRAM")
+        assert unit.line_offset == 1
+        # embedded units assume host-seeded bindings: 'nope' is fine
+        assert lint_unit(unit) == []
+
+    def test_embedded_diagnostics_are_reanchored(self):
+        unit = LintUnit(
+            label="host.py#AGENT",
+            source="\nobject o {\n  data twin = 1\n  data twin = 2\n}\n",
+            line_offset=10,
+            embedded=True,
+        )
+        [finding] = lint_unit(unit)
+        assert finding.rule == "mpl.duplicate-member"
+        assert finding.line == 14  # line 4 of the unit, shifted by 10
+
+    def test_standalone_mpl_file(self, tmp_path):
+        script = tmp_path / "probe.mpl"
+        script.write_text("return 1\n")
+        [unit] = list(iter_units([tmp_path]))
+        assert not unit.embedded
+        [finding] = lint_unit(unit)
+        assert finding.rule == "mpl.toplevel-misuse"

@@ -1,0 +1,158 @@
+"""Edge cases of the ACL machinery: domain matching, combined
+permission flags, and deny-overrides evaluation order."""
+
+import pytest
+
+from repro.core.acl import (
+    ANONYMOUS,
+    SYSTEM,
+    AccessControlList,
+    AclEntry,
+    Decision,
+    Permission,
+    Principal,
+)
+
+
+def principal(domain="technion.ee.dsl", guid="mrom:obj:p"):
+    return Principal(guid=guid, domain=domain)
+
+
+class TestAppliesToDomainMatching:
+    def test_exact_domain_matches(self):
+        entry = AclEntry("domain:technion.ee", Permission.ALL)
+        assert entry.applies_to(principal(domain="technion.ee"))
+
+    def test_subdomain_matches_the_subtree(self):
+        entry = AclEntry("domain:technion", Permission.ALL)
+        assert entry.applies_to(principal(domain="technion.ee.dsl"))
+
+    def test_parent_domain_does_not_match_child_subject(self):
+        entry = AclEntry("domain:technion.ee.dsl", Permission.ALL)
+        assert not entry.applies_to(principal(domain="technion.ee"))
+
+    def test_sibling_domain_does_not_match(self):
+        entry = AclEntry("domain:technion.ee", Permission.ALL)
+        assert not entry.applies_to(principal(domain="technion.cs.lab"))
+
+    def test_prefix_is_componentwise_not_textual(self):
+        # "technion.e" is not a parent of "technion.ee"
+        entry = AclEntry("domain:technion.e", Permission.ALL)
+        assert not entry.applies_to(principal(domain="technion.ee"))
+
+    def test_empty_domain_subject_matches_every_identified_principal(self):
+        entry = AclEntry("domain:", Permission.ALL)
+        assert entry.applies_to(principal(domain=""))
+        assert entry.applies_to(principal(domain="anywhere.at.all"))
+
+    def test_anonymous_never_matches_a_domain(self):
+        # ANONYMOUS has an empty domain, which would vacuously satisfy
+        # in_domain — the entry must special-case it away
+        entry = AclEntry("domain:", Permission.ALL)
+        assert not entry.applies_to(ANONYMOUS)
+
+    def test_anonymous_matches_everyone(self):
+        assert AclEntry("*", Permission.ALL).applies_to(ANONYMOUS)
+
+    def test_principal_subject_ignores_domain(self):
+        entry = AclEntry("mrom:obj:p", Permission.ALL)
+        assert entry.applies_to(principal(domain="somewhere.else"))
+        assert not entry.applies_to(principal(guid="mrom:obj:q"))
+
+
+class TestCoversCombinedFlags:
+    def test_data_covers_both_get_and_set(self):
+        entry = AclEntry("*", Permission.DATA)
+        assert entry.covers(Permission.GET)
+        assert entry.covers(Permission.SET)
+        assert not entry.covers(Permission.INVOKE)
+        assert not entry.covers(Permission.META)
+
+    def test_read_only_is_get_alone(self):
+        entry = AclEntry("*", Permission.READ_ONLY)
+        assert entry.covers(Permission.GET)
+        assert not entry.covers(Permission.SET)
+
+    def test_all_covers_every_flag(self):
+        entry = AclEntry("*", Permission.ALL)
+        for flag in (Permission.GET, Permission.SET,
+                     Permission.INVOKE, Permission.META):
+            assert entry.covers(flag)
+
+    def test_none_covers_nothing(self):
+        entry = AclEntry("*", Permission.NONE)
+        assert not entry.covers(Permission.GET)
+        assert not entry.covers(Permission.ALL)
+
+    def test_covers_is_intersection_not_subset(self):
+        # an INVOKE-only entry speaks about a DATA|INVOKE query
+        entry = AclEntry("*", Permission.INVOKE)
+        assert entry.covers(Permission.INVOKE | Permission.GET)
+
+
+class TestDenyOverridesOrdering:
+    def test_deny_after_allow_still_denies(self):
+        acl = (AccessControlList()
+               .grant("*", Permission.GET)
+               .revoke("mrom:obj:p", Permission.GET))
+        assert not acl.permits(principal(), Permission.GET)
+        assert acl.permits(principal(guid="mrom:obj:q"), Permission.GET)
+
+    def test_allow_after_deny_does_not_resurrect(self):
+        acl = (AccessControlList()
+               .revoke("mrom:obj:p", Permission.GET)
+               .grant("mrom:obj:p", Permission.GET))
+        assert not acl.permits(principal(), Permission.GET)
+
+    def test_deny_is_per_permission(self):
+        # denying SET leaves GET granted by the broad allow
+        acl = (AccessControlList()
+               .grant("*", Permission.DATA)
+               .revoke("mrom:obj:p", Permission.SET))
+        assert acl.permits(principal(), Permission.GET)
+        assert not acl.permits(principal(), Permission.SET)
+
+    def test_domain_deny_beats_principal_allow(self):
+        acl = (AccessControlList()
+               .grant("mrom:obj:p", Permission.ALL)
+               .revoke("domain:technion", Permission.ALL))
+        assert not acl.permits(principal(), Permission.INVOKE)
+
+    def test_default_allow_is_overridden_by_deny(self):
+        acl = AccessControlList(default_allow=True)
+        assert acl.permits(principal(), Permission.GET)
+        acl.revoke("*", Permission.GET)
+        assert not acl.permits(principal(), Permission.GET)
+
+    def test_default_deny_with_no_applicable_entry(self):
+        acl = AccessControlList([AclEntry("mrom:obj:q", Permission.ALL)])
+        assert not acl.permits(principal(), Permission.GET)
+
+    def test_inapplicable_deny_is_ignored(self):
+        acl = (AccessControlList()
+               .grant("*", Permission.GET)
+               .revoke("mrom:obj:q", Permission.GET))
+        assert acl.permits(principal(), Permission.GET)
+
+    def test_system_bypasses_even_explicit_deny(self):
+        acl = AccessControlList([
+            AclEntry("*", Permission.ALL, Decision.DENY),
+        ])
+        assert acl.permits(SYSTEM, Permission.META)
+
+    def test_remove_subject_restores_access(self):
+        acl = (AccessControlList()
+               .grant("*", Permission.GET)
+               .revoke("mrom:obj:p", Permission.GET))
+        assert acl.remove_subject("mrom:obj:p") == 1
+        assert acl.permits(principal(), Permission.GET)
+
+    def test_describe_round_trip_preserves_ordering_semantics(self):
+        acl = (AccessControlList()
+               .grant("*", Permission.DATA)
+               .revoke("domain:technion", Permission.SET))
+        rebuilt = AccessControlList.from_description(acl.describe())
+        for perm in (Permission.GET, Permission.SET):
+            assert (rebuilt.permits(principal(), perm)
+                    == acl.permits(principal(), perm))
+        assert not rebuilt.permits(principal(), Permission.SET)
