@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint lint-tests bench examples series check all
+.PHONY: install test chaos lint lint-tests bench examples series check all trace-smoke
 
 install:
 	$(PYTHON) setup.py develop || pip install -e .
@@ -24,6 +24,11 @@ lint:
 lint-tests:
 	$(PYTHON) -m pytest -m analysis tests/
 
+# Telemetry acceptance: run the traced scenario, validate the JSON-lines
+# export against the span schema and the cross-wire trace invariants.
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro trace --smoke
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -33,6 +38,6 @@ series: bench
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; echo; done
 
-check: test lint bench
+check: test lint trace-smoke bench
 
 all: install check examples

@@ -13,6 +13,11 @@ Commands:
 * ``store list / show / verify`` — inspect a persistence store;
 * ``chaos --seed N`` — run the deterministic fault-injection scenario
   (see ``docs/FAULTS.md``); identical seeds print identical reports.
+* ``trace --seed N [--tree] [--json FILE|-] [--metrics FILE|-]
+  [--smoke]`` — run the traced acceptance scenario with the telemetry
+  plane on and export what it captured (see ``docs/TELEMETRY.md``);
+  ``--smoke`` validates the export against the span schema and the
+  cross-wire trace invariants, exiting non-zero on any violation.
 """
 
 from __future__ import annotations
@@ -199,6 +204,101 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _emit_text(destination: str, text: str) -> None:
+    if destination == "-":
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        Path(destination).write_text(text, encoding="utf-8")
+
+
+def _trace_smoke(report, spans) -> list[str]:
+    """The acceptance invariants; returns human-readable violations."""
+    from .telemetry.exporters import span_lines
+    from .telemetry.schema import validate_span_lines
+
+    problems = list(validate_span_lines("\n".join(span_lines(spans))))
+    trace = [s for s in spans if s.trace_id == report.trace_id]
+    names = {s.name for s in trace}
+    for needed in ("rmi.invoke", "serve.invoke", "transfer.handoff",
+                   "transfer.install", "serve.transfer.prepare"):
+        if needed not in names:
+            problems.append(f"trace {report.trace_id} has no {needed!r} span")
+    handoffs = [s for s in trace if s.name == "transfer.handoff"]
+    phase_events = {e.name for s in handoffs for e in s.events}
+    for phase in ("PREPARE", "COMMIT"):
+        if phase not in phase_events:
+            problems.append(f"no {phase} phase event on the handoff span")
+    fault_events = [
+        e for s in trace for e in s.events if e.name == "fault"
+    ]
+    if not fault_events:
+        problems.append("no injected fault is visible as a span event")
+    for event in fault_events:
+        if "scenario" not in event.attrs or "seq" not in event.attrs:
+            problems.append("a fault event lacks scenario/seq attribution")
+    span_ids = {s.span_id for s in spans}
+    orphans = [
+        s.span_id for s in spans
+        if s.parent_id is not None and s.parent_id not in span_ids
+    ]
+    if orphans:
+        problems.append(f"orphaned spans (missing parents): {orphans}")
+    if report.telemetry.open_spans:
+        problems.append(f"{report.telemetry.open_spans} spans left open")
+    counters = report.telemetry.metrics
+    for name in ("rmi.retries", "rmi.dedup_hits", "faults.injected",
+                 "migrations", "invocations"):
+        if counters.counter_value(name) < 1:
+            problems.append(f"metric {name!r} never incremented")
+    if report.final_count != 41:
+        problems.append(f"workload answer drifted: {report.final_count!r}")
+    return problems
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry.exporters import (
+        metrics_snapshot,
+        render_tree,
+        span_lines,
+    )
+    from .telemetry.scenario import run_traced_scenario
+
+    report = run_traced_scenario(seed=args.seed)
+    spans = list(report.telemetry.recorder)
+    exported = False
+    if args.json:
+        _emit_text(args.json, "\n".join(span_lines(spans)) + "\n")
+        exported = True
+    if args.metrics:
+        snapshot = metrics_snapshot(
+            report.telemetry.metrics,
+            name="trace-scenario",
+            extra={"seed": args.seed, "trace_id": report.trace_id},
+        )
+        _emit_text(args.metrics, json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        exported = True
+    if args.smoke:
+        problems = _trace_smoke(report, spans)
+        summary = report.summary()
+        print(f"trace seed {args.seed}: "
+              f"{'OK' if not problems else 'VIOLATED'}")
+        print(f"trace id:     {summary['trace_id']}")
+        print(f"spans:        {summary['spans_in_trace']} in trace, "
+              f"{len(spans)} total")
+        print(f"span names:   {' '.join(summary['span_names'])}")
+        for label in sorted(report.faults):
+            print(f"fault {label:<12} {report.faults[label]}")
+        for problem in problems:
+            print(f"VIOLATION: {problem}")
+        return 1 if problems else 0
+    if args.tree or not exported:
+        for line in render_tree(spans):
+            print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -293,6 +393,36 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--store-root", default=None,
                               help="directory for the crash checkpoint store")
     chaos_parser.set_defaults(handler=_cmd_chaos)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="run the traced scenario and export telemetry (deterministic)",
+        description=(
+            "Run the seeded telemetry acceptance scenario — one trace "
+            "spanning a remote invocation and a migration hop under "
+            "injected faults — and export the capture. With no export "
+            "flag the human-readable trace tree is printed."
+        ),
+    )
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--tree", action="store_true",
+        help="print the human-readable trace tree (default output)",
+    )
+    trace_parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the JSON-lines span export to FILE ('-' = stdout)",
+    )
+    trace_parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write a BENCH_*.json-compatible metrics snapshot ('-' = stdout)",
+    )
+    trace_parser.add_argument(
+        "--smoke", action="store_true",
+        help="validate the export against the span schema and the "
+             "cross-wire trace invariants; non-zero exit on violation",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
     return parser
 
 

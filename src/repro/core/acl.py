@@ -25,6 +25,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from ..telemetry import state as _telemetry
 from .errors import AccessDeniedError
 
 __all__ = [
@@ -226,7 +227,22 @@ class AccessControlList:
 
         This is the Match phase of level-0 invocation in callable form.
         """
-        if not self.permits(principal, permission):
+        allowed = self.permits(principal, permission)
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("acl.checks").inc()
+            if not allowed:
+                tel.metrics.counter("acl.denials").inc()
+            span = tel.current_span
+            if span is not None:
+                span.event(
+                    "acl.check",
+                    outcome="allowed" if allowed else "denied",
+                    principal=principal.guid,
+                    item=item,
+                    permission=permission.name or "NONE",
+                )
+        if not allowed:
             raise AccessDeniedError(str(principal), item, permission.name or "NONE")
 
     # -- description --------------------------------------------------------

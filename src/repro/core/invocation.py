@@ -29,6 +29,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
+from ..telemetry import state as _telemetry
 from .acl import Permission, Principal
 from .errors import (
     InvocationDepthError,
@@ -192,6 +193,20 @@ class Invoker:
                 f"MAX_META_LEVELS={MAX_META_LEVELS}"
             )
         record = InvocationRecord(method=method_name, caller=caller.guid)
+        tel = _telemetry.ACTIVE
+        span = None
+        if tel is not None:
+            span = tel.begin_span(
+                "invoke",
+                attrs={
+                    "method": method_name,
+                    "object": self.obj.guid,
+                    "caller": caller.guid,
+                    "tower_depth": len(chain),
+                },
+            )
+            span.event("invocation.enter", tower_depth=len(chain))
+            tel.metrics.counter("invocations").inc()
         try:
             if chain:
                 result = self._run_meta_level(
@@ -202,13 +217,25 @@ class Invoker:
         except PreProcedureVeto:
             record.outcome = "veto"
             self.obj.note_invocation(record)
+            if span is not None:
+                span.event("invocation.exit", outcome="veto")
+                tel.end_span(span, status="veto")
+                tel.metrics.counter("invocations.vetoed").inc()
             raise
-        except Exception:
+        except Exception as exc:
             record.outcome = "error"
             self.obj.note_invocation(record)
+            if span is not None:
+                span.event("invocation.exit", outcome="error",
+                           error=type(exc).__name__)
+                tel.end_span(span, status="error")
+                tel.metrics.counter("invocations.failed").inc()
             raise
         record.outcome = "ok"
         self.obj.note_invocation(record)
+        if span is not None:
+            span.event("invocation.exit", outcome="ok")
+            tel.end_span(span)
         return result
 
     # -- the meta tower -----------------------------------------------------

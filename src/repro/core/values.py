@@ -23,6 +23,7 @@ import math
 import re
 from typing import Any, Callable, Iterable
 
+from ..telemetry import state as _telemetry
 from .errors import CoercionError, KindError
 
 __all__ = [
@@ -322,6 +323,9 @@ def coerce(value: Any, kind: Kind) -> Any:
     coercer = _COERCERS.get(kind)
     if coercer is None:
         raise CoercionError(value, str(kind), "unknown target kind")
+    tel = _telemetry.ACTIVE
+    if tel is not None:
+        tel.metrics.counter("coercions").inc()
     return coercer(value)
 
 

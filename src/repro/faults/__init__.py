@@ -17,11 +17,12 @@ from .injectors import (
     ReorderInjector,
     ScheduledInjector,
 )
-from .plane import FaultPlane, MessageInfo
+from .plane import FaultPlane, FaultRecord, MessageInfo
 from .scenario import CHAOS_POLICY, ChaosReport, run_chaos_scenario
 
 __all__ = [
     "FaultPlane",
+    "FaultRecord",
     "MessageInfo",
     "MessageInjector",
     "DropInjector",

@@ -21,11 +21,13 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..telemetry import state as _telemetry
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..net.transport import Network
     from .injectors import Injector, MessageInjector
 
-__all__ = ["FaultPlane", "MessageInfo"]
+__all__ = ["FaultPlane", "FaultRecord", "MessageInfo"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +43,25 @@ class MessageInfo:
     base_delay: float
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, fully attributed.
+
+    Every injection carries the *scenario* name the plane was seeded
+    under and a monotonically increasing *seq* number, so a fault seen
+    in a span, a log line, or a bug report can be traced back to the
+    exact seeded schedule (and position within it) that produced it.
+    The legacy tuple trace (see :attr:`FaultPlane.trace`) is unchanged —
+    this is the structured, attributable view of the same events.
+    """
+
+    seq: int
+    scenario: str
+    label: str
+    time: float
+    details: tuple
+
+
 class FaultPlane:
     """Seeded fault arbiter for one network.
 
@@ -51,10 +72,19 @@ class FaultPlane:
     >>> _ = plane.add(DropInjector(rate=0.5))
     """
 
-    def __init__(self, network: "Network", seed: int | None = None):
+    def __init__(
+        self, network: "Network", seed: int | None = None, scenario: str = ""
+    ):
         self.network = network
         self.seed = network.simulator.seed if seed is None else seed
+        #: the named fault schedule this plane runs; defaults to the seed
+        #: identity so every injection is attributable even when the
+        #: caller never names the run
+        self.scenario = scenario or f"seed:{self.seed}"
         self.trace: list[tuple] = []
+        #: structured, attributed view of the trace (scenario + seq per fault)
+        self.injections: list[FaultRecord] = []
+        self._injection_seq = 0
         self.counts: Counter[str] = Counter()
         self._message_injectors: list["MessageInjector"] = []
         self._names: Counter[str] = Counter()
@@ -120,10 +150,45 @@ class FaultPlane:
     # -- the trace ----------------------------------------------------------
 
     def record(self, label: str, *details) -> None:
-        """Append one fault event to the reproducibility trace."""
-        self.trace.append(
-            (round(self.network.simulator.now, 9), label, *details)
+        """Append one fault event to the reproducibility trace.
+
+        The single funnel every injection passes through: it feeds the
+        legacy tuple trace (whose :meth:`digest` reproducibility tests
+        compare), the attributed :attr:`injections` list, and — when
+        telemetry is enabled — tags the currently open span with a
+        ``fault`` event and bumps the ``faults.injected`` counter.
+        """
+        now = round(self.network.simulator.now, 9)
+        self.trace.append((now, label, *details))
+        self._injection_seq += 1
+        self.injections.append(
+            FaultRecord(
+                seq=self._injection_seq,
+                scenario=self.scenario,
+                label=label,
+                time=now,
+                details=tuple(details),
+            )
         )
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("faults.injected").inc()
+            current = tel.current_span
+            if current is not None:
+                current.event(
+                    "fault",
+                    label=label,
+                    scenario=self.scenario,
+                    seq=self._injection_seq,
+                    sim_time=now,
+                )
+            tel.events.emit(
+                "fault.injected",
+                time=now,
+                scenario=self.scenario,
+                seq=self._injection_seq,
+                label=label,
+            )
 
     def digest(self) -> str:
         """A stable fingerprint of the whole fault schedule."""

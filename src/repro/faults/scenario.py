@@ -130,7 +130,7 @@ def run_chaos_scenario(
         raise MROMError("the chaos scenario needs at least 3 sites")
     network, names, sites, managers = _build_world(seed, n_sites)
     home = names[0]
-    plane = FaultPlane(network, seed)
+    plane = FaultPlane(network, seed, scenario=f"chaos-{seed}")
     if drop > 0:
         plane.add(DropInjector(rate=drop))
     if dup > 0:

@@ -106,6 +106,7 @@ def pack(
     obj: MROMObject,
     include_environment: bool = True,
     strip_native_wrappers: bool = False,
+    trace: Mapping | None = None,
 ) -> dict:
     """The transferable description of *obj*.
 
@@ -115,6 +116,13 @@ def pack(
     With *strip_native_wrappers*, native pre-/post-procedures (host-side
     mediators and hooks) are silently dropped from the image instead of
     blocking it — used by site checkpointing.
+
+    *trace*, when given, is a wire-form telemetry trace context
+    (:meth:`~repro.telemetry.context.TraceContext.to_wire`) recorded
+    under the package's ``trace`` key: the journey stamp that lets a
+    receiving host tie its install span to the trace the object left
+    under. It is observability metadata only — :func:`unpack` ignores
+    it, and packages without it are identical to pre-telemetry ones.
     """
     offenders = portability_report(obj, ignore_wrappers=strip_native_wrappers)
     if offenders:
@@ -137,7 +145,7 @@ def pack(
             for key, value in obj.environment.items()
             if key not in _HOST_ONLY_ENV
         }
-    return {
+    package = {
         "format": FORMAT,
         "guid": obj.guid,
         "display_name": obj.principal.display_name,
@@ -159,12 +167,16 @@ def pack(
         ],
         "environment": environment,
     }
+    if trace is not None:
+        package["trace"] = dict(trace)
+    return package
 
 
 def pack_bytes(
     obj: MROMObject,
     include_environment: bool = True,
     strip_native_wrappers: bool = False,
+    trace: Mapping | None = None,
 ) -> bytes:
     """Wire form of the package (this is what actually migrates)."""
     return marshal(
@@ -172,6 +184,7 @@ def pack_bytes(
             obj,
             include_environment=include_environment,
             strip_native_wrappers=strip_native_wrappers,
+            trace=trace,
         )
     )
 

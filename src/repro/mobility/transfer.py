@@ -61,6 +61,8 @@ from ..core.mobject import MROMObject
 from ..net.rmi import RemoteRef, RetryPolicy
 from ..net.site import Site
 from ..net.transport import Message
+from ..telemetry import state as _telemetry
+from ..telemetry.context import TraceContext
 from .package import pack, unpack
 
 __all__ = ["MobilityManager", "InstallReport"]
@@ -176,8 +178,29 @@ class MobilityManager:
     def _handoff(
         self, obj: MROMObject, dst: str, install_args: Sequence[Any], mode: str
     ) -> Mapping:
-        package = pack(obj)
+        tel = _telemetry.ACTIVE
+        span = None
+        trace_stamp = None
+        if tel is not None:
+            span = tel.begin_span(
+                "transfer.handoff",
+                attrs={
+                    "mode": mode,
+                    "guid": obj.guid,
+                    "src": self.site.site_id,
+                    "dst": dst,
+                    "sim_time": self.site.network.now,
+                },
+            )
+            # the package carries the handoff span's context: the object's
+            # journey stamp, readable by the receiving host
+            trace_stamp = tel.context_of(span).to_wire()
+        package = pack(obj, trace=trace_stamp)
         transfer_id = self._mint_transfer_id()
+        if span is not None:
+            span.set(transfer_id=transfer_id)
+            span.event("PREPARE", transfer_id=transfer_id,
+                       sim_time=self.site.network.now)
         try:
             report = self.site.request(
                 dst,
@@ -189,8 +212,13 @@ class MobilityManager:
                 },
                 policy=self.retry_policy,
             )
-        except RemoteInvocationError:
+        except RemoteInvocationError as exc:
             # the destination answered and refused: nothing settled there
+            if span is not None:
+                span.event("ABORT", reason=type(exc).__name__,
+                           sim_time=self.site.network.now)
+                tel.end_span(span, status="aborted")
+                tel.metrics.counter("transfers.refused").inc()
             raise
         except RequestTimeoutError as exc:
             # ambiguous: the PREPARE may have settled; keep the original
@@ -198,14 +226,35 @@ class MobilityManager:
             self.unresolved[transfer_id] = {
                 "guid": obj.guid, "dst": dst, "mode": mode,
             }
+            if span is not None:
+                span.event("UNRESOLVED", transfer_id=transfer_id,
+                           sim_time=self.site.network.now)
+                tel.end_span(span, status="unresolved")
+                tel.metrics.counter("transfers.unresolved").inc()
             raise TransferUnresolvedError(transfer_id, obj.guid, dst) from exc
-        # PartitionError before anything was sent propagates as-is: the
-        # failure is atomic, the object never left
+        except BaseException:
+            # PartitionError before anything was sent propagates as-is:
+            # the failure is atomic, the object never left
+            if span is not None:
+                span.event("ABORT", reason="send-failure",
+                           sim_time=self.site.network.now)
+                tel.end_span(span, status="error")
+            raise
         if not isinstance(report, Mapping):
+            if span is not None:
+                span.event("ABORT", reason="malformed-report")
+                tel.end_span(span, status="error")
             raise MobilityError(f"malformed transfer report from {dst!r}")
         if mode == "move" and self.site.has_object(obj.guid):
             self.site.unregister_object(obj.guid)
         self.departures += 1
+        if span is not None:
+            span.event("COMMIT", transfer_id=transfer_id,
+                       sim_time=self.site.network.now)
+            tel.end_span(span)
+            tel.metrics.counter(
+                "migrations" if mode == "move" else "deploys"
+            ).inc()
         return report
 
     def reconcile(self) -> dict[str, str]:
@@ -218,27 +267,53 @@ class MobilityManager:
         unreachable destinations stay ``unreachable`` and keep their
         entry for a later reconcile.
         """
+        tel = _telemetry.ACTIVE
+        span = None
+        if tel is not None and self.unresolved:
+            span = tel.begin_span(
+                "transfer.reconcile",
+                attrs={
+                    "site": self.site.site_id,
+                    "pending": len(self.unresolved),
+                },
+            )
         outcomes: dict[str, str] = {}
-        for transfer_id, entry in sorted(self.unresolved.items()):
-            try:
-                status = self.site.request(
-                    entry["dst"],
-                    "transfer.query",
-                    {"transfer_id": transfer_id},
-                    policy=self.retry_policy,
+        try:
+            for transfer_id, entry in sorted(self.unresolved.items()):
+                try:
+                    status = self.site.request(
+                        entry["dst"],
+                        "transfer.query",
+                        {"transfer_id": transfer_id},
+                        policy=self.retry_policy,
+                    )
+                except MROMError:
+                    outcomes[transfer_id] = "unreachable"
+                    if span is not None:
+                        span.event("reconcile.outcome",
+                                   transfer_id=transfer_id,
+                                   outcome="unreachable")
+                    continue
+                state = (
+                    status.get("state") if isinstance(status, Mapping) else None
                 )
-            except MROMError:
-                outcomes[transfer_id] = "unreachable"
-                continue
-            state = status.get("state") if isinstance(status, Mapping) else None
-            if state == "settled":
-                if entry["mode"] == "move" and self.site.has_object(entry["guid"]):
-                    self.site.unregister_object(entry["guid"])
-                self.departures += 1
-                outcomes[transfer_id] = "settled"
-            else:
-                outcomes[transfer_id] = "aborted"
-            del self.unresolved[transfer_id]
+                if state == "settled":
+                    if entry["mode"] == "move" and self.site.has_object(
+                        entry["guid"]
+                    ):
+                        self.site.unregister_object(entry["guid"])
+                    self.departures += 1
+                    outcomes[transfer_id] = "settled"
+                else:
+                    outcomes[transfer_id] = "aborted"
+                if span is not None:
+                    span.event("reconcile.outcome", transfer_id=transfer_id,
+                               outcome=outcomes[transfer_id])
+                    tel.metrics.counter("transfers.reconciled").inc()
+                del self.unresolved[transfer_id]
+        finally:
+            if span is not None:
+                tel.end_span(span)
         return outcomes
 
     def forward(
@@ -277,6 +352,16 @@ class MobilityManager:
         while len(self._ledger) > self._LEDGER_CAP:
             self._ledger.popitem(last=False)
 
+    def _suppress_duplicate(self, transfer_id: str, cause: str) -> None:
+        self.duplicates_suppressed += 1
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("transfer.dedup_hits").inc()
+            current = tel.current_span
+            if current is not None:
+                current.event("transfer.duplicate",
+                              transfer_id=transfer_id, cause=cause)
+
     def _handle_prepare(self, message: Message) -> dict:
         body = message.payload
         transfer_id = str(body.get("transfer_id", ""))
@@ -285,7 +370,7 @@ class MobilityManager:
             if entry["state"] == "settled":
                 # re-delivery (network duplicate, or a retry racing its
                 # own first copy): answer with the recorded report
-                self.duplicates_suppressed += 1
+                self._suppress_duplicate(transfer_id, "ledger-replay")
                 return dict(entry["report"])
             raise MobilityError(
                 f"transfer {transfer_id} was aborted by reconciliation"
@@ -298,7 +383,7 @@ class MobilityManager:
             # the object is already here — an earlier incarnation settled
             # it before a crash, or a checkpoint restore brought it back;
             # settle without installing a second copy
-            self.duplicates_suppressed += 1
+            self._suppress_duplicate(transfer_id, "already-resident")
             report = InstallReport(
                 guid=guid, site=self.site.site_id, install_result=None
             )
@@ -341,14 +426,44 @@ class MobilityManager:
         Wire references inside the package become live remote proxies
         before the object is rebuilt.
         """
+        tel = _telemetry.ACTIVE
         if self.policy is not None:
             try:
                 self.policy(package, src)
-            except PolicyViolationError:
+            except PolicyViolationError as exc:
                 self.rejections += 1
+                if tel is not None:
+                    tel.metrics.counter("admission.refusals").inc()
+                    current = tel.current_span
+                    if current is not None:
+                        current.event(
+                            "admission.refused",
+                            src=src,
+                            guid=str(package.get("guid", "")),
+                            reason=type(exc).__name__,
+                        )
                 raise
         obj = unpack(self.site.import_value(package))
-        return self._install(obj, install_args)
+        if tel is None:
+            return self._install(obj, install_args)
+        # parent preference: the journey stamp the sender packed with the
+        # object; without one, nest under whatever span is serving this
+        # request (begin_span falls back to the current context)
+        span = tel.begin_span(
+            "transfer.install",
+            attrs={"site": self.site.site_id, "guid": obj.guid, "src": src,
+                   "sim_time": self.site.network.now},
+            parent=TraceContext.from_wire(package.get("trace")),
+        )
+        try:
+            report = self._install(obj, install_args)
+        except BaseException as exc:
+            span.set(error=type(exc).__name__)
+            tel.end_span(span, status="error")
+            raise
+        tel.end_span(span)
+        tel.metrics.counter("installs").inc()
+        return report
 
     def _install(self, obj: MROMObject, install_args: Sequence[Any]) -> dict:
         self.site.register_object(obj)

@@ -39,9 +39,43 @@ from typing import Any
 from ..core.errors import MarshalError
 from ..core.values import HtmlText
 
-__all__ = ["marshal", "unmarshal", "marshalled_size", "Reference", "MAGIC"]
+__all__ = [
+    "marshal",
+    "unmarshal",
+    "marshalled_size",
+    "Reference",
+    "MAGIC",
+    "TRACE_FIELD",
+    "attach_trace",
+    "extract_trace",
+]
 
 MAGIC = b"MRM1"
+
+#: Envelope key a request's telemetry trace context travels under. The
+#: leading ``~`` keeps it out of the application namespace (protocol
+#: payload fields are plain identifiers); handlers that enumerate known
+#: keys simply never look at it. The value is the plain string mapping
+#: of :meth:`repro.telemetry.context.TraceContext.to_wire`, so it rides
+#: the tagged marshal like any other payload data.
+TRACE_FIELD = "~trace"
+
+
+def attach_trace(payload: Any, wire_context: dict) -> Any:
+    """A copy of *payload* carrying *wire_context* (mappings only —
+    non-mapping payloads have nowhere to put an envelope field)."""
+    if not isinstance(payload, dict):
+        return payload
+    stamped = dict(payload)
+    stamped[TRACE_FIELD] = wire_context
+    return stamped
+
+
+def extract_trace(payload: Any) -> Any:
+    """The wire trace context of *payload*, or None."""
+    if isinstance(payload, dict):
+        return payload.get(TRACE_FIELD)
+    return None
 
 _TAG_NULL = ord("N")
 _TAG_TRUE = ord("T")

@@ -27,6 +27,7 @@ from typing import Any, Sequence, TYPE_CHECKING
 
 from ..core.acl import Principal
 from ..core.errors import NetworkError, RemoteInvocationError
+from ..telemetry import state as _telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from .site import Site
@@ -86,8 +87,15 @@ class RemoteRef:
         """Synchronously invoke *method* on the remote object.
 
         *policy* overrides the holder site's default retry policy for
-        this one call (None = use the site's default).
+        this one call (None = use the site's default). With telemetry
+        enabled, the underlying request runs as an ``rmi.invoke`` client
+        span whose trace context travels in the request envelope (see
+        :data:`~repro.net.marshal.TRACE_FIELD`); this proxy layer only
+        accounts the call.
         """
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("rmi.proxy_calls").inc()
         return self.holder.remote_invoke(
             self.site, self.guid, method, list(args), caller=caller, policy=policy
         )

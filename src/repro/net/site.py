@@ -38,7 +38,9 @@ from ..core.introspection import describe as describe_object
 from ..core.items import ItemHandle
 from ..core.mobject import MROMObject
 from ..naming import GuidFactory, NameService
-from .marshal import Reference
+from ..telemetry import state as _telemetry
+from ..telemetry.context import TraceContext
+from .marshal import Reference, attach_trace, extract_trace
 from .rmi import RemoteRef, RetryPolicy
 from .transport import Message, Network
 
@@ -169,22 +171,58 @@ class Site:
             else:
                 self.stale_replies += 1
             return
+        tel = _telemetry.ACTIVE
         if message.request_id and message.request_id in self._served:
             self.replayed_requests += 1
+            if tel is not None:
+                tel.metrics.counter("rmi.dedup_hits").inc()
+                tel.events.emit(
+                    "rmi.replay", time=self.network.now, site=self.site_id,
+                    kind=message.kind, request_id=message.request_id,
+                )
             self._send_reply(message, self._served[message.request_id])
             return
         handler = self._handlers.get(message.kind)
         if handler is None:
             self._reply_error(message, NetworkError(f"unknown kind {message.kind!r}"))
             return
+        span = None
+        if tel is not None:
+            # re-activate the caller's wire context: the server span
+            # parents to the remote rmi span, stitching the trace across
+            # the site boundary
+            remote_ctx = TraceContext.from_wire(extract_trace(message.payload))
+            span = tel.begin_span(
+                f"serve.{message.kind}",
+                attrs={
+                    "site": self.site_id,
+                    "src": message.src,
+                    "msg_id": message.msg_id,
+                    "sim_time": self.network.now,
+                    "verdict": message.verdict,
+                },
+                parent=remote_ctx,
+            )
+            tel.metrics.counter("rmi.served").inc()
         self.handling_depth += 1
+        status = "ok"
         try:
             result = handler(message)
         except MROMError as exc:
+            status = "error"
+            if span is not None:
+                span.set(error=type(exc).__name__)
             self._reply_error(message, exc)
             return
+        except BaseException as exc:
+            status = "error"
+            if span is not None:
+                span.set(error=type(exc).__name__)
+            raise
         finally:
             self.handling_depth -= 1
+            if span is not None:
+                tel.end_span(span, status=status)
         self._reply(message, {"ok": True, "result": self.export_value(result)})
 
     def _reply(self, request: Message, payload: Any) -> None:
@@ -239,7 +277,39 @@ class Site:
         share one ``request_id`` so the receiver executes the request at
         most once. Without a policy: legacy semantics (pump until the
         reply lands or the simulation drains).
+
+        With telemetry enabled, the whole logical request is one client
+        span (``rmi.<kind>``) and the span's trace context is stamped
+        into the request envelope (:data:`~repro.net.marshal.TRACE_FIELD`)
+        so the serving site joins the same trace; every retry carries the
+        identical context.
         """
+        tel = _telemetry.ACTIVE
+        if tel is None:
+            return self._request(dst, kind, payload, policy)
+        span = tel.begin_span(
+            f"rmi.{kind}",
+            attrs={"src": self.site_id, "dst": dst, "sim_time": self.network.now},
+        )
+        tel.metrics.counter("rmi.requests").inc()
+        payload = attach_trace(payload, tel.context_of(span).to_wire())
+        try:
+            result = self._request(dst, kind, payload, policy)
+        except BaseException as exc:
+            span.set(error=type(exc).__name__)
+            tel.end_span(span, status="error")
+            raise
+        span.set(sim_time_done=self.network.now)
+        tel.end_span(span)
+        return result
+
+    def _request(
+        self,
+        dst: str,
+        kind: str,
+        payload: Any,
+        policy: RetryPolicy | None = None,
+    ) -> Any:
         policy = policy if policy is not None else self.retry_policy
         wire_payload = self.export_value(payload)
         if policy is None:
@@ -267,6 +337,18 @@ class Site:
                 reply = self._claim_reply(attempt_ids)
                 if reply is not None:  # a late reply landed during backoff
                     return self._decode_reply(reply)
+                if attempt:
+                    tel = _telemetry.ACTIVE
+                    if tel is not None:
+                        tel.metrics.counter("rmi.retries").inc()
+                        span = tel.current_span
+                        if span is not None:
+                            span.event(
+                                "rmi.retry",
+                                attempt=attempt + 1,
+                                request_id=request_id,
+                                sim_time=self.network.now,
+                            )
                 try:
                     msg_id = self.network.send(
                         self.site_id, dst, kind, wire_payload,
@@ -296,6 +378,16 @@ class Site:
                         f"no reply for {kind!r} from {dst!r} within "
                         f"{policy.timeout}s (attempt {attempt + 1}/{policy.attempts})"
                     )
+                    tel = _telemetry.ACTIVE
+                    if tel is not None:
+                        tel.metrics.counter("rmi.timeouts").inc()
+                        span = tel.current_span
+                        if span is not None:
+                            span.event(
+                                "rmi.timeout",
+                                attempt=attempt + 1,
+                                sim_time=self.network.now,
+                            )
                 if attempt + 1 < policy.attempts:
                     self._sleep(policy.backoff_for(attempt))
             reply = self._claim_reply(attempt_ids)

@@ -8,7 +8,15 @@ operationally a host also needs an account of what its guests did. The
 * security denials (``AccessDeniedError`` / policy rejections);
 * mobility events (arrivals, departures, rejections) from a site.
 
-Everything is in-memory and queryable; sinks are pluggable.
+Since the telemetry plane landed, the audit trail is *backed by* a
+telemetry :class:`~repro.telemetry.events.EventLog`: :meth:`AuditLog.record`
+is the single emit path, every audit record becomes an ``audit.<kind>``
+structured event in the log's private stream (and is mirrored into the
+active :class:`~repro.telemetry.runtime.Telemetry` event stream when one
+is enabled, tagged with the originating log's identity), and every query
+reconstructs its answers from that stream. The public API — ``record``,
+``note_invocation``, ``events``, ``denials``, ``by_actor``, ``counts``,
+sinks, iteration — is unchanged.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ from typing import Any, Callable, Iterable
 from ..core.errors import AccessDeniedError
 from ..core.invocation import InvocationRecord
 from ..core.mobject import MROMObject
+from ..telemetry import state as _telemetry
+from ..telemetry.events import EventLog, TelemetryEvent
 
 __all__ = ["AuditEvent", "AuditKind", "AuditLog", "audited_invoke"]
 
@@ -47,12 +57,22 @@ class AuditEvent:
 
 
 class AuditLog:
-    """An append-only event log with simple queries."""
+    """An append-only event log with simple queries.
+
+    Records live in a private telemetry event stream (:attr:`stream`);
+    queries are views over it. The log never drops records: the backing
+    stream is unbounded.
+    """
 
     def __init__(self, clock: Callable[[], float] | None = None):
-        self._events: list[AuditEvent] = []
+        self._stream = EventLog()
         self._clock = clock or (lambda: 0.0)
         self._sinks: list[Callable[[AuditEvent], None]] = []
+
+    @property
+    def stream(self) -> EventLog:
+        """The backing telemetry event stream (``audit.*`` events)."""
+        return self._stream
 
     def add_sink(self, sink: Callable[[AuditEvent], None]) -> None:
         self._sinks.append(sink)
@@ -64,7 +84,21 @@ class AuditLog:
             kind=kind, subject=subject, actor=actor, detail=detail,
             time=self._clock(),
         )
-        self._events.append(event)
+        # the single emit path: the private stream is the record of truth,
+        # and an enabled telemetry plane sees the same event, tagged with
+        # this log's identity so multiple logs stay distinguishable
+        self._stream.emit(
+            f"audit.{kind.value}", time=event.time,
+            subject=subject, actor=actor, detail=detail,
+        )
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.events.emit(
+                f"audit.{kind.value}", time=event.time,
+                log=f"audit:{id(self):x}",
+                subject=subject, actor=actor, detail=detail,
+            )
+            tel.metrics.counter("audit.records").inc()
         for sink in self._sinks:
             sink(event)
         return event
@@ -79,28 +113,45 @@ class AuditLog:
 
     # -- queries ------------------------------------------------------------
 
+    @staticmethod
+    def _as_audit_event(event: TelemetryEvent) -> AuditEvent:
+        return AuditEvent(
+            kind=AuditKind(event.name.removeprefix("audit.")),
+            subject=str(event.attrs.get("subject", "")),
+            actor=str(event.attrs.get("actor", "")),
+            detail=str(event.attrs.get("detail", "")),
+            time=event.time,
+        )
+
     def events(self, kind: AuditKind | None = None) -> list[AuditEvent]:
         if kind is None:
-            return list(self._events)
-        return [event for event in self._events if event.kind is kind]
+            raw = self._stream.events(prefix="audit.")
+        else:
+            raw = self._stream.events(prefix=f"audit.{kind.value}")
+        return [self._as_audit_event(event) for event in raw]
 
     def denials(self) -> list[AuditEvent]:
         return self.events(AuditKind.DENIAL)
 
     def by_actor(self, actor: str) -> list[AuditEvent]:
-        return [event for event in self._events if event.actor == actor]
+        return [
+            self._as_audit_event(event)
+            for event in self._stream.events(prefix="audit.", actor=actor)
+        ]
 
     def counts(self) -> dict[str, int]:
         result: dict[str, int] = {}
-        for event in self._events:
-            result[event.kind.value] = result.get(event.kind.value, 0) + 1
+        for event in self._stream:
+            result[event.name.removeprefix("audit.")] = (
+                result.get(event.name.removeprefix("audit."), 0) + 1
+            )
         return result
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._stream)
 
     def __iter__(self):
-        return iter(self._events)
+        return iter(self.events())
 
 
 def audited_invoke(

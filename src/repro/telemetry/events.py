@@ -1,0 +1,101 @@
+"""The structured event stream: the third leg of the telemetry plane.
+
+Where spans are *intervals* and metrics are *aggregates*, the
+:class:`EventLog` is the flat, ordered stream of discrete happenings —
+audit records, lifecycle notices, anything a subsystem wants on the
+record without owning its own list. :mod:`repro.security.audit` routes
+its records through here (one emit path), and exporters can interleave
+the stream with spans by timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = ["TelemetryEvent", "EventLog"]
+
+
+class TelemetryEvent:
+    """One structured event: a name, a timestamp, free-form attributes."""
+
+    __slots__ = ("name", "time", "attrs")
+
+    def __init__(self, name: str, time: float, attrs: Mapping[str, Any] | None = None):
+        self.name = name
+        self.time = time
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+
+    def to_mapping(self) -> dict:
+        # non-serialisable attribute values (live objects a producer
+        # stashed for in-process queries) render as their repr
+        attrs = {}
+        for key, value in self.attrs.items():
+            if isinstance(value, (str, int, float, bool, type(None))):
+                attrs[key] = value
+            else:
+                attrs[key] = repr(value)
+        return {"name": self.name, "time": self.time, "attrs": attrs}
+
+    def __repr__(self) -> str:
+        return f"TelemetryEvent({self.name!r}, t={self.time})"
+
+
+class EventLog:
+    """Append-only structured event stream with simple queries.
+
+    *cap* bounds retention (None = unbounded — the right default for the
+    short-lived simulated hosts this reproduction runs; a long-lived
+    deployment passes a cap and accepts eviction, counted in
+    :attr:`evicted`). Subscribers see every event at emit time,
+    regardless of retention.
+    """
+
+    def __init__(self, cap: int | None = None):
+        self.cap = cap
+        self.evicted = 0
+        self._events: list[TelemetryEvent] = []
+        self._subscribers: list[Callable[[TelemetryEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def emit(self, name: str, time: float = 0.0, **attrs: Any) -> TelemetryEvent:
+        event = TelemetryEvent(name, time, attrs)
+        self._events.append(event)
+        if self.cap is not None and len(self._events) > self.cap:
+            overflow = len(self._events) - self.cap
+            del self._events[:overflow]
+            self.evicted += overflow
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    # -- queries -----------------------------------------------------------
+
+    def events(
+        self,
+        prefix: str = "",
+        **attr_filter: Any,
+    ) -> list[TelemetryEvent]:
+        """Events whose name starts with *prefix* and whose attributes
+        match every key/value in *attr_filter*."""
+        matched = []
+        for event in self._events:
+            if prefix and not event.name.startswith(prefix):
+                continue
+            if any(
+                event.attrs.get(key) != value
+                for key, value in attr_filter.items()
+            ):
+                continue
+            matched.append(event)
+        return matched
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TelemetryEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"EventLog({len(self._events)} events)"

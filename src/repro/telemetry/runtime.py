@@ -1,0 +1,193 @@
+"""The telemetry runtime: span lifecycle, context stack, global switch.
+
+One :class:`Telemetry` instance owns the three planes — a
+:class:`~repro.telemetry.spans.SpanRecorder`, a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, and an
+:class:`~repro.telemetry.events.EventLog` — plus the *context stack*
+that makes nesting work: :meth:`Telemetry.begin_span` parents a new span
+under whatever is current (a local parent span, or a
+:class:`~repro.telemetry.context.TraceContext` a site re-activated from
+the wire) and pushes it; :meth:`Telemetry.end_span` pops it.
+
+The switch is :data:`repro.telemetry.state.ACTIVE`. Instrumentation
+sites read it once per operation; when it is ``None`` (the default) they
+fall straight through — the disabled path is a single identity test,
+which is what keeps the fig-1 overhead under the 2% budget.
+
+Span and trace identifiers are minted from a per-instance counter, not
+from entropy, so a seeded workload produces the *same ids* every run —
+telemetry inherits the determinism of the simulator underneath it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Mapping
+
+from . import state
+from .context import TraceContext
+from .events import EventLog
+from .metrics import MetricsRegistry
+from .spans import Span, SpanRecorder
+
+__all__ = ["Telemetry", "enable", "disable", "active", "enabled"]
+
+
+class Telemetry:
+    """The assembled telemetry plane for one process."""
+
+    def __init__(
+        self,
+        clock: Callable[[], int] = time.perf_counter_ns,
+        span_cap: int = 100_000,
+        event_cap: int | None = None,
+        id_prefix: str = "",
+    ):
+        self.clock = clock
+        self.recorder = SpanRecorder(cap=span_cap)
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(cap=event_cap)
+        self._ids = itertools.count(1)
+        self._id_prefix = id_prefix
+        #: the context stack: TraceContext entries for remote parents,
+        #: Span entries for local parents (a Span *is* positional state)
+        self._stack: list[Span | TraceContext] = []
+
+    # -- identifiers -------------------------------------------------------
+
+    def _next_id(self, kind: str) -> str:
+        return f"{self._id_prefix}{kind}{next(self._ids):08x}"
+
+    # -- the context stack -------------------------------------------------
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost *local* open span, if any."""
+        for entry in reversed(self._stack):
+            if isinstance(entry, Span):
+                return entry
+        return None
+
+    def current_context(self) -> TraceContext | None:
+        """The propagation context of the innermost stack entry."""
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        if isinstance(top, TraceContext):
+            return top
+        return TraceContext(top.trace_id, top.span_id)
+
+    def context_of(self, span: Span) -> TraceContext:
+        return TraceContext(span.trace_id, span.span_id)
+
+    def activate(self, context: TraceContext) -> TraceContext:
+        """Push a remote parent (a context that arrived on the wire)."""
+        self._stack.append(context)
+        return context
+
+    def deactivate(self, context: TraceContext) -> None:
+        """Pop a previously activated remote parent (LIFO discipline)."""
+        if self._stack and self._stack[-1] is context:
+            self._stack.pop()
+        elif context in self._stack:  # defensive: unbalanced nesting
+            self._stack.remove(context)
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def begin_span(
+        self,
+        name: str,
+        attrs: Mapping[str, Any] | None = None,
+        parent: TraceContext | None = None,
+    ) -> Span:
+        """Open a span under *parent* (default: whatever is current).
+
+        With no parent anywhere, this is the moment a new trace is born —
+        "created at the first meta-method invocation" in the tentpole's
+        terms — and the span becomes the trace root.
+        """
+        if parent is None:
+            parent = self.current_context()
+        if parent is None:
+            trace_id = self._next_id("t")
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_id("s"),
+            parent_id=parent_id,
+            name=name,
+            attrs=attrs,
+            clock=self.clock,
+        )
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span, status: str = "ok") -> Span:
+        """Close *span*, pop it from the stack, and record it."""
+        span.end(status)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # defensive: unbalanced nesting
+            self._stack.remove(span)
+        self.recorder.record(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, attrs: Mapping[str, Any] | None = None):
+        """``with tel.span("name") as s:`` — ends with ok/error status."""
+        span = self.begin_span(name, attrs)
+        try:
+            yield span
+        except BaseException:
+            self.end_span(span, status="error")
+            raise
+        self.end_span(span)
+
+    @property
+    def open_spans(self) -> int:
+        return sum(1 for entry in self._stack if isinstance(entry, Span))
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry({len(self.recorder)} spans recorded, "
+            f"{self.open_spans} open, {len(self.events)} events)"
+        )
+
+
+def enable(telemetry: Telemetry | None = None, **options: Any) -> Telemetry:
+    """Switch the telemetry plane on (idempotent: re-enabling with no
+    instance keeps the current one). Returns the active instance."""
+    if telemetry is None:
+        telemetry = state.ACTIVE if state.ACTIVE is not None else Telemetry(**options)
+    state.ACTIVE = telemetry
+    return telemetry
+
+
+def disable() -> Telemetry | None:
+    """Switch the plane off; returns the instance that was active (its
+    recorded spans and metrics remain readable after the switch)."""
+    telemetry = state.ACTIVE
+    state.ACTIVE = None
+    return telemetry
+
+
+def active() -> Telemetry | None:
+    """The active instance, or None. Hooks on hot paths should read
+    :data:`repro.telemetry.state.ACTIVE` directly instead."""
+    return state.ACTIVE
+
+
+@contextmanager
+def enabled(telemetry: Telemetry | None = None, **options: Any):
+    """``with enabled() as tel:`` — scoped activation (tests, CLI)."""
+    previous = state.ACTIVE
+    telemetry = enable(telemetry if telemetry is not None else Telemetry(**options))
+    try:
+        yield telemetry
+    finally:
+        state.ACTIVE = previous

@@ -1,0 +1,121 @@
+"""The JSON-lines span schema, and a dependency-free validator.
+
+``make trace-smoke`` runs one instrumented migration and validates the
+export with :func:`validate_span_lines`; tests use
+:func:`validate_span_mapping` directly. The validator is hand-rolled
+(the container ships no jsonschema) but the schema below is an honest
+JSON-Schema-shaped description of the line format, kept in sync with
+:meth:`repro.telemetry.spans.Span.to_mapping`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = ["SPAN_LINE_SCHEMA", "validate_span_mapping", "validate_span_lines"]
+
+#: Descriptive schema of one exported span line (documentation + the
+#: source of truth the validator below enforces).
+SPAN_LINE_SCHEMA: dict = {
+    "type": "object",
+    "required": [
+        "trace_id", "span_id", "parent_id", "name",
+        "start_ns", "end_ns", "duration_us", "status", "attrs", "events",
+    ],
+    "properties": {
+        "trace_id": {"type": "string", "minLength": 1},
+        "span_id": {"type": "string", "minLength": 1},
+        "parent_id": {"type": ["string", "null"]},
+        "name": {"type": "string", "minLength": 1},
+        "start_ns": {"type": "integer"},
+        "end_ns": {"type": ["integer", "null"]},
+        "duration_us": {"type": "number"},
+        "status": {"type": "string", "minLength": 1},
+        "attrs": {"type": "object"},
+        "events": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "time_ns"],
+                "properties": {
+                    "name": {"type": "string", "minLength": 1},
+                    "time_ns": {"type": "integer"},
+                    "attrs": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+
+def _type_error(path: str, expected: str, value: Any) -> str:
+    return f"{path}: expected {expected}, got {type(value).__name__} ({value!r})"
+
+
+def validate_span_mapping(span: Any, line_no: int | None = None) -> list[str]:
+    """Errors (empty list = valid) for one decoded span line."""
+    where = f"line {line_no}" if line_no is not None else "span"
+    errors: list[str] = []
+    if not isinstance(span, Mapping):
+        return [_type_error(where, "object", span)]
+    for field in SPAN_LINE_SCHEMA["required"]:
+        if field not in span:
+            errors.append(f"{where}.{field}: missing required field")
+    checks = (
+        ("trace_id", str, False), ("span_id", str, False),
+        ("name", str, False), ("status", str, False),
+        ("parent_id", str, True), ("start_ns", int, False),
+        ("end_ns", int, True), ("duration_us", (int, float), False),
+    )
+    for field, kind, nullable in checks:
+        if field not in span:
+            continue
+        value = span[field]
+        if value is None:
+            if not nullable:
+                errors.append(f"{where}.{field}: must not be null")
+            continue
+        if isinstance(value, bool) or not isinstance(value, kind):
+            expected = kind.__name__ if isinstance(kind, type) else "number"
+            errors.append(_type_error(f"{where}.{field}", expected, value))
+        elif kind is str and not value:
+            errors.append(f"{where}.{field}: must be non-empty")
+    if "attrs" in span and not isinstance(span["attrs"], Mapping):
+        errors.append(_type_error(f"{where}.attrs", "object", span["attrs"]))
+    if "events" in span:
+        events = span["events"]
+        if not isinstance(events, list):
+            errors.append(_type_error(f"{where}.events", "array", events))
+        else:
+            for index, event in enumerate(events):
+                prefix = f"{where}.events[{index}]"
+                if not isinstance(event, Mapping):
+                    errors.append(_type_error(prefix, "object", event))
+                    continue
+                name = event.get("name")
+                if not isinstance(name, str) or not name:
+                    errors.append(f"{prefix}.name: must be a non-empty string")
+                time_ns = event.get("time_ns")
+                if isinstance(time_ns, bool) or not isinstance(time_ns, int):
+                    errors.append(_type_error(f"{prefix}.time_ns", "int", time_ns))
+                if "attrs" in event and not isinstance(event["attrs"], Mapping):
+                    errors.append(
+                        _type_error(f"{prefix}.attrs", "object", event["attrs"])
+                    )
+    return errors
+
+
+def validate_span_lines(text: str) -> list[str]:
+    """Validate a whole JSON-lines export; returns all errors found."""
+    errors: list[str] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            decoded = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {line_no}: not valid JSON: {exc}")
+            continue
+        errors.extend(validate_span_mapping(decoded, line_no))
+    return errors

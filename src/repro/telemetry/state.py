@@ -1,0 +1,27 @@
+"""The one global the instrumentation hot paths read.
+
+Every instrumentation site in the runtime is guarded by::
+
+    tel = _telemetry.ACTIVE
+    if tel is not None:
+        ...
+
+Keeping :data:`ACTIVE` in its own leaf module (no imports) means the
+guard costs one module-attribute load and an identity test — O(1) and
+allocation-free — and that core modules can import it without creating a
+cycle through :mod:`repro.telemetry` proper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Telemetry
+
+__all__ = ["ACTIVE"]
+
+#: The active :class:`~repro.telemetry.runtime.Telemetry` instance, or
+#: None when the plane is disabled (the default). Mutated only by
+#: :func:`repro.telemetry.runtime.enable` / ``disable``.
+ACTIVE: "Telemetry | None" = None

@@ -1,0 +1,98 @@
+"""The audit log rides the telemetry event stream (single emit path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import owner_only
+from repro.core.errors import AccessDeniedError
+from repro.security import AuditKind, AuditLog, audited_invoke
+from repro.telemetry import Telemetry, enabled
+
+from ..conftest import build_counter
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestBackingStream:
+    def test_records_become_stream_events(self):
+        log = AuditLog()
+        log.record(AuditKind.ARRIVAL, "site-a", "site-b", detail="guest")
+        assert len(log.stream) == 1
+        event = log.stream.events(prefix="audit.arrival")[0]
+        assert event.attrs["subject"] == "site-a"
+        assert event.attrs["actor"] == "site-b"
+        assert event.attrs["detail"] == "guest"
+
+    def test_queries_reconstruct_audit_events(self):
+        log = AuditLog(clock=lambda: 1.5)
+        log.record(AuditKind.DENIAL, "obj", "mallory", detail="no")
+        log.record(AuditKind.INVOCATION, "obj", "alice", detail="peek")
+        denials = log.denials()
+        assert len(denials) == 1
+        assert denials[0].kind is AuditKind.DENIAL
+        assert denials[0].actor == "mallory"
+        assert denials[0].time == 1.5
+        assert [e.kind for e in log.events()] == [
+            AuditKind.DENIAL, AuditKind.INVOCATION,
+        ]
+        assert log.by_actor("alice")[0].detail == "peek"
+        assert log.counts() == {"denial": 1, "invocation": 1}
+        assert len(log) == 2
+        assert len(list(iter(log))) == 2
+
+    def test_sinks_still_fire(self):
+        log = AuditLog()
+        seen = []
+        log.add_sink(seen.append)
+        log.record(AuditKind.REJECTION, "s", "peer")
+        assert len(seen) == 1 and seen[0].kind is AuditKind.REJECTION
+
+
+class TestTelemetryMirror:
+    def test_records_mirror_into_the_active_plane(self):
+        with enabled(Telemetry()) as tel:
+            log = AuditLog()
+            log.record(AuditKind.DEPARTURE, "obj", "site-a")
+            mirrored = tel.events.events(prefix="audit.departure")
+            assert len(mirrored) == 1
+            assert mirrored[0].attrs["subject"] == "obj"
+            assert mirrored[0].attrs["log"].startswith("audit:")
+            assert tel.metrics.counter_value("audit.records") == 1
+
+    def test_two_logs_stay_distinguishable_in_the_shared_stream(self):
+        with enabled(Telemetry()) as tel:
+            first, second = AuditLog(), AuditLog()
+            first.record(AuditKind.ARRIVAL, "x", "a")
+            second.record(AuditKind.ARRIVAL, "y", "b")
+            tags = {
+                e.attrs["log"] for e in tel.events.events(prefix="audit.")
+            }
+            assert len(tags) == 2
+
+    def test_disabled_plane_changes_nothing(self):
+        log = AuditLog()
+        log.record(AuditKind.ARRIVAL, "x", "a")
+        assert len(log) == 1  # private stream works without the plane
+
+
+def _with_secret(owner):
+    from repro.core import MROMObject
+
+    obj = MROMObject(display_name="guarded", owner=owner)
+    obj.define_fixed_method("secret", "return 42", acl=owner_only(owner))
+    obj.seal()
+    return obj
+
+
+class TestAuditedInvoke:
+    def test_denial_is_recorded_through_the_stream(self, alice, mallory):
+        counter = build_counter(owner=alice)
+        log = AuditLog()
+        audited_invoke(counter, log, "increment", [1], caller=alice)
+        # an owner-only item: mallory's touch is a denial on the record
+        with pytest.raises(AccessDeniedError):
+            audited_invoke(_with_secret(alice), log, "secret", caller=mallory)
+        assert log.counts()["invocation"] == 1
+        assert len(log.denials()) == 1
+        assert log.denials()[0].actor == mallory.guid

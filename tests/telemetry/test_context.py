@@ -1,0 +1,79 @@
+"""TraceContext: the wire identity of a distributed trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.marshal import (
+    TRACE_FIELD,
+    attach_trace,
+    extract_trace,
+    marshal,
+    unmarshal,
+)
+from repro.telemetry import TraceContext
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        ctx = TraceContext("t01", "s07", {"workload": "fig1"})
+        again = TraceContext.from_wire(ctx.to_wire())
+        assert again == ctx
+
+    def test_survives_the_marshal(self):
+        ctx = TraceContext("t01", "s07", {"workload": "fig1"})
+        decoded = unmarshal(marshal(ctx.to_wire()))
+        assert TraceContext.from_wire(decoded) == ctx
+
+    def test_baggage_is_omitted_when_empty(self):
+        assert "baggage" not in TraceContext("t01", "s01").to_wire()
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            None,
+            "t01/s01",
+            42,
+            [],
+            {},
+            {"trace_id": "t01"},
+            {"span_id": "s01"},
+            {"trace_id": "", "span_id": "s01"},
+            {"trace_id": "t01", "span_id": 9},
+            {"trace_id": 9, "span_id": "s01"},
+        ],
+    )
+    def test_malformed_wire_decodes_to_none(self, raw):
+        # a hostile peer can at worst send an unusable context, never a crash
+        assert TraceContext.from_wire(raw) is None
+
+    def test_malformed_baggage_is_dropped_not_fatal(self):
+        ctx = TraceContext.from_wire(
+            {"trace_id": "t01", "span_id": "s01", "baggage": "oops"}
+        )
+        assert ctx is not None
+        assert ctx.baggage == {}
+
+    def test_child_keeps_trace_and_baggage(self):
+        ctx = TraceContext("t01", "s01", {"k": "v"})
+        child = ctx.child("s02")
+        assert child.trace_id == "t01"
+        assert child.span_id == "s02"
+        assert child.baggage == {"k": "v"}
+
+
+class TestEnvelopeHelpers:
+    def test_attach_and_extract(self):
+        payload = {"method": "add", "args": [1]}
+        stamped = attach_trace(payload, {"trace_id": "t01", "span_id": "s01"})
+        assert stamped is not payload  # the original is never mutated
+        assert TRACE_FIELD in stamped
+        assert extract_trace(stamped) == {"trace_id": "t01", "span_id": "s01"}
+        assert TRACE_FIELD not in payload
+
+    def test_non_mapping_payloads_pass_through(self):
+        assert attach_trace([1, 2], {"trace_id": "t", "span_id": "s"}) == [1, 2]
+        assert extract_trace([1, 2]) is None
+        assert extract_trace({"method": "add"}) is None

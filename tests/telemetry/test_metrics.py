@@ -1,0 +1,71 @@
+"""MetricsRegistry: counters, gauges, fixed-bucket histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import DEFAULT_BUCKETS, Histogram
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestCounters:
+    def test_get_or_create_and_inc(self):
+        registry = MetricsRegistry()
+        registry.counter("invocations").inc()
+        registry.counter("invocations").inc(2)
+        assert registry.counter_value("invocations") == 3
+
+    def test_reading_an_absent_counter_does_not_create_it(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("never") == 0
+        assert "never" not in list(registry.names())
+
+    def test_counters_never_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+
+class TestHistograms:
+    def test_bucketing_and_stats(self):
+        histogram = Histogram("latency", boundaries=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 0.5):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]  # one in +Inf
+        assert histogram.count == 4
+        assert histogram.min == 0.0005
+        assert histogram.max == 0.5
+        assert histogram.mean == pytest.approx(0.5555 / 4)
+
+    def test_boundaries_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", boundaries=(0.1, 0.01))
+
+    def test_default_boundaries_are_fixed_across_instances(self):
+        first = Histogram("a").snapshot()["boundaries"]
+        second = Histogram("b").snapshot()["boundaries"]
+        assert first == second == list(DEFAULT_BUCKETS)
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc(4)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat").observe(0.002)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+        assert snapshot["counters"]["alpha"] == 4
+        assert snapshot["gauges"]["depth"] == 2
+        assert snapshot["histograms"]["lat"]["count"] == 1

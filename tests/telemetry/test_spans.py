@@ -1,0 +1,171 @@
+"""The span runtime: lifecycle, nesting, recorder, exporters, schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    TraceContext,
+    active,
+    disable,
+    enable,
+    enabled,
+    render_tree,
+    span_lines,
+    validate_span_lines,
+    validate_span_mapping,
+    write_spans_jsonl,
+)
+from repro.telemetry import state
+
+pytestmark = pytest.mark.telemetry
+
+
+def fake_clock():
+    """A deterministic nanosecond clock (one tick per reading)."""
+    ticks = iter(range(1, 10_000))
+    return lambda: next(ticks)
+
+
+class TestLifecycle:
+    def test_root_span_mints_a_new_trace(self):
+        tel = Telemetry(clock=fake_clock())
+        span = tel.begin_span("root")
+        assert span.parent_id is None
+        assert span.trace_id == "t00000001"
+        tel.end_span(span)
+        assert span.ended
+        assert tel.open_spans == 0
+        assert tel.recorder.trace_ids() == ["t00000001"]
+
+    def test_nesting_parents_under_the_current_span(self):
+        tel = Telemetry(clock=fake_clock())
+        outer = tel.begin_span("outer")
+        inner = tel.begin_span("inner")
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        tel.end_span(inner)
+        tel.end_span(outer)
+
+    def test_remote_context_becomes_the_parent(self):
+        tel = Telemetry(clock=fake_clock())
+        wire = TraceContext("tremote", "sremote")
+        span = tel.begin_span("serve", parent=wire)
+        assert span.trace_id == "tremote"
+        assert span.parent_id == "sremote"
+        tel.end_span(span)
+
+    def test_activate_deactivate_remote_context(self):
+        tel = Telemetry(clock=fake_clock())
+        ctx = TraceContext("tr", "sr")
+        tel.activate(ctx)
+        child = tel.begin_span("child")
+        assert child.trace_id == "tr" and child.parent_id == "sr"
+        tel.end_span(child)
+        tel.deactivate(ctx)
+        assert tel.current_context() is None
+
+    def test_end_is_idempotent_first_close_wins(self):
+        tel = Telemetry(clock=fake_clock())
+        span = tel.begin_span("once")
+        span.end("error")
+        span.end("ok")
+        assert span.status == "error"
+
+    def test_context_manager_marks_errors(self):
+        tel = Telemetry(clock=fake_clock())
+        with pytest.raises(RuntimeError):
+            with tel.span("boom"):
+                raise RuntimeError("x")
+        assert tel.recorder.spans[-1].status == "error"
+        assert tel.open_spans == 0
+
+    def test_deterministic_ids(self):
+        first = Telemetry(clock=fake_clock())
+        second = Telemetry(clock=fake_clock())
+        for tel in (first, second):
+            tel.end_span(tel.begin_span("a"))
+            tel.end_span(tel.begin_span("b"))
+        assert [s.span_id for s in first.recorder] == [
+            s.span_id for s in second.recorder
+        ]
+
+    def test_recorder_evicts_oldest_beyond_cap(self):
+        tel = Telemetry(clock=fake_clock(), span_cap=3)
+        for index in range(5):
+            tel.end_span(tel.begin_span(f"s{index}"))
+        assert len(tel.recorder) == 3
+        assert tel.recorder.dropped == 2
+        assert [s.name for s in tel.recorder] == ["s2", "s3", "s4"]
+
+
+class TestGlobalSwitch:
+    def test_enable_disable_round_trip(self):
+        assert active() is None
+        tel = enable()
+        assert state.ACTIVE is tel
+        assert enable() is tel  # idempotent
+        assert disable() is tel
+        assert state.ACTIVE is None
+        assert disable() is None
+
+    def test_enabled_restores_previous_state(self):
+        with enabled() as tel:
+            assert state.ACTIVE is tel
+        assert state.ACTIVE is None
+
+    def test_capture_stays_readable_after_disable(self):
+        with enabled() as tel:
+            tel.end_span(tel.begin_span("kept"))
+        assert [s.name for s in tel.recorder] == ["kept"]
+
+
+class TestExporters:
+    def _capture(self):
+        tel = Telemetry(clock=fake_clock())
+        with tel.span("parent", {"k": "v"}) as parent:
+            parent.event("phase", step=1)
+            with tel.span("child"):
+                pass
+        return tel
+
+    def test_span_lines_validate_against_the_schema(self):
+        tel = self._capture()
+        errors = validate_span_lines("\n".join(span_lines(tel.recorder)))
+        assert errors == []
+
+    def test_schema_rejects_corruption(self):
+        tel = self._capture()
+        mapping = tel.recorder.spans[0].to_mapping()
+        mapping["trace_id"] = ""
+        mapping["start_ns"] = "soon"
+        del mapping["status"]
+        errors = validate_span_mapping(mapping)
+        assert len(errors) == 3
+
+    def test_jsonl_file_export(self, tmp_path):
+        tel = self._capture()
+        out = tmp_path / "spans.jsonl"
+        count = write_spans_jsonl(out, tel.recorder)
+        assert count == 2
+        assert validate_span_lines(out.read_text(encoding="utf-8")) == []
+
+    def test_tree_nests_children_and_shows_events(self):
+        tel = self._capture()
+        lines = render_tree(tel.recorder)
+        text = "\n".join(lines)
+        assert lines[0].startswith("trace ")
+        assert "parent" in text and "child" in text and "* phase" in text
+        parent_line = next(l for l in lines if "parent" in l)
+        child_line = next(l for l in lines if "child" in l)
+        assert len(child_line) - len(child_line.lstrip()) > len(
+            parent_line
+        ) - len(parent_line.lstrip())
+
+    def test_tree_flags_orphans_instead_of_hiding_them(self):
+        tel = Telemetry(clock=fake_clock())
+        span = tel.begin_span("stray", parent=TraceContext("tx", "missing"))
+        tel.end_span(span)
+        text = "\n".join(render_tree(tel.recorder))
+        assert "stray" in text and "[orphan]" in text
