@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint lint-tests bench examples series check all trace-smoke
+.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath examples series check all trace-smoke
 
 install:
 	$(PYTHON) setup.py develop || pip install -e .
@@ -31,6 +31,15 @@ trace-smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The fast-path acceptance bench: warm-invocation speedup, batched-RMI
+# frame reduction, cache-off overhead. Writes BENCH_fastpath.json.
+bench-fastpath:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_perf10_fastpath.py --benchmark-only -q
+
+# Only the invocation-cache / batched-RMI test suite (marker: fastpath).
+fastpath:
+	$(PYTHON) -m pytest -m fastpath tests/
 
 series: bench
 	@echo; for f in benchmarks/out/*.txt; do echo "--- $$f"; cat $$f; echo; done

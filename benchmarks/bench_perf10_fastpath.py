@@ -1,0 +1,223 @@
+"""PERF-10: the fast-path layer — invocation cache and batched RMI.
+
+Three contracts, each enforced as an assertion and recorded in
+``BENCH_fastpath.json`` at the repo root:
+
+* **warm speedup** — repeated invocation of one method by one caller
+  must run at least 2x faster with the invocation cache than without it
+  (the Lookup walk and the ACL scan collapse to two dict probes);
+* **frame reduction** — a 16-call batch must put at least 1.5x fewer
+  frames on the wire than 16 individual remote invocations (it actually
+  achieves 16x: 32 frames down to 2);
+* **off-switch overhead** — with caching disabled the invoker pays one
+  attribute read and an identity test per call; that guard, generously
+  multiplied, must stay under 3% of a disabled-path invocation.
+
+The speedup workload guards its method with a 16-entry ACL — a modest
+policy by the paper's standards (HADAS shares items to named principals
+per collaborator), and deny-overrides means `permits` walks every entry
+on every call when the verdict is not memoized.
+"""
+
+import gc
+from pathlib import Path
+
+from repro.core import AccessControlList, MROMObject, Permission, Principal
+from repro.net import LAN, Network, Site
+from repro.sim import Simulator
+from repro.telemetry import Telemetry, enabled
+from repro.telemetry.exporters import write_bench_json
+
+from .series import emit, time_per_call
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: enforced floors/ceilings (the PR's acceptance criteria)
+MIN_WARM_SPEEDUP = 2.0
+MIN_FRAME_REDUCTION = 1.5
+MAX_DISABLED_OVERHEAD = 0.03
+
+ACL_ENTRIES = 16
+BATCH_CALLS = 16
+TRIALS = 3
+
+CALLER = Principal("mrom://perf10/caller", "perf10", "caller")
+
+
+def _best(fn, trials: int = TRIALS) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        gc.collect()
+        best = min(best, time_per_call(fn))
+    return best
+
+
+def build_worker(fastpath: bool, acl_entries: int = ACL_ENTRIES) -> MROMObject:
+    obj = MROMObject(
+        guid="mrom:obj:perf10",
+        domain="perf10",
+        display_name="worker",
+        fastpath=fastpath,
+    )
+    acl = AccessControlList()
+    for index in range(acl_entries):
+        acl.grant(f"mrom://perf10/member{index}", Permission.INVOKE)
+    acl.grant(CALLER.guid, Permission.INVOKE)
+    obj.define_fixed_data("count", 0)
+    obj.define_fixed_method("work", "return args[0] + 1", acl=acl)
+    obj.seal()
+    return obj
+
+
+def _guard_cost() -> float:
+    """Seconds per cache-off guard: an attribute read + identity test."""
+    n = 100_000
+    obj = build_worker(False)
+
+    def guarded() -> None:
+        for _ in range(n):
+            cache = obj._fastpath
+            if cache is not None:  # pragma: no cover - off in this loop
+                raise AssertionError("cache unexpectedly attached")
+
+    def bare() -> None:
+        for _ in range(n):
+            pass
+
+    return max((_best(guarded) - _best(bare)) / n, 0.0)
+
+
+def _remote_world():
+    network = Network(Simulator())
+    client = Site(network, "client", "perf10.client")
+    server = Site(network, "server", "perf10.server")
+    network.topology.connect("client", "server", *LAN)
+    obj = server.create_object(display_name="remote-worker")
+    from repro.core import allow_all
+
+    obj.define_fixed_data("total", 0)
+    obj.define_fixed_method(
+        "bump",
+        "n = self.get('total') + 1\nself.set('total', n)\nreturn n",
+        acl=allow_all(),
+    )
+    obj.seal()
+    server.register_object(obj)
+    return network, client, server, obj
+
+
+def test_perf10_fastpath(benchmark):
+    # -- warm-invocation speedup ---------------------------------------
+    cached = build_worker(True)
+    uncached = build_worker(False)
+    warm = lambda: cached.invoke("work", [1], caller=CALLER)  # noqa: E731
+    cold = lambda: uncached.invoke("work", [1], caller=CALLER)  # noqa: E731
+    warm()  # populate the cache before the first trial is believed
+    cached_time = _best(warm)
+    uncached_time = _best(cold)
+    speedup = uncached_time / cached_time
+
+    # -- transport-frame reduction for a 16-call batch ------------------
+    network, client, server, remote = _remote_world()
+    ref = client.ref_to(remote.guid, site="server")
+    before = network.messages_sent
+    for _ in range(BATCH_CALLS):
+        ref.invoke("bump", [], caller=client.principal)
+    individual_frames = network.messages_sent - before
+    before = network.messages_sent
+    batch = client.batch("server")
+    futures = [
+        batch.invoke(remote.guid, "bump", [], caller=client.principal)
+        for _ in range(BATCH_CALLS)
+    ]
+    batch.flush()
+    batched_frames = network.messages_sent - before
+    assert [f.result() for f in futures] == list(
+        range(BATCH_CALLS + 1, 2 * BATCH_CALLS + 1)
+    )
+    frame_reduction = individual_frames / batched_frames
+
+    # -- cache-off overhead --------------------------------------------
+    guard = _guard_cost()
+    # one guard in invoke_primitive; count it four times over to be
+    # generous about call-path variants and attribute-cache effects
+    guard_share = (4 * guard) / uncached_time
+
+    # -- counters through the MetricsRegistry ---------------------------
+    with enabled(Telemetry()) as tel:
+        for _ in range(100):
+            warm()
+        hits = tel.metrics.counter_value("fastpath.lookup.hits")
+        match_hits = tel.metrics.counter_value("fastpath.match.hits")
+        assert hits == 100 and match_hits == 100, (
+            "a warm cache must hit on every repeated invocation"
+        )
+
+    emit(
+        "perf10_fastpath",
+        "PERF-10: invocation cache + batched RMI"
+        f" (ACL {ACL_ENTRIES} entries, batch of {BATCH_CALLS})",
+        ["metric", "value", "floor/ceiling"],
+        [
+            ("cached us/call", cached_time * 1e6, "-"),
+            ("uncached us/call", uncached_time * 1e6, "-"),
+            ("warm speedup", speedup, f">= {MIN_WARM_SPEEDUP}"),
+            ("frames individual", individual_frames, "-"),
+            ("frames batched", batched_frames, "-"),
+            ("frame reduction", frame_reduction, f">= {MIN_FRAME_REDUCTION}"),
+            ("guard share (x4)", guard_share, f"< {MAX_DISABLED_OVERHEAD}"),
+        ],
+    )
+    write_bench_json(
+        REPO_ROOT / "BENCH_fastpath.json",
+        tel.metrics,
+        name="perf10_fastpath",
+        extra={
+            "cached_us_per_call": round(cached_time * 1e6, 4),
+            "uncached_us_per_call": round(uncached_time * 1e6, 4),
+            "warm_speedup": round(speedup, 4),
+            "min_warm_speedup": MIN_WARM_SPEEDUP,
+            "individual_frames": individual_frames,
+            "batched_frames": batched_frames,
+            "frame_reduction": round(frame_reduction, 4),
+            "min_frame_reduction": MIN_FRAME_REDUCTION,
+            "guard_ns": round(guard * 1e9, 2),
+            "disabled_overhead": round(guard_share, 4),
+            "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+            "acl_entries": ACL_ENTRIES,
+            "batch_calls": BATCH_CALLS,
+        },
+    )
+
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm invocations sped up only {speedup:.2f}x "
+        f"(floor {MIN_WARM_SPEEDUP}x)"
+    )
+    assert frame_reduction >= MIN_FRAME_REDUCTION, (
+        f"batching reduced frames only {frame_reduction:.2f}x "
+        f"(floor {MIN_FRAME_REDUCTION}x)"
+    )
+    assert guard_share < MAX_DISABLED_OVERHEAD, (
+        f"cache-off guard costs {guard_share:.2%} of an invocation "
+        f"(ceiling {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+    benchmark(warm)
+
+
+def test_perf10_batch_correctness_smoke(benchmark):
+    """The batch path under the benchmark harness: results identical to
+    sequential invocation, one frame pair per flush."""
+    network, client, server, remote = _remote_world()
+
+    def batched_round() -> list:
+        batch = client.batch("server")
+        futures = [
+            batch.invoke(remote.guid, "bump", [], caller=client.principal)
+            for _ in range(4)
+        ]
+        batch.flush()
+        return [future.result() for future in futures]
+
+    first = batched_round()
+    assert first == sorted(first)
+    benchmark(batched_round)

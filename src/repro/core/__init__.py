@@ -34,7 +34,8 @@ from .acl import (
     principals_acl,
 )
 from .code import CodeRole, MethodCode, NativeCode, PortableCode, as_code
-from .containers import ContainerSet, ItemContainer
+from .containers import ContainerSet, ItemContainer, MutationClock
+from .fastpath import CACHING_DEFAULT, InvocationCache, set_default as set_fastpath_default
 from .errors import (
     AccessDeniedError,
     CoercionError,
@@ -97,6 +98,11 @@ __all__ = [
     "ItemHandle",
     "ItemContainer",
     "ContainerSet",
+    "MutationClock",
+    # fast path
+    "InvocationCache",
+    "CACHING_DEFAULT",
+    "set_fastpath_default",
     # code carriers
     "CodeRole",
     "MethodCode",

@@ -41,6 +41,7 @@ __all__ = [
     "owner_only",
     "domain_acl",
     "principals_acl",
+    "note_match",
 ]
 
 
@@ -162,7 +163,7 @@ class AccessControlList:
        with ``default_allow=True``).
     """
 
-    __slots__ = ("_entries", "_default_allow")
+    __slots__ = ("_entries", "_default_allow", "_version")
 
     def __init__(
         self,
@@ -171,6 +172,9 @@ class AccessControlList:
     ):
         self._entries: list[AclEntry] = list(entries)
         self._default_allow = bool(default_allow)
+        # bumped on every in-place edit: cached Match verdicts pin the
+        # (acl identity, version) pair and stale out when either moves
+        self._version = 0
 
     # -- construction -----------------------------------------------------
 
@@ -181,17 +185,20 @@ class AccessControlList:
     def grant(self, subject: str, permissions: Permission) -> "AccessControlList":
         """Append an ALLOW entry; returns self for chaining."""
         self._entries.append(AclEntry(subject, permissions, Decision.ALLOW))
+        self._version += 1
         return self
 
     def revoke(self, subject: str, permissions: Permission) -> "AccessControlList":
         """Append a DENY entry; returns self for chaining."""
         self._entries.append(AclEntry(subject, permissions, Decision.DENY))
+        self._version += 1
         return self
 
     def remove_subject(self, subject: str) -> int:
         """Drop every entry naming *subject*; returns how many were removed."""
         before = len(self._entries)
         self._entries = [e for e in self._entries if e.subject != subject]
+        self._version += 1
         return before - len(self._entries)
 
     # -- evaluation --------------------------------------------------------
@@ -199,6 +206,11 @@ class AccessControlList:
     @property
     def default_allow(self) -> bool:
         return self._default_allow
+
+    @property
+    def version(self) -> int:
+        """In-place edit count; part of a cached verdict's validity pin."""
+        return self._version
 
     def entries(self) -> tuple[AclEntry, ...]:
         return tuple(self._entries)
@@ -228,20 +240,7 @@ class AccessControlList:
         This is the Match phase of level-0 invocation in callable form.
         """
         allowed = self.permits(principal, permission)
-        tel = _telemetry.ACTIVE
-        if tel is not None:
-            tel.metrics.counter("acl.checks").inc()
-            if not allowed:
-                tel.metrics.counter("acl.denials").inc()
-            span = tel.current_span
-            if span is not None:
-                span.event(
-                    "acl.check",
-                    outcome="allowed" if allowed else "denied",
-                    principal=principal.guid,
-                    item=item,
-                    permission=permission.name or "NONE",
-                )
+        note_match(principal, item, permission, allowed)
         if not allowed:
             raise AccessDeniedError(str(principal), item, permission.name or "NONE")
 
@@ -277,6 +276,32 @@ class AccessControlList:
     def __repr__(self) -> str:
         default = "allow" if self._default_allow else "deny"
         return f"AccessControlList({len(self._entries)} entries, default={default})"
+
+
+def note_match(
+    principal: Principal, item: str, permission: Permission, allowed: bool
+) -> None:
+    """Telemetry emission for one Match-phase verdict.
+
+    Shared by :meth:`AccessControlList.check` and the invocation cache's
+    hit path, so a memoized verdict is observably identical to a fresh
+    evaluation: same counters, same ``acl.check`` span event.
+    """
+    tel = _telemetry.ACTIVE
+    if tel is None:
+        return
+    tel.metrics.counter("acl.checks").inc()
+    if not allowed:
+        tel.metrics.counter("acl.denials").inc()
+    span = tel.current_span
+    if span is not None:
+        span.event(
+            "acl.check",
+            outcome="allowed" if allowed else "denied",
+            principal=principal.guid,
+            item=item,
+            permission=permission.name or "NONE",
+        )
 
 
 def _permission_names(permissions: Permission) -> list[str]:

@@ -38,12 +38,35 @@ from .errors import (
 )
 from .items import DataItem, ItemDescription, MROMMethod, _Item
 
-__all__ = ["Section", "ItemContainer", "ContainerSet"]
+__all__ = ["Section", "ItemContainer", "ContainerSet", "MutationClock"]
 
 #: Section labels used throughout descriptions and errors.
 FIXED = "fixed"
 EXTENSIBLE = "extensible"
 Section = str
+
+
+class MutationClock:
+    """A shared monotonic counter of structural mutations.
+
+    The four containers of one :class:`ContainerSet` bump the same clock
+    on every add/remove/replace/rename, so the set's *generation* moves
+    whenever any structure an invocation-cache entry could depend on
+    moves — regardless of whether the mutation arrived through a
+    meta-method or a direct container call.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> int:
+        self.value += 1
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"MutationClock({self.value})"
 
 
 class ItemContainer:
@@ -54,12 +77,13 @@ class ItemContainer:
     stable and makes packing deterministic.
     """
 
-    __slots__ = ("label", "_items", "_sealed")
+    __slots__ = ("label", "_items", "_sealed", "_clock")
 
-    def __init__(self, label: str):
+    def __init__(self, label: str, clock: MutationClock | None = None):
         self.label = label
         self._items: dict[str, _Item] = {}
         self._sealed = False
+        self._clock = clock if clock is not None else MutationClock()
 
     # -- sealing -------------------------------------------------------------
 
@@ -84,13 +108,16 @@ class ItemContainer:
         if item.name in self._items:
             raise DuplicateItemError(item.name, self.label)
         self._items[item.name] = item
+        self._clock.bump()
 
     def remove(self, name: str) -> _Item:
         self._ensure_open(f"remove {name!r}")
         try:
-            return self._items.pop(name)
+            item = self._items.pop(name)
         except KeyError:
             raise ItemNotFoundError(name, self.label) from None
+        self._clock.bump()
+        return item
 
     def replace(self, name: str, item: _Item) -> _Item:
         """Swap the item stored under *name*; returns the old item."""
@@ -107,6 +134,7 @@ class ItemContainer:
             self._items[item.name] = item
         else:
             self._items[name] = item
+        self._clock.bump()
         return old
 
     def rename(self, old_name: str, new_name: str) -> None:
@@ -119,6 +147,7 @@ class ItemContainer:
         item = self._items.pop(old_name)
         item.rename(new_name)
         self._items[new_name] = item
+        self._clock.bump()
 
     # -- lookup ----------------------------------------------------------------
 
@@ -155,13 +184,20 @@ class ItemContainer:
 class ContainerSet:
     """The four containers of an MROM object, with MROM lookup semantics."""
 
-    __slots__ = ("fixed_data", "fixed_methods", "ext_data", "ext_methods")
+    __slots__ = ("fixed_data", "fixed_methods", "ext_data", "ext_methods", "_clock")
 
     def __init__(self) -> None:
-        self.fixed_data = ItemContainer("fixed-data")
-        self.fixed_methods = ItemContainer("fixed-methods")
-        self.ext_data = ItemContainer("extensible-data")
-        self.ext_methods = ItemContainer("extensible-methods")
+        self._clock = MutationClock()
+        self.fixed_data = ItemContainer("fixed-data", self._clock)
+        self.fixed_methods = ItemContainer("fixed-methods", self._clock)
+        self.ext_data = ItemContainer("extensible-data", self._clock)
+        self.ext_methods = ItemContainer("extensible-methods", self._clock)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic structural-mutation generation across all four
+        containers — the invalidation signal of the invocation cache."""
+        return self._clock.value
 
     # -- sealing ------------------------------------------------------------
 

@@ -1,0 +1,150 @@
+"""Hot-path caching for the level-0 invocation primitive.
+
+The paper makes level 0 deliberately *non-reflective* precisely so it
+"can be implemented in a more efficient way" (Section 3.1). This module
+is that efficiency: a per-object :class:`InvocationCache` memoizing the
+two phases of level-0 invocation that are pure functions of slowly
+changing structure —
+
+* **Lookup** (method name -> method handle + section), which otherwise
+  walks two of the four item containers on every call; and
+* **Match** (principal -> ACL verdict), which otherwise re-evaluates the
+  method's access control list entry by entry.
+
+Correctness rests on two invalidation channels, because a stale cache
+silently corrupts semantics in a *mutable* object model:
+
+1. a monotonic **mutation generation** owned by the object's
+   :class:`~repro.core.containers.ContainerSet` and bumped by every
+   structural mutation (every meta-method that adds, deletes, renames or
+   replaces an item funnels into a container operation) — when the
+   generation moves, both tables are dropped wholesale;
+2. per-entry **version pins** for Match: a cached verdict names the
+   method instance, its item version, the ACL instance and the ACL's
+   edit version, so replacing a method's ACL (``setMethod``) *or*
+   editing one in place (``grant``/``revoke``) invalidates exactly the
+   affected verdicts without touching the generation.
+
+Only ALLOW verdicts are cached: a denial raises and is re-evaluated on
+every attempt, so a cached run can never convert a denial into access.
+A migrated object's caches arrive cold — ``unpack`` builds a fresh
+object, and :meth:`~repro.mobility.transfer.MobilityManager` resets the
+cache explicitly at install time for belt-and-braces.
+
+The cache is on by default (:data:`CACHING_DEFAULT`); per object it can
+be declined at construction (``MROMObject(fastpath=False)``) or toggled
+with :meth:`~repro.core.mobject.MROMObject.enable_fastpath`. When off,
+the invoker pays one attribute read and an identity test — the same
+O(1)-when-off contract the telemetry hooks keep. Hit/miss/invalidation
+counters surface through the active
+:class:`~repro.telemetry.metrics.MetricsRegistry` as ``fastpath.*``
+(see ``docs/PERF.md``) and are always mirrored in plain attributes for
+telemetry-free benchmarking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .items import MROMMethod
+
+__all__ = ["InvocationCache", "CACHING_DEFAULT", "set_default"]
+
+#: Whether newly constructed objects get an invocation cache. Module
+#: state rather than a constant so test harnesses (and the differential
+#: suite's cache-off subjects) can flip the default for a scope.
+CACHING_DEFAULT = True
+
+
+def set_default(enabled: bool) -> bool:
+    """Set the construction-time default; returns the previous value."""
+    global CACHING_DEFAULT
+    previous = CACHING_DEFAULT
+    CACHING_DEFAULT = bool(enabled)
+    return previous
+
+
+class InvocationCache:
+    """Memo of one object's Lookup results and Match verdicts.
+
+    ``lookup_table`` maps method name to ``(method, section)`` exactly as
+    :meth:`~repro.core.containers.ContainerSet.lookup_method` returns it.
+    ``match_table`` maps ``(caller_guid, caller_domain, method_name)`` to
+    the pinned tuple ``(method, method_version, acl, acl_version)``; an
+    entry is a valid ALLOW verdict only while every pin still holds.
+    Failures (unknown names, denials) are never cached.
+    """
+
+    __slots__ = (
+        "generation",
+        "lookup_table",
+        "match_table",
+        "lookup_hits",
+        "lookup_misses",
+        "match_hits",
+        "match_misses",
+        "invalidations",
+    )
+
+    #: generation value no live ContainerSet can have: forces the first
+    #: sync() to start the cache cold
+    _COLD = -1
+
+    def __init__(self) -> None:
+        self.generation = self._COLD
+        self.lookup_table: dict[str, tuple["MROMMethod", str]] = {}
+        self.match_table: dict[tuple[str, str, str], tuple[Any, int, Any, int]] = {}
+        self.lookup_hits = 0
+        self.lookup_misses = 0
+        self.match_hits = 0
+        self.match_misses = 0
+        self.invalidations = 0
+
+    def sync(self, generation: int) -> bool:
+        """Align with the containers' mutation generation.
+
+        Returns True when the tables were dropped (the structure moved
+        since the last invocation through this cache).
+        """
+        if generation == self.generation:
+            return False
+        if self.lookup_table:
+            self.lookup_table.clear()
+        if self.match_table:
+            self.match_table.clear()
+        self.generation = generation
+        self.invalidations += 1
+        return True
+
+    def reset(self) -> None:
+        """Forget everything and go cold (migration install, explicit
+        toggles). Counters survive — they describe the cache's history,
+        not its contents."""
+        self.lookup_table.clear()
+        self.match_table.clear()
+        self.generation = self._COLD
+
+    @property
+    def entries(self) -> int:
+        return len(self.lookup_table) + len(self.match_table)
+
+    def stats(self) -> dict:
+        """A plain-mapping snapshot (benchmarks, debugging)."""
+        return {
+            "lookup_hits": self.lookup_hits,
+            "lookup_misses": self.lookup_misses,
+            "match_hits": self.match_hits,
+            "match_misses": self.match_misses,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "generation": self.generation,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"InvocationCache({self.entries} entries, "
+            f"lookup {self.lookup_hits}h/{self.lookup_misses}m, "
+            f"match {self.match_hits}h/{self.match_misses}m, "
+            f"{self.invalidations} invalidations)"
+        )

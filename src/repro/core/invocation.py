@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 from ..telemetry import state as _telemetry
-from .acl import Permission, Principal
+from .acl import Permission, Principal, note_match
 from .errors import (
     InvocationDepthError,
     PostProcedureError,
@@ -282,14 +282,46 @@ class Invoker:
         args: Sequence[Any],
         record: InvocationRecord | None = None,
     ) -> Any:
-        """The level-0 invocation mechanism: Lookup -> Match -> Apply."""
+        """The level-0 invocation mechanism: Lookup -> Match -> Apply.
+
+        With the object's invocation cache enabled (the default), the
+        Lookup phase is served from the cache when the containers'
+        mutation generation has not moved; the trace record, telemetry
+        and error behaviour are identical either way — the cache changes
+        *cost*, never observables (tests/core/test_fastpath_differential
+        holds it to that).
+        """
         if record is None:
             record = InvocationRecord(method=method_name, caller=caller.guid)
+        obj = self.obj
+        cache = obj._fastpath
         # Phase 1: Lookup — locate and fetch the method's handle.
-        method, section = self.obj.containers.lookup_method(method_name)
+        if cache is None:
+            method, section = obj.containers.lookup_method(method_name)
+        else:
+            invalidated = cache.sync(obj.containers.generation)
+            entry = cache.lookup_table.get(method_name)
+            if entry is None:
+                cache.lookup_misses += 1
+                # failures are not cached: an unknown name raises the
+                # same typed error on every call, cached or not
+                method, section = obj.containers.lookup_method(method_name)
+                cache.lookup_table[method_name] = (method, section)
+            else:
+                cache.lookup_hits += 1
+                method, section = entry
+            tel = _telemetry.ACTIVE
+            if tel is not None:
+                metrics = tel.metrics
+                if invalidated:
+                    metrics.counter("fastpath.invalidations").inc()
+                metrics.counter(
+                    "fastpath.lookup.misses" if entry is None
+                    else "fastpath.lookup.hits"
+                ).inc()
         record.log(0, Phase.LOOKUP, method_name, section)
         ctx = InvocationContext(self, caller, method_name, args, 0, record)
-        return self._apply_with_match(method, caller, list(args), ctx, 0)
+        return self._apply_with_match(method, caller, list(args), ctx, 0, cache)
 
     def _apply_with_match(
         self,
@@ -298,13 +330,45 @@ class Invoker:
         args: list,
         ctx: InvocationContext,
         level: int,
+        cache=None,
     ) -> Any:
         record = ctx.record
         # Phase 2: Match — match security information. An object always
         # trusts itself with itself (self-containment): its own principal
-        # bypasses the ACL, everyone else is checked.
+        # bypasses the ACL, everyone else is checked. A cached ALLOW
+        # verdict is honoured only while its pins (method identity and
+        # version, ACL identity and edit version) all still hold, so ACL
+        # replacement *and* in-place ACL edits re-evaluate; denials are
+        # never cached.
         if caller.guid != self.obj.guid:
-            method.check(caller, Permission.INVOKE)
+            if cache is None:
+                method.check(caller, Permission.INVOKE)
+            else:
+                acl = method.acl
+                key = (caller.guid, caller.domain, ctx.method_name)
+                entry = cache.match_table.get(key)
+                if (
+                    entry is not None
+                    and entry[0] is method
+                    and entry[1] == method.version
+                    and entry[2] is acl
+                    and entry[3] == acl.version
+                ):
+                    cache.match_hits += 1
+                    hit = True
+                    note_match(caller, method.name, Permission.INVOKE, True)
+                else:
+                    cache.match_misses += 1
+                    hit = False
+                    method.check(caller, Permission.INVOKE)
+                    cache.match_table[key] = (
+                        method, method.version, acl, acl.version,
+                    )
+                tel = _telemetry.ACTIVE
+                if tel is not None:
+                    tel.metrics.counter(
+                        "fastpath.match.hits" if hit else "fastpath.match.misses"
+                    ).inc()
             record.log(level, Phase.MATCH, method.name, "checked")
         else:
             record.log(level, Phase.MATCH, method.name, "self")

@@ -47,6 +47,8 @@ from .acl import (
     owner_only,
 )
 from .containers import ContainerSet, EXTENSIBLE, FIXED
+from . import fastpath as _fastpath
+from .fastpath import InvocationCache
 from .errors import (
     FixedSectionError,
     MethodNotFoundError,
@@ -113,6 +115,11 @@ class MROMObject:
         the host IOO ... and should not be invoked by that IOO".
     environment:
         Initial host-provided bindings (the installation context).
+    fastpath:
+        Whether the object carries an invocation cache memoizing level-0
+        Lookup and Match (see :mod:`repro.core.fastpath`). ``None`` (the
+        default) follows :data:`repro.core.fastpath.CACHING_DEFAULT`,
+        read at construction time.
     """
 
     def __init__(
@@ -124,6 +131,7 @@ class MROMObject:
         extensible_meta: bool = False,
         meta_acl: AccessControlList | None = None,
         environment: Mapping[str, Any] | None = None,
+        fastpath: bool | None = None,
     ):
         self.guid = guid or _fresh_guid()
         self.principal = Principal(
@@ -140,6 +148,11 @@ class MROMObject:
         self._records: list[InvocationRecord] = []
         self.last_record: InvocationRecord | None = None
         self._meta_acl = meta_acl if meta_acl is not None else owner_only(self.owner)
+        if fastpath is None:
+            fastpath = _fastpath.CACHING_DEFAULT
+        self._fastpath: InvocationCache | None = (
+            InvocationCache() if fastpath else None
+        )
         self._install_meta_methods()
 
     # ------------------------------------------------------------------
@@ -240,6 +253,32 @@ class MROMObject:
 
     def _resolve_caller(self, caller: Principal | None) -> Principal:
         return caller if caller is not None else ANONYMOUS
+
+    # ------------------------------------------------------------------
+    # the invocation cache (hot-path memoization of Lookup + Match)
+    # ------------------------------------------------------------------
+
+    @property
+    def fastpath(self) -> InvocationCache | None:
+        """The object's invocation cache, or None when caching is off."""
+        return self._fastpath
+
+    def enable_fastpath(self, enabled: bool = True) -> None:
+        """Attach or detach the invocation cache at run time.
+
+        Re-enabling always starts cold; disabling drops the cache and its
+        counters with it.
+        """
+        if enabled:
+            if self._fastpath is None:
+                self._fastpath = InvocationCache()
+        else:
+            self._fastpath = None
+
+    def fastpath_reset(self) -> None:
+        """Drop cached entries (e.g. after a migration install)."""
+        if self._fastpath is not None:
+            self._fastpath.reset()
 
     # ------------------------------------------------------------------
     # the meta-invoke tower (meta-mutability, Figure 1)

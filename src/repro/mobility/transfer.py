@@ -466,6 +466,10 @@ class MobilityManager:
         return report
 
     def _install(self, obj: MROMObject, install_args: Sequence[Any]) -> dict:
+        # a migrated object's caches arrive cold: unpack builds a fresh
+        # object, and this reset keeps that guarantee even if pack/unpack
+        # ever learns to carry live state across
+        obj.fastpath_reset()
         self.site.register_object(obj)
         # the installation context: what the host tells the newcomer
         obj.environment["install_context"] = {

@@ -2,7 +2,14 @@
 
 from .gateway import TcpGateway, TcpGatewayClient
 from .marshal import MAGIC, Reference, marshal, marshalled_size, unmarshal
-from .rmi import RemoteRef, RetryPolicy
+from .rmi import (
+    BatchFuture,
+    BatchedRef,
+    RemoteRef,
+    RequestBatch,
+    RetryPolicy,
+    SendQueue,
+)
 from .site import Site
 from .topology import LAN, Link, MODEM, Topology, WAN
 from .transport import Message, Network
@@ -23,6 +30,10 @@ __all__ = [
     "Site",
     "RemoteRef",
     "RetryPolicy",
+    "BatchFuture",
+    "BatchedRef",
+    "RequestBatch",
+    "SendQueue",
     "TcpGateway",
     "TcpGatewayClient",
 ]

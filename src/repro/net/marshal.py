@@ -95,6 +95,57 @@ _TAG_REFERENCE = ord("G")
 MAX_COLLECTION = 1_000_000
 
 
+# ---------------------------------------------------------------------------
+# encode/decode fast-paths
+#
+# None of these change a single wire byte — they trade memory for the
+# allocations that dominate marshalling cost on hot RMI paths:
+#
+# * a small pool of output buffers, so marshal() stops allocating (and
+#   growing) a fresh bytearray per message — list pop/append are atomic,
+#   so the pool is safe under the threaded TCP gateway;
+# * precomputed encodings for small integers (args, counts, lamport
+#   clocks are overwhelmingly small);
+# * an interning table for short strings and references (method names,
+#   payload keys and GUIDs recur endlessly), bounded and dropped
+#   wholesale on overflow so a hostile peer cannot grow it unboundedly;
+# * decode-side interning of short text payloads keyed by the raw bytes,
+#   so the same method name decoded a thousand times is one str object.
+# ---------------------------------------------------------------------------
+
+_BUFFER_POOL: list[bytearray] = []
+_BUFFER_POOL_CAP = 8
+#: buffers that grew beyond this are not pooled (one giant migration
+#: package must not pin its footprint forever)
+_BUFFER_RETAIN = 1 << 16
+
+_INTERN_MAX_CHARS = 64
+_INTERN_CAP = 4096
+
+
+def _encode_int(value: int) -> bytes:
+    out = bytearray((_TAG_INT,))
+    _write_varint(out, _zigzag(value))
+    return bytes(out)
+
+
+_SMALL_INTS: dict[int, bytes] = {}
+_TEXT_INTERN: dict[str, bytes] = {}
+_REF_INTERN: dict[tuple[str, str], bytes] = {}
+_DECODE_INTERN: dict[bytes, str] = {}
+
+
+def _reset_fastpath_state() -> None:
+    """Drop all pooled buffers and interning tables (tests, tuning)."""
+    _BUFFER_POOL.clear()
+    _TEXT_INTERN.clear()
+    _REF_INTERN.clear()
+    _DECODE_INTERN.clear()
+    _SMALL_INTS.clear()
+    for n in range(-64, 257):
+        _SMALL_INTS[n] = _encode_int(n)
+
+
 class Reference:
     """A by-identity value on the wire: "this guid, at this site".
 
@@ -167,6 +218,9 @@ def _unzigzag(value: int) -> int:
     return (value >> 1) ^ -(value & 1)
 
 
+_reset_fastpath_state()  # populate the small-int table
+
+
 # ---------------------------------------------------------------------------
 # encoding
 # ---------------------------------------------------------------------------
@@ -182,8 +236,12 @@ def _encode(out: bytearray, value: Any, depth: int) -> None:
     elif value is False:
         out.append(_TAG_FALSE)
     elif isinstance(value, int):
-        out.append(_TAG_INT)
-        _write_varint(out, _zigzag(value))
+        cached = _SMALL_INTS.get(value)
+        if cached is not None:
+            out += cached
+        else:
+            out.append(_TAG_INT)
+            _write_varint(out, _zigzag(value))
     elif isinstance(value, float):
         out.append(_TAG_REAL)
         out.extend(struct.pack(">d", value))
@@ -193,10 +251,22 @@ def _encode(out: bytearray, value: Any, depth: int) -> None:
         _write_varint(out, len(raw))
         out.extend(raw)
     elif isinstance(value, str):
-        raw = value.encode("utf-8")
-        out.append(_TAG_TEXT)
-        _write_varint(out, len(raw))
-        out.extend(raw)
+        if len(value) <= _INTERN_MAX_CHARS:
+            cached = _TEXT_INTERN.get(value)
+            if cached is None:
+                raw = value.encode("utf-8")
+                head = bytearray((_TAG_TEXT,))
+                _write_varint(head, len(raw))
+                cached = bytes(head) + raw
+                if len(_TEXT_INTERN) >= _INTERN_CAP:
+                    _TEXT_INTERN.clear()
+                _TEXT_INTERN[value] = cached
+            out += cached
+        else:
+            raw = value.encode("utf-8")
+            out.append(_TAG_TEXT)
+            _write_varint(out, len(raw))
+            out.extend(raw)
     elif isinstance(value, (bytes, bytearray, memoryview)):
         raw = bytes(value)
         out.append(_TAG_BINARY)
@@ -214,10 +284,17 @@ def _encode(out: bytearray, value: Any, depth: int) -> None:
             _encode(out, key, depth + 1)
             _encode(out, val, depth + 1)
     elif isinstance(value, Reference):
-        payload = f"{value.site}|{value.guid}".encode("utf-8")
-        out.append(_TAG_REFERENCE)
-        _write_varint(out, len(payload))
-        out.extend(payload)
+        key = (value.guid, value.site)
+        cached = _REF_INTERN.get(key)
+        if cached is None:
+            payload = f"{value.site}|{value.guid}".encode("utf-8")
+            head = bytearray((_TAG_REFERENCE,))
+            _write_varint(head, len(payload))
+            cached = bytes(head) + payload
+            if len(_REF_INTERN) >= _INTERN_CAP:
+                _REF_INTERN.clear()
+            _REF_INTERN[key] = cached
+        out += cached
     elif hasattr(value, "guid"):
         # an object: by-identity, tagged with its home site if it has one
         site = getattr(value, "site_id", "") or getattr(value, "site", "")
@@ -230,9 +307,18 @@ def _encode(out: bytearray, value: Any, depth: int) -> None:
 
 def marshal(value: Any) -> bytes:
     """Encode one weakly-typed value as a complete wire message."""
-    out = bytearray(MAGIC)
-    _encode(out, value, 0)
-    return bytes(out)
+    try:
+        out = _BUFFER_POOL.pop()  # atomic: safe under gateway threads
+    except IndexError:
+        out = bytearray()
+    try:
+        out += MAGIC
+        _encode(out, value, 0)
+        return bytes(out)
+    finally:
+        if len(out) <= _BUFFER_RETAIN and len(_BUFFER_POOL) < _BUFFER_POOL_CAP:
+            out.clear()
+            _BUFFER_POOL.append(out)
 
 
 def marshalled_size(value: Any) -> int:
@@ -273,10 +359,19 @@ def _decode(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
         offset += length
         if tag == _TAG_BINARY:
             return bytes(raw), offset
+        if tag == _TAG_TEXT and length <= _INTERN_MAX_CHARS:
+            interned = _DECODE_INTERN.get(raw)
+            if interned is not None:
+                return interned, offset
         try:
             text = raw.decode("utf-8")
         except UnicodeDecodeError as exc:
             raise MarshalError(f"invalid UTF-8 payload: {exc}") from exc
+        if tag == _TAG_TEXT and length <= _INTERN_MAX_CHARS:
+            if len(_DECODE_INTERN) >= _INTERN_CAP:
+                _DECODE_INTERN.clear()
+            _DECODE_INTERN[raw] = text
+            return text, offset
         if tag == _TAG_HTML:
             return HtmlText(text), offset
         if tag == _TAG_REFERENCE:

@@ -32,7 +32,14 @@ from ..telemetry import state as _telemetry
 if TYPE_CHECKING:  # pragma: no cover
     from .site import Site
 
-__all__ = ["RemoteRef", "RetryPolicy"]
+__all__ = [
+    "RemoteRef",
+    "RetryPolicy",
+    "BatchFuture",
+    "RequestBatch",
+    "BatchedRef",
+    "SendQueue",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,13 @@ class RetryPolicy:
         if self.timeout <= 0 or self.backoff < 0 or self.multiplier < 1:
             raise NetworkError(
                 "timeout must be > 0, backoff >= 0, multiplier >= 1"
+            )
+        if self.max_backoff < self.backoff:
+            # a cap below the base would silently shrink every sleep to
+            # the cap, defeating the configured schedule
+            raise NetworkError(
+                f"max_backoff ({self.max_backoff}) must be >= backoff "
+                f"({self.backoff})"
             )
 
     def backoff_for(self, attempt: int) -> float:
@@ -150,3 +164,285 @@ def remote_error_from(payload: dict) -> RemoteInvocationError:
         payload.get("message", "remote invocation failed"),
         remote_type=payload.get("error", ""),
     )
+
+
+# ---------------------------------------------------------------------------
+# batched RMI: many logical requests, one transport frame per destination
+# ---------------------------------------------------------------------------
+
+
+class BatchFuture:
+    """The eventual outcome of one logical request inside a batch.
+
+    Resolved when the owning batch is flushed; :meth:`result` then
+    returns the decoded value or re-raises the remote failure exactly as
+    the unbatched call would have.
+    """
+
+    __slots__ = ("_done", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._error: Exception | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        if not self._done:
+            raise NetworkError("batched request not flushed yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def error(self) -> Exception | None:
+        """The stored failure without raising (None while pending/ok)."""
+        return self._error
+
+    def _resolve(self, value: Any) -> None:
+        self._done = True
+        self._value = value
+
+    def _fail(self, error: Exception) -> None:
+        self._done = True
+        self._error = error
+
+    def __repr__(self) -> str:
+        if not self._done:
+            return "BatchFuture(pending)"
+        if self._error is not None:
+            return f"BatchFuture(error={type(self._error).__name__})"
+        return f"BatchFuture({self._value!r})"
+
+
+class RequestBatch:
+    """Coalesces logical requests to one destination into one frame.
+
+    Each :meth:`add` mints the same per-request ``request_id`` an
+    individual call would carry, so the receiving site executes every
+    logical request **at most once** and replays recorded replies to
+    retried or duplicated frames — the frame itself additionally has its
+    own ``request_id`` (minted by :meth:`Site.request`'s retry machinery)
+    for whole-frame dedup. Retry/timeout semantics and ``~trace``
+    propagation are the frame's: one ``rmi.batch`` client span covers the
+    flush and the serving site nests one ``serve.<kind>`` span per inner
+    request under its ``serve.batch``.
+
+    Usable as a context manager: a clean exit flushes.
+    """
+
+    def __init__(self, site: "Site", dst: str, policy: "RetryPolicy | None" = None):
+        self.site = site
+        self.dst = dst
+        self.policy = policy
+        self._entries: list[dict] = []
+        self._futures: list[BatchFuture] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, kind: str, payload: Any) -> BatchFuture:
+        """Queue one logical request; returns its future."""
+        future = BatchFuture()
+        self._entries.append(
+            {
+                "kind": kind,
+                "request_id": self.site.mint_request_id(),
+                "payload": payload,
+            }
+        )
+        self._futures.append(future)
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("rmi.batch.calls").inc()
+        return future
+
+    # -- the protocol verbs, batched ------------------------------------
+
+    def invoke(
+        self,
+        guid: str,
+        method: str,
+        args: Sequence[Any] = (),
+        caller: Principal | None = None,
+    ) -> BatchFuture:
+        return self.add(
+            "invoke",
+            {
+                "target": guid,
+                "method": method,
+                "args": list(args),
+                "caller": self.site._caller_payload(caller),
+            },
+        )
+
+    def get_data(
+        self, guid: str, name: str, caller: Principal | None = None
+    ) -> BatchFuture:
+        return self.add(
+            "get_data",
+            {
+                "target": guid,
+                "name": name,
+                "caller": self.site._caller_payload(caller),
+            },
+        )
+
+    def describe(self, guid: str, caller: Principal | None = None) -> BatchFuture:
+        return self.add(
+            "describe",
+            {"target": guid, "caller": self.site._caller_payload(caller)},
+        )
+
+    # -- flushing --------------------------------------------------------
+
+    def flush(self) -> list[BatchFuture]:
+        """Send the queued requests as one frame and resolve the futures.
+
+        A frame-level failure (timeout with all retries exhausted,
+        partition) fails every pending future with it and re-raises;
+        per-request failures stay inside their futures.
+        """
+        entries, futures = self._entries, self._futures
+        if not entries:
+            return []
+        self._entries, self._futures = [], []
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("rmi.batch.flushes").inc()
+        try:
+            reply = self.site.request(
+                self.dst, "batch", {"requests": entries}, policy=self.policy
+            )
+        except Exception as exc:
+            for future in futures:
+                future._fail(exc)
+            raise
+        envelopes = reply.get("replies") if isinstance(reply, dict) else None
+        if not isinstance(envelopes, list) or len(envelopes) != len(futures):
+            error = NetworkError(
+                f"malformed batch reply from {self.dst!r}: expected "
+                f"{len(futures)} replies"
+            )
+            for future in futures:
+                future._fail(error)
+            raise error
+        for future, envelope in zip(futures, envelopes):
+            if isinstance(envelope, dict) and envelope.get("ok") is False:
+                future._fail(remote_error_from(envelope))
+            elif isinstance(envelope, dict) and "result" in envelope:
+                future._resolve(envelope["result"])
+            else:
+                future._fail(
+                    NetworkError(f"malformed batch envelope {envelope!r}")
+                )
+        return futures
+
+    def __enter__(self) -> "RequestBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+
+
+class BatchedRef:
+    """A :class:`RemoteRef` whose calls queue into a batch.
+
+    Mirrors the proxy verbs but returns :class:`BatchFuture`s; results
+    land when the batch flushes.
+    """
+
+    __slots__ = ("ref", "batch")
+
+    def __init__(self, ref: RemoteRef, batch: RequestBatch):
+        if ref.site != batch.dst:
+            raise NetworkError(
+                f"reference lives at {ref.site!r} but the batch targets "
+                f"{batch.dst!r}"
+            )
+        self.ref = ref
+        self.batch = batch
+
+    def invoke(
+        self,
+        method: str,
+        args: Sequence[Any] = (),
+        caller: Principal | None = None,
+    ) -> BatchFuture:
+        return self.batch.invoke(self.ref.guid, method, args, caller=caller)
+
+    def get_data(self, name: str, caller: Principal | None = None) -> BatchFuture:
+        return self.batch.get_data(self.ref.guid, name, caller=caller)
+
+    def describe(self, caller: Principal | None = None) -> BatchFuture:
+        return self.batch.describe(self.ref.guid, caller=caller)
+
+    def __repr__(self) -> str:
+        return f"BatchedRef({self.ref.guid} @ {self.ref.site}, {len(self.batch)} queued)"
+
+
+class SendQueue:
+    """Site-level coalescing: one frame per destination per flush.
+
+    Where :class:`RequestBatch` targets one destination, the queue fans
+    logical requests out to any number of sites and flushes each
+    destination's backlog as a single frame.
+    """
+
+    def __init__(self, site: "Site", policy: "RetryPolicy | None" = None):
+        self.site = site
+        self.policy = policy
+        self._batches: "dict[str, RequestBatch]" = {}
+
+    def _batch_for(self, dst: str) -> RequestBatch:
+        batch = self._batches.get(dst)
+        if batch is None:
+            batch = RequestBatch(self.site, dst, policy=self.policy)
+            self._batches[dst] = batch
+        return batch
+
+    def enqueue(self, dst: str, kind: str, payload: Any) -> BatchFuture:
+        return self._batch_for(dst).add(kind, payload)
+
+    def invoke(
+        self,
+        ref: RemoteRef,
+        method: str,
+        args: Sequence[Any] = (),
+        caller: Principal | None = None,
+    ) -> BatchFuture:
+        return self._batch_for(ref.site).invoke(
+            ref.guid, method, args, caller=caller
+        )
+
+    def pending(self) -> int:
+        return sum(len(batch) for batch in self._batches.values())
+
+    def flush(self) -> int:
+        """Flush every destination; returns the number of frames sent.
+
+        Destinations are flushed in name order for determinism. A
+        frame-level failure fails that destination's futures (as
+        :meth:`RequestBatch.flush` does) but the queue keeps flushing the
+        remaining destinations; the first failure is re-raised at the
+        end.
+        """
+        frames = 0
+        first_error: Exception | None = None
+        for dst in sorted(self._batches):
+            batch = self._batches[dst]
+            if not len(batch):
+                continue
+            try:
+                batch.flush()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+            frames += 1
+        self._batches = {}
+        if first_error is not None:
+            raise first_error
+        return frames

@@ -41,7 +41,7 @@ from ..naming import GuidFactory, NameService
 from ..telemetry import state as _telemetry
 from ..telemetry.context import TraceContext
 from .marshal import Reference, attach_trace, extract_trace
-from .rmi import RemoteRef, RetryPolicy
+from .rmi import BatchedRef, RemoteRef, RequestBatch, RetryPolicy, SendQueue
 from .transport import Message, Network
 
 __all__ = ["Site"]
@@ -68,6 +68,7 @@ class Site:
             "describe": self._handle_describe,
             "resolve": self._handle_resolve,
             "ping": self._handle_ping,
+            "batch": self._handle_batch,
         }
         self._pending: dict[int, Message] = {}
         self._awaiting: set[int] = set()
@@ -146,6 +147,11 @@ class Site:
     # ------------------------------------------------------------------
     # protocol plumbing
     # ------------------------------------------------------------------
+
+    def mint_request_id(self) -> str:
+        """A fresh logical-request identifier, unique across this site's
+        lifetime *and* its previous incarnations (crash-restart safe)."""
+        return f"{self.site_id}#{self.incarnation}:{next(self._request_seq)}"
 
     def add_handler(self, kind: str, handler: Handler) -> None:
         if kind in self._handlers:
@@ -327,7 +333,7 @@ class Site:
                     f"no reply for {kind!r} from {dst!r} (simulation drained)"
                 )
             return self._decode_reply(reply)
-        request_id = f"{self.site_id}#{self.incarnation}:{next(self._request_seq)}"
+        request_id = self.mint_request_id()
         simulator = self.network.simulator
         attempt_ids: list[int] = []
         sent_any = False
@@ -545,6 +551,18 @@ class Site:
             policy=policy,
         )
 
+    def batch(self, dst: str, policy: RetryPolicy | None = None) -> RequestBatch:
+        """A batch coalescing requests to *dst* into one frame per flush."""
+        return RequestBatch(self, dst, policy=policy)
+
+    def send_queue(self, policy: RetryPolicy | None = None) -> SendQueue:
+        """A queue coalescing requests per destination (one frame each)."""
+        return SendQueue(self, policy=policy)
+
+    def batched_ref(self, ref: RemoteRef, batch: RequestBatch) -> BatchedRef:
+        """Bind an existing reference to a batch (calls become futures)."""
+        return BatchedRef(ref, batch)
+
     def remote_resolve(self, dst: str, path: str) -> RemoteRef:
         guid = self.request(dst, "resolve", {"path": path})
         return RemoteRef(self, dst, guid)
@@ -591,6 +609,114 @@ class Site:
 
     def _handle_ping(self, message: Message) -> dict:
         return {"site": self.site_id, "time": self.network.now}
+
+    def _handle_batch(self, message: Message) -> dict:
+        """Serve one coalesced frame of logical requests.
+
+        Each inner request carries the same per-request ``request_id`` an
+        individual send would, and shares the site's ``_served`` ledger:
+        a logical request is executed **at most once** even when its
+        frame is retried, duplicated, or its requests are later re-sent
+        individually. Inner failures become per-request error envelopes —
+        one bad request does not poison its neighbours. The frame itself
+        is also deduplicated by :meth:`receive` via its own request_id.
+        """
+        body = message.payload
+        entries = body.get("requests") if isinstance(body, Mapping) else None
+        if not isinstance(entries, list):
+            raise NetworkError("batch payload must carry a 'requests' list")
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("rmi.batch.frames").inc()
+            tel.metrics.counter("rmi.batch.served").inc(len(entries))
+        return {
+            "replies": [self._serve_batched(message, entry) for entry in entries]
+        }
+
+    def _serve_batched(self, frame: Message, entry: Any) -> dict:
+        """Execute (or replay) one logical request of a batch frame."""
+        if not isinstance(entry, Mapping):
+            return {
+                "ok": False,
+                "error": "NetworkError",
+                "message": f"malformed batch entry {entry!r}",
+            }
+        kind = str(entry.get("kind", ""))
+        request_id = str(entry.get("request_id", ""))
+        tel = _telemetry.ACTIVE
+        if request_id and request_id in self._served:
+            self.replayed_requests += 1
+            if tel is not None:
+                tel.metrics.counter("rmi.dedup_hits").inc()
+                tel.events.emit(
+                    "rmi.replay", time=self.network.now, site=self.site_id,
+                    kind=kind, request_id=request_id,
+                )
+            self._served.move_to_end(request_id)
+            return self._served[request_id]
+        handler = self._handlers.get(kind)
+        if handler is None or kind == "batch":  # no nested frames
+            envelope: dict = {
+                "ok": False,
+                "error": "NetworkError",
+                "message": f"unknown kind {kind!r}",
+            }
+        else:
+            inner = Message(
+                kind=kind,
+                src=frame.src,
+                dst=frame.dst,
+                payload=entry.get("payload"),
+                msg_id=frame.msg_id,
+                reply_to=None,
+                lamport=frame.lamport,
+                size=0,
+                request_id=request_id,
+                verdict=frame.verdict,
+            )
+            span = None
+            if tel is not None:
+                # nests under the frame's serve.batch span (begin_span
+                # falls back to the current context), keeping the per-
+                # request server spans the unbatched path would produce
+                span = tel.begin_span(
+                    f"serve.{kind}",
+                    attrs={
+                        "site": self.site_id,
+                        "src": frame.src,
+                        "msg_id": frame.msg_id,
+                        "sim_time": self.network.now,
+                        "batched": True,
+                    },
+                    parent=TraceContext.from_wire(extract_trace(inner.payload)),
+                )
+                tel.metrics.counter("rmi.served").inc()
+            self.handling_depth += 1
+            status = "ok"
+            try:
+                result = handler(inner)
+                envelope = {"ok": True, "result": self.export_value(result)}
+            except MROMError as exc:
+                status = "error"
+                if span is not None:
+                    span.set(error=type(exc).__name__)
+                envelope = {
+                    "ok": False,
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                }
+            finally:
+                self.handling_depth -= 1
+                if span is not None:
+                    tel.end_span(span, status=status)
+        if request_id:
+            # same record-before-reply discipline as _reply: a lost frame
+            # reply must replay outcomes, not re-execute
+            self._served[request_id] = envelope
+            self._served.move_to_end(request_id)
+            while len(self._served) > self._served_cap:
+                self._served.popitem(last=False)
+        return envelope
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,149 @@
+"""Batched RMI under the fault plane.
+
+A batch frame is one transport message carrying many logical requests,
+each with its own ``request_id`` in the site's served-reply ledger. The
+chaos contract, whatever the wire does to the frame:
+
+* every logical request executes **at most once** (side effects count);
+* retried/duplicated frames are answered from recorded replies;
+* a later frame re-carrying an already-served logical request gets the
+  recorded envelope, not a re-execution;
+* telemetry spans all close (no leaks through the retry machinery).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import DropInjector, DuplicateInjector, FaultPlane, ReorderInjector
+from repro.net import RetryPolicy
+from repro.telemetry import Telemetry, enabled
+
+from ..faults.conftest import make_sites
+
+pytestmark = [pytest.mark.chaos, pytest.mark.fastpath]
+
+FAST = RetryPolicy(attempts=4, timeout=0.5, backoff=0.05, multiplier=2.0)
+
+
+def make_counter(site):
+    from repro.core import allow_all
+
+    obj = site.create_object(display_name="counter")
+    obj.define_fixed_data("total", 0)
+    obj.define_fixed_method(
+        "bump",
+        "n = self.get('total') + 1\nself.set('total', n)\nreturn n",
+        acl=allow_all(),
+    )
+    obj.seal()
+    site.register_object(obj)
+    return obj
+
+
+def flush_batch(client, obj, calls: int, policy=FAST):
+    batch = client.batch("b", policy=policy)
+    futures = [
+        batch.invoke(obj.guid, "bump", [], caller=client.principal)
+        for _ in range(calls)
+    ]
+    batch.flush()
+    return [future.result() for future in futures]
+
+
+class TestBatchChaos:
+    def test_dropped_frame_is_retried_and_executes_once(self):
+        network, sites = make_sites(seed=3, names=("a", "b"))
+        FaultPlane(network, seed=1).add(
+            DropInjector(rate=1.0, only_kinds=["batch"], limit=1)
+        )
+        obj = make_counter(sites["b"])
+        results = flush_batch(sites["a"], obj, 6)
+        assert results == [1, 2, 3, 4, 5, 6]
+        assert obj.get_data("total", caller=obj.principal) == 6
+
+    def test_duplicated_frame_replays_not_reexecutes(self):
+        network, sites = make_sites(seed=4, names=("a", "b"))
+        FaultPlane(network, seed=2).add(
+            DuplicateInjector(rate=1.0, only_kinds=["batch"], limit=1)
+        )
+        obj = make_counter(sites["b"])
+        results = flush_batch(sites["a"], obj, 5)
+        network.run()  # let the duplicate land and be replayed
+        assert results == [1, 2, 3, 4, 5]
+        assert obj.get_data("total", caller=obj.principal) == 5
+        assert sites["b"].replayed_requests >= 1
+
+    def test_dropped_reply_is_replayed_from_ledger(self):
+        network, sites = make_sites(seed=5, names=("a", "b"))
+        FaultPlane(network, seed=3).add(
+            DropInjector(rate=1.0, only_kinds=["reply"], limit=1)
+        )
+        obj = make_counter(sites["b"])
+        results = flush_batch(sites["a"], obj, 4)
+        assert results == [1, 2, 3, 4]
+        # the retry was answered from the served ledger: executed once
+        assert obj.get_data("total", caller=obj.principal) == 4
+        assert sites["b"].replayed_requests >= 1
+
+    def test_reordered_frames_still_resolve(self):
+        network, sites = make_sites(seed=6, names=("a", "b"))
+        FaultPlane(network, seed=4).add(
+            ReorderInjector(rate=1.0, only_kinds=["batch"], limit=1)
+        )
+        obj = make_counter(sites["b"])
+        first = flush_batch(sites["a"], obj, 2)
+        second = flush_batch(sites["a"], obj, 2)
+        network.run()
+        assert sorted(first + second) == [1, 2, 3, 4]
+        assert obj.get_data("total", caller=obj.principal) == 4
+
+    def test_inner_request_ids_dedup_across_frames(self):
+        """A later frame carrying an already-served logical request gets
+        the recorded reply — the inner ledger, not just frame dedup."""
+        network, sites = make_sites(seed=7, names=("a", "b"))
+        a, b = sites["a"], sites["b"]
+        obj = make_counter(b)
+        entries = [
+            {
+                "kind": "invoke",
+                "request_id": a.mint_request_id(),
+                "payload": {
+                    "target": obj.guid,
+                    "method": "bump",
+                    "args": [],
+                    "caller": {"guid": a.principal.guid, "domain": a.domain,
+                               "name": "a"},
+                },
+            }
+            for _ in range(3)
+        ]
+        first = a.request("b", "batch", {"requests": entries}, policy=FAST)
+        # an application-level re-send: new frame, same logical requests
+        second = a.request("b", "batch", {"requests": entries}, policy=FAST)
+        assert [env["result"] for env in first["replies"]] == [1, 2, 3]
+        assert [env["result"] for env in second["replies"]] == [1, 2, 3]
+        assert obj.get_data("total", caller=obj.principal) == 3
+        assert b.replayed_requests >= 3
+
+    def test_no_open_spans_and_traces_stitch_after_chaos(self):
+        network, sites = make_sites(seed=8, names=("a", "b"))
+        plane = FaultPlane(network, seed=5)
+        plane.add(DropInjector(rate=1.0, only_kinds=["batch"], limit=1))
+        plane.add(DuplicateInjector(rate=1.0, only_kinds=["reply"], limit=1))
+        obj = make_counter(sites["b"])
+        with enabled(Telemetry()) as tel:
+            results = flush_batch(sites["a"], obj, 8)
+            network.run()
+            assert results == list(range(1, 9))
+            assert tel.open_spans == 0
+            spans = list(tel.recorder)
+            # one client span, one serve.batch per executed frame, one
+            # nested serve.invoke per logical request — all one trace
+            names = [span.name for span in spans]
+            assert "rmi.batch" in names
+            assert "serve.batch" in names
+            assert names.count("serve.invoke") == 8
+            assert len({span.trace_id for span in spans}) == 1
+            assert tel.metrics.counter_value("rmi.batch.calls") == 8
+        assert obj.get_data("total", caller=obj.principal) == 8

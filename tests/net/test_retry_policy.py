@@ -1,0 +1,45 @@
+"""RetryPolicy validation, including the max_backoff < backoff fix.
+
+Before the fix, ``RetryPolicy(backoff=2.0, max_backoff=0.5)`` was
+accepted silently and every sleep collapsed to the cap — the configured
+schedule never happened. Construction now rejects an inverted cap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.net import RetryPolicy
+
+
+class TestRetryPolicyValidation:
+    def test_max_backoff_below_backoff_is_rejected(self):
+        with pytest.raises(NetworkError, match="max_backoff"):
+            RetryPolicy(backoff=2.0, max_backoff=0.5)
+
+    def test_equal_cap_is_allowed(self):
+        policy = RetryPolicy(backoff=0.5, max_backoff=0.5)
+        assert policy.backoff_for(0) == 0.5
+        assert policy.backoff_for(5) == 0.5
+
+    def test_zero_backoff_with_zero_cap(self):
+        # backoff=0 means "retry immediately"; a zero cap is consistent
+        policy = RetryPolicy(backoff=0.0, max_backoff=0.0)
+        assert policy.backoff_for(3) == 0.0
+
+    def test_existing_validations_still_fire(self):
+        with pytest.raises(NetworkError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(NetworkError):
+            RetryPolicy(timeout=0)
+        with pytest.raises(NetworkError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(NetworkError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_schedule_is_capped_exponential(self):
+        policy = RetryPolicy(backoff=0.25, multiplier=2.0, max_backoff=1.0)
+        assert [policy.backoff_for(n) for n in range(5)] == [
+            0.25, 0.5, 1.0, 1.0, 1.0,
+        ]

@@ -27,6 +27,7 @@ from repro.core import (
     DuplicateItemError,
     ItemNotFoundError,
     MROMObject,
+    Permission,
     Principal,
     allow_all,
 )
@@ -183,3 +184,135 @@ MromMachine.TestCase.settings = settings(
     max_examples=30, stateful_step_count=30, deadline=None
 )
 TestMromModel = MromMachine.TestCase
+
+
+# ---------------------------------------------------------------------------
+# cache-invalidation rules (the fast-path layer, repro.core.fastpath)
+# ---------------------------------------------------------------------------
+
+
+class FastpathInvalidationMachine(RuleBasedStateMachine):
+    """Model the invalidation contract of the invocation cache.
+
+    Rules mutate the object through meta-methods and in-place ACL edits;
+    the model tracks whether the next invocation is *allowed* to be a
+    cache hit. Assertions read the ``fastpath.*`` counters through the
+    active :class:`~repro.telemetry.metrics.MetricsRegistry`:
+
+    * after any structural mutation, the next invocation's Lookup must
+      miss (the generation moved);
+    * after an in-place ACL edit, the next Match for that method must
+      miss (its version pin moved);
+    * a migrated object's caches must arrive cold.
+    """
+
+    def __init__(self):
+        super().__init__()
+        from repro.telemetry import Telemetry, enable
+
+        self.obj = build_subject()
+        assert self.obj.fastpath is not None, "caching should default on"
+        self.serial = 0
+        self.tel = enable(Telemetry())
+
+    def teardown(self):
+        from repro.telemetry import disable
+
+        disable()
+
+    # -- helpers -----------------------------------------------------------
+
+    def counters(self) -> tuple[int, int, int, int]:
+        metrics = self.tel.metrics
+        return (
+            metrics.counter_value("fastpath.lookup.hits"),
+            metrics.counter_value("fastpath.lookup.misses"),
+            metrics.counter_value("fastpath.match.hits"),
+            metrics.counter_value("fastpath.match.misses"),
+        )
+
+    def invoke_get_base(self) -> tuple[bool, bool]:
+        """Invoke the fixed method; returns (lookup_hit, match_hit)."""
+        before = self.counters()
+        assert self.obj.invoke("get_base", caller=OWNER) == 10
+        after = self.counters()
+        lookup_hit = after[0] > before[0]
+        match_hit = after[2] > before[2]
+        return lookup_hit, match_hit
+
+    # -- rules -------------------------------------------------------------
+
+    @rule()
+    def warm_then_hit(self):
+        """Two invocations back-to-back: the second must hit both tables."""
+        self.invoke_get_base()
+        lookup_hit, match_hit = self.invoke_get_base()
+        assert lookup_hit, "second consecutive Lookup must be a cache hit"
+        assert match_hit, "second consecutive Match must be a cache hit"
+
+    @rule()
+    def mutation_forces_lookup_miss(self):
+        """Any meta-method structural mutation invalidates the next call."""
+        self.invoke_get_base()  # warm
+        self.serial += 1
+        name = f"gen{self.serial}"
+        self.obj.invoke(
+            "addDataItem", [name, self.serial], caller=OWNER
+        )
+        lookup_hit, _ = self.invoke_get_base()
+        assert not lookup_hit, "post-mutation invocation must miss the cache"
+
+    @rule()
+    def method_add_and_delete_invalidate(self):
+        self.invoke_get_base()
+        self.serial += 1
+        name = f"m{self.serial}"
+        self.obj.invoke(
+            "addMethod", [name, "return 1", {"acl": allow_all().describe()}],
+            caller=OWNER,
+        )
+        lookup_hit, _ = self.invoke_get_base()
+        assert not lookup_hit
+        self.invoke_get_base()  # warm again
+        self.obj.invoke("deleteMethod", [name], caller=OWNER)
+        lookup_hit, _ = self.invoke_get_base()
+        assert not lookup_hit, "deleteMethod must invalidate too"
+
+    @rule()
+    def acl_edit_forces_match_miss(self):
+        """An in-place grant on the method's ACL stales its Match pin
+        without touching the container generation."""
+        self.invoke_get_base()  # warm
+        method, _ = self.obj.containers.lookup_method("get_base")
+        self.serial += 1
+        method.acl.grant(f"mrom://model/guest{self.serial}", Permission.INVOKE)
+        lookup_hit, match_hit = self.invoke_get_base()
+        assert lookup_hit, "ACL edits must not drop the Lookup table"
+        assert not match_hit, "post-ACL-edit Match must re-evaluate"
+
+    @rule()
+    def migration_arrives_cold(self):
+        self.invoke_get_base()
+        cache = self.obj.fastpath
+        assert cache is not None and cache.entries > 0
+        self.obj = unpack(pack(self.obj))
+        cache = self.obj.fastpath
+        assert cache is not None, "unpacked objects default to caching"
+        assert cache.entries == 0, "migrated caches must arrive cold"
+        lookup_hit, match_hit = self.invoke_get_base()
+        assert not lookup_hit and not match_hit
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def cache_generation_never_ahead(self):
+        cache = self.obj.fastpath
+        if cache is not None:
+            assert cache.generation <= self.obj.containers.generation
+
+
+FastpathInvalidationMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None
+)
+TestFastpathInvalidation = FastpathInvalidationMachine.TestCase
+
