@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath examples series check all trace-smoke
+.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath load-smoke load-tests examples series check all trace-smoke
 
 install:
 	$(PYTHON) setup.py develop || pip install -e .
@@ -41,12 +41,22 @@ bench-fastpath:
 fastpath:
 	$(PYTHON) -m pytest -m fastpath tests/
 
+# Load acceptance: the sustain + overload pair (>= 10k requests through
+# >= 4 sites, zero unresolved; constrained window sheds structured
+# OverloadErrors while non-shed requests all complete).
+load-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro load --smoke
+
+# Only the workload-driver / load-scenario test suite (marker: load).
+load-tests:
+	$(PYTHON) -m pytest -m load tests/
+
 series: bench
 	@echo; for f in benchmarks/out/*.txt; do echo "--- $$f"; cat $$f; echo; done
 
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; echo; done
 
-check: test lint trace-smoke bench
+check: test lint trace-smoke load-smoke bench
 
 all: install check examples

@@ -1,0 +1,128 @@
+"""PERF-11: the serving runtime under load.
+
+Drives the load plane's acceptance shapes and snapshots what they
+measure into ``BENCH_load.json`` at the repo root:
+
+* **sustain** — a closed-loop run of ``REQUESTS`` mixed ops through a
+  4-site world must settle every request with no sheds, no lost
+  updates, and a simulated throughput of at least
+  ``MIN_SIM_THROUGHPUT`` ok-ops per simulated second with p99 latency
+  under ``MAX_P99``;
+* **overload** — an open-loop run at ~4x the admission window's
+  capacity must shed (structured ``OverloadError``) rather than lose:
+  zero unresolved futures, zero non-shed failures;
+* **harness cost** — the wall-clock side: the simulator must chew
+  through at least ``MIN_WALL_RATE`` logical requests per real second,
+  so load runs stay cheap enough for CI.
+
+All scenario numbers are simulated-time and seeded: a regression in
+them is a behavioural change, not measurement noise.
+"""
+
+import time
+from pathlib import Path
+
+from repro.load import LoadConfig, OpProfile, run_load_scenario
+from repro.telemetry import Telemetry, enabled
+from repro.telemetry.exporters import write_bench_json
+
+from .series import emit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: enforced floors/ceilings (the PR's acceptance criteria)
+MIN_SIM_THROUGHPUT = 500.0   # ok-ops per simulated second, sustain run
+MAX_P99 = 0.050              # seconds, sustain run (LAN world, no faults)
+MIN_WALL_RATE = 300.0        # logical requests per real second
+
+REQUESTS = 10_000
+SITES = 4
+CLIENTS = 4
+
+
+def test_perf11_load(benchmark):
+    # -- sustain: the clean closed-loop shape ---------------------------
+    with enabled(Telemetry()) as tel:
+        started = time.perf_counter()
+        sustain = run_load_scenario(LoadConfig(
+            sites=SITES, clients=CLIENTS, requests=REQUESTS, mode="closed",
+        ))
+        wall = time.perf_counter() - started
+    wall_rate = sustain.issued / wall
+    p99 = sustain.latency["p99"]
+
+    # -- overload: open loop at ~4x window capacity ---------------------
+    overload = run_load_scenario(LoadConfig(
+        sites=SITES, clients=CLIENTS, requests=REQUESTS // 5, mode="open",
+        rate=2_000.0, inflight_limit=2, service_delay=0.002,
+        profile=OpProfile(invoke=1.0, get_data=0, describe=0, migrate=0),
+    ))
+
+    emit(
+        "perf11_load",
+        f"PERF-11: serving runtime under load "
+        f"({SITES} sites x {CLIENTS} clients, {REQUESTS} requests)",
+        ["metric", "value", "floor/ceiling"],
+        [
+            ("sustain ok", sustain.ok, f"== {REQUESTS}"),
+            ("sustain unresolved", sustain.unresolved, "== 0"),
+            ("sim throughput ok-ops/s", sustain.throughput,
+             f">= {MIN_SIM_THROUGHPUT}"),
+            ("p50 ms", sustain.latency["p50"] * 1e3, "-"),
+            ("p95 ms", sustain.latency["p95"] * 1e3, "-"),
+            ("p99 ms", p99 * 1e3, f"<= {MAX_P99 * 1e3}"),
+            ("migrations under load", sustain.migrations, ">= 1"),
+            ("wall requests/s", wall_rate, f">= {MIN_WALL_RATE}"),
+            ("overload shed", overload.shed, ">= 1"),
+            ("overload failed", overload.failed, "== 0"),
+            ("overload unresolved", overload.unresolved, "== 0"),
+        ],
+    )
+    write_bench_json(
+        REPO_ROOT / "BENCH_load.json",
+        tel.metrics,
+        name="perf11_load",
+        extra={
+            "requests": REQUESTS,
+            "sites": SITES,
+            "clients": CLIENTS,
+            "sim_throughput": round(sustain.throughput, 2),
+            "min_sim_throughput": MIN_SIM_THROUGHPUT,
+            "p50_ms": round(sustain.latency["p50"] * 1e3, 4),
+            "p95_ms": round(sustain.latency["p95"] * 1e3, 4),
+            "p99_ms": round(p99 * 1e3, 4),
+            "max_p99_ms": MAX_P99 * 1e3,
+            "migrations": sustain.migrations,
+            "wall_seconds": round(wall, 4),
+            "wall_requests_per_s": round(wall_rate, 2),
+            "min_wall_requests_per_s": MIN_WALL_RATE,
+            "overload_issued": overload.issued,
+            "overload_ok": overload.ok,
+            "overload_shed": overload.shed,
+            "overload_failed": overload.failed,
+            "overload_unresolved": overload.unresolved,
+        },
+    )
+
+    assert sustain.ok == REQUESTS and sustain.unresolved == 0, (
+        f"sustain lost requests: ok={sustain.ok} "
+        f"unresolved={sustain.unresolved}"
+    )
+    assert sustain.consistent, "sustain run lost updates"
+    assert sustain.throughput >= MIN_SIM_THROUGHPUT, (
+        f"simulated throughput {sustain.throughput:.1f} ok-ops/s "
+        f"(floor {MIN_SIM_THROUGHPUT})"
+    )
+    assert p99 <= MAX_P99, f"p99 {p99 * 1e3:.2f}ms (ceiling {MAX_P99 * 1e3}ms)"
+    assert wall_rate >= MIN_WALL_RATE, (
+        f"harness processed only {wall_rate:.0f} requests/s of wall clock "
+        f"(floor {MIN_WALL_RATE})"
+    )
+    assert overload.shed > 0 and overload.failed == 0, (
+        f"overload pass: shed={overload.shed} failed={overload.failed}"
+    )
+    assert overload.unresolved == 0, "overload pass left futures unresolved"
+
+    benchmark(lambda: run_load_scenario(
+        LoadConfig(sites=SITES, clients=CLIENTS, requests=500)
+    ))

@@ -18,6 +18,13 @@ Commands:
   plane on and export what it captured (see ``docs/TELEMETRY.md``);
   ``--smoke`` validates the export against the span schema and the
   cross-wire trace invariants, exiting non-zero on any violation.
+* ``load [--mode closed|open] [--sites N] [--clients N] [--requests N]
+  [--rate R] [--window N] [--service-delay S] [--mix SPEC] [--soak]
+  [--seed N] [--json] [--smoke]`` — drive a mixed workload through a
+  multi-site world and report throughput, shed/failure accounting and
+  p50/p95/p99 latencies (see ``docs/LOAD.md``); ``--smoke`` runs the
+  acceptance pair (sustain + overload) and exits non-zero on any
+  violated invariant.
 """
 
 from __future__ import annotations
@@ -299,6 +306,104 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_config(args) -> "object":
+    from .load import LoadConfig, OpProfile
+    from .net import RetryPolicy
+
+    profile = OpProfile.parse(args.mix) if args.mix else None
+    retry = RetryPolicy() if args.retry else None
+    kwargs = dict(
+        sites=args.sites, clients=args.clients, requests=args.requests,
+        mode=args.mode, rate=args.rate, think_time=args.think_time,
+        seed=args.seed, inflight_limit=args.window,
+        service_delay=args.service_delay, retry=retry,
+    )
+    if profile is not None:
+        kwargs["profile"] = profile
+    return LoadConfig(**kwargs)
+
+
+def _load_smoke(args) -> int:
+    """The acceptance pair: a sustain pass (every request settles, no
+    lost updates, populated percentiles) and an overload pass (the
+    admission window below offered load sheds structured OverloadErrors
+    while every non-shed request completes)."""
+    from .load import LoadConfig, OpProfile, run_load_scenario
+
+    problems: list[str] = []
+    sustain = run_load_scenario(LoadConfig(
+        sites=max(4, args.sites), clients=max(4, args.clients),
+        requests=max(10_000, args.requests), mode="closed", seed=args.seed,
+    ))
+    print("--- sustain pass ---")
+    for line in sustain.to_lines():
+        print(line)
+    if sustain.unresolved:
+        problems.append(f"sustain: {sustain.unresolved} request(s) never settled")
+    if sustain.shed or sustain.failed:
+        problems.append(
+            f"sustain: unconstrained run shed {sustain.shed} / "
+            f"failed {sustain.failed} request(s)"
+        )
+    if not sustain.consistent:
+        problems.append(
+            f"sustain: lost updates (counters {sustain.counter_total} != "
+            f"ok increments {sustain.invoke_ok})"
+        )
+    if sustain.latency.get("count", 0) < sustain.ok:
+        problems.append("sustain: latency histogram missed samples")
+    if not all(sustain.latency.get(p, 0) > 0 for p in ("p50", "p95", "p99")):
+        problems.append("sustain: percentiles not populated")
+    if sustain.migrations < 1:
+        problems.append("sustain: no migration happened under load")
+
+    overload = run_load_scenario(LoadConfig(
+        sites=max(4, args.sites), clients=max(4, args.clients),
+        requests=max(2_000, args.requests // 5), mode="open", rate=2_000.0,
+        inflight_limit=2, service_delay=0.002, seed=args.seed,
+        profile=OpProfile(invoke=1.0, get_data=0, describe=0, migrate=0),
+    ))
+    print("--- overload pass ---")
+    for line in overload.to_lines():
+        print(line)
+    if overload.unresolved:
+        problems.append(f"overload: {overload.unresolved} request(s) never settled")
+    if not overload.shed:
+        problems.append("overload: window below offered load never shed")
+    if overload.failed:
+        problems.append(
+            f"overload: {overload.failed} non-shed request(s) failed "
+            f"({overload.errors})"
+        )
+    if overload.ok + overload.shed != overload.issued:
+        problems.append("overload: outcome accounting does not add up")
+    if not overload.consistent:
+        problems.append("overload: lost updates on the non-shed path")
+
+    print(f"load smoke: {'OK' if not problems else 'VIOLATED'}")
+    for problem in problems:
+        print(f"VIOLATION: {problem}")
+    return 1 if problems else 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from .load import run_load_scenario, run_soak_scenario
+
+    if args.smoke:
+        return _load_smoke(args)
+    config = _load_config(args)
+    runner = run_soak_scenario if args.soak else run_load_scenario
+    report = runner(config)
+    if args.json:
+        print(json.dumps(report.to_mapping(), indent=2, sort_keys=True))
+    else:
+        for line in report.to_lines():
+            print(line)
+    return 0 if report.unresolved == 0 and report.consistent else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -423,6 +528,53 @@ def build_parser() -> argparse.ArgumentParser:
              "cross-wire trace invariants; non-zero exit on violation",
     )
     trace_parser.set_defaults(handler=_cmd_trace)
+
+    load_parser = commands.add_parser(
+        "load",
+        help="drive a mixed workload through a multi-site world "
+             "(deterministic)",
+        description=(
+            "Run an open- or closed-loop workload over the simulated "
+            "internetwork and report throughput, shed/failure accounting "
+            "and bucketed latency percentiles. Identical seeds produce "
+            "identical reports. Exit codes: 0 clean, 1 lost requests or "
+            "lost updates (or, with --smoke, any violated invariant)."
+        ),
+    )
+    load_parser.add_argument("--mode", choices=("closed", "open"),
+                             default="closed")
+    load_parser.add_argument("--sites", type=int, default=4,
+                             help="serving sites")
+    load_parser.add_argument("--clients", type=int, default=4,
+                             help="client sites (one driver each)")
+    load_parser.add_argument("--requests", type=int, default=10_000,
+                             help="total logical requests")
+    load_parser.add_argument("--rate", type=float, default=500.0,
+                             help="open loop: per-client arrivals per "
+                                  "simulated second")
+    load_parser.add_argument("--think-time", type=float, default=0.0,
+                             help="closed loop: pause after each completion")
+    load_parser.add_argument("--window", type=int, default=None,
+                             metavar="N",
+                             help="per-site inflight admission window "
+                                  "(default: unbounded)")
+    load_parser.add_argument("--service-delay", type=float, default=0.0,
+                             help="per-request service time at the servers")
+    load_parser.add_argument("--mix", default=None, metavar="SPEC",
+                             help="op mix, e.g. invoke=70,get_data=20,"
+                                  "describe=8,migrate=2")
+    load_parser.add_argument("--retry", action="store_true",
+                             help="arm the default retry policy on clients")
+    load_parser.add_argument("--soak", action="store_true",
+                             help="layer the fault plane (drops, duplicates, "
+                                  "jitter) with retries armed")
+    load_parser.add_argument("--seed", type=int, default=0)
+    load_parser.add_argument("--json", action="store_true",
+                             help="machine-readable JSON report")
+    load_parser.add_argument("--smoke", action="store_true",
+                             help="run the sustain+overload acceptance pair; "
+                                  "non-zero exit on violation")
+    load_parser.set_defaults(handler=_cmd_load)
     return parser
 
 

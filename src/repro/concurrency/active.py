@@ -50,7 +50,9 @@ class ActiveObject:
         self.obj = obj
         self._mailbox: "queue.Queue" = queue.Queue(maxsize=queue_limit)
         self._stopped = threading.Event()
+        self._drain_lock = threading.Lock()
         self.processed = 0
+        self.rejected = 0
         self._worker = threading.Thread(
             target=self._serve,
             name=f"active-{obj.principal.display_name or obj.guid}",
@@ -73,6 +75,13 @@ class ActiveObject:
             )
         future: "Future[Any]" = Future()
         self._mailbox.put((method, list(args), caller, future))
+        if self._stopped.is_set() and not self._worker.is_alive():
+            # stop() raced this submit: the item may have landed after
+            # the _STOP sentinel, with nobody left to serve it. Either
+            # stop()'s post-join drain sees it, or this drain does —
+            # both fail the stranded future instead of leaving it
+            # unresolved forever.
+            self._fail_leftovers()
         return future
 
     def invoke(
@@ -107,8 +116,16 @@ class ActiveObject:
     # -- lifecycle -------------------------------------------------------------
 
     def stop(self, timeout: float | None = 10.0) -> None:
-        """Drain the mailbox and stop the worker (idempotent)."""
+        """Drain the mailbox and stop the worker (idempotent).
+
+        A submit racing this call can enqueue *after* the ``_STOP``
+        sentinel; the worker exits at the sentinel and would strand that
+        future. After the join, any leftovers are drained and their
+        futures failed with :class:`ConcurrencyError` — no caller is
+        ever left waiting on a future nobody will resolve.
+        """
         if self._stopped.is_set():
+            self._fail_leftovers()
             return
         self._stopped.set()
         self._mailbox.put(_STOP)
@@ -117,6 +134,27 @@ class ActiveObject:
             raise ConcurrencyError(
                 f"active object {self.obj.guid} did not drain in time"
             )
+        self._fail_leftovers()
+
+    def _fail_leftovers(self) -> None:
+        """Fail every work item still in the mailbox (post-stop only)."""
+        with self._drain_lock:
+            while True:
+                try:
+                    work = self._mailbox.get_nowait()
+                except queue.Empty:
+                    return
+                if work is _STOP:  # a duplicate sentinel; nothing to fail
+                    continue
+                _method, _args, _caller, future = work
+                self.rejected += 1
+                if future.set_running_or_notify_cancel():
+                    future.set_exception(
+                        ConcurrencyError(
+                            f"active object {self.obj.guid} stopped before "
+                            "serving this invocation"
+                        )
+                    )
 
     @property
     def pending(self) -> int:

@@ -269,6 +269,17 @@ class PartitionError(NetworkError):
     """The destination is unreachable due to a network partition."""
 
 
+class OverloadError(NetworkError):
+    """A site's admission window is full; the request was shed.
+
+    Structured backpressure: the serving site refused the request
+    *before* executing it (nothing ran, nothing needs undoing), so a
+    caller may safely retry later or route elsewhere. Counted as
+    ``site.shed`` in the metrics registry and visible as ``site.shed``
+    events in the telemetry stream.
+    """
+
+
 class RequestTimeoutError(NetworkError):
     """A request exhausted its retry budget without a reply.
 
@@ -325,3 +336,43 @@ class MPLSyntaxError(MPLError):
 
 class MPLRuntimeError(MPLError):
     """An MPL program failed while executing."""
+
+
+# ---------------------------------------------------------------------------
+# rebuilding remote failures by wire name
+# ---------------------------------------------------------------------------
+
+
+def _registry() -> dict:
+    """Every MROMError subclass, keyed by class name."""
+    mapping: dict[str, type] = {}
+    stack: list[type] = [MROMError]
+    while stack:
+        cls = stack.pop()
+        mapping[cls.__name__] = cls
+        stack.extend(cls.__subclasses__())
+    return mapping
+
+
+def error_for_name(name: str, message: str = "") -> MROMError:
+    """Rebuild a remote failure from its wire ``error`` name.
+
+    The reply convention carries failures as ``{error: <type name>,
+    message: <text>}``; collapsing them all into one local type loses
+    the distinction callers need (denial vs absence vs overload). Known
+    names come back as an instance of the matching class; unknown names
+    degrade to :class:`NetworkError` with the name preserved in the
+    message. Classes whose constructors demand structured context
+    (e.g. :class:`AccessDeniedError`) are rebuilt with only the wire
+    message — the type and text survive the trip, the context fields do
+    not.
+    """
+    cls = _registry().get(name)
+    if cls is None:
+        return NetworkError(f"{name or 'NetworkError'}: {message}")
+    try:
+        return cls(message)
+    except TypeError:
+        error = cls.__new__(cls)
+        Exception.__init__(error, message)
+        return error

@@ -1,0 +1,42 @@
+"""Workload drivers and load/soak scenarios over the deterministic kernel.
+
+The serving runtime (async RMI + per-site admission windows) is only
+credible under load: this package generates it. Two driver shapes —
+closed-loop (a fixed population of logical clients, each with one
+request outstanding) and open-loop (arrivals at a configured rate that
+does *not* slow down when the servers back up, the shape that exposes
+overload) — issue mixed protocol operations (invoke / get_data /
+describe / migrate) against a multi-site simulated world, record
+latencies into fixed buckets, and report interpolated p50/p95/p99
+percentiles plus shed/failure accounting. The soak scenario layers the
+fault plane (drops, duplicates, jitter) with retry policies on top.
+
+Everything runs in simulated time on seeded randomness: a load run is a
+deterministic program, so a throughput or tail-latency regression is
+reproducible by seed.
+"""
+
+from .drivers import ClosedLoopDriver, DriverStats, OpenLoopDriver
+from .latency import LOAD_BUCKETS, LatencyRecorder
+from .profile import DEFAULT_PROFILE, READ_HEAVY, OpProfile
+from .scenario import (
+    LoadConfig,
+    LoadReport,
+    run_load_scenario,
+    run_soak_scenario,
+)
+
+__all__ = [
+    "LOAD_BUCKETS",
+    "LatencyRecorder",
+    "OpProfile",
+    "DEFAULT_PROFILE",
+    "READ_HEAVY",
+    "DriverStats",
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "LoadConfig",
+    "LoadReport",
+    "run_load_scenario",
+    "run_soak_scenario",
+]

@@ -1,0 +1,78 @@
+"""Weighted operation mixes for workload generation.
+
+A profile maps protocol verbs to relative weights; drivers draw from it
+with a seeded RNG, so the op sequence of a run is a pure function of
+(profile, seed). ``migrate`` models the paper's defining operation —
+an object hopping sites mid-load — and defaults to a small share, as
+mobility is orders of magnitude rarer than invocation in the HADAS
+usage model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["OpProfile", "DEFAULT_PROFILE", "READ_HEAVY"]
+
+_OPS = ("invoke", "get_data", "describe", "migrate")
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Relative weights per operation kind (any non-negative scale)."""
+
+    invoke: float = 0.70
+    get_data: float = 0.20
+    describe: float = 0.08
+    migrate: float = 0.02
+
+    def __post_init__(self) -> None:
+        weights = [getattr(self, op) for op in _OPS]
+        if any(weight < 0 for weight in weights):
+            raise ValueError(f"op weights cannot be negative: {self}")
+        if not sum(weights):
+            raise ValueError("an op profile needs at least one positive weight")
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, op) for op in _OPS)
+
+    def pick(self, rng: random.Random) -> str:
+        """Draw one op kind; deterministic given the RNG state."""
+        roll = rng.random() * self.total
+        for op in _OPS:
+            roll -= getattr(self, op)
+            if roll < 0:
+                return op
+        return _OPS[0]  # pragma: no cover - float-edge fallback
+
+    @classmethod
+    def parse(cls, spec: str) -> "OpProfile":
+        """Build from a CLI spec like ``invoke=70,get_data=20,describe=10``.
+
+        Unmentioned ops get weight 0 (not their defaults): a spec states
+        the whole mix.
+        """
+        weights = dict.fromkeys(_OPS, 0.0)
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            name, _, value = part.partition("=")
+            name = name.strip()
+            if name not in weights:
+                raise ValueError(
+                    f"unknown op {name!r} (choose from {', '.join(_OPS)})"
+                )
+            try:
+                weights[name] = float(value)
+            except ValueError:
+                raise ValueError(f"bad weight for {name!r}: {value!r}") from None
+        return cls(**weights)
+
+    def to_mapping(self) -> dict:
+        return {op: getattr(self, op) for op in _OPS}
+
+
+DEFAULT_PROFILE = OpProfile()
+
+#: Mostly reads: the shape of a browsing/introspection workload.
+READ_HEAVY = OpProfile(invoke=0.15, get_data=0.65, describe=0.20, migrate=0.0)

@@ -1,0 +1,367 @@
+"""Multi-site load and soak scenarios, and their reports.
+
+A scenario builds a world — ``sites`` serving sites each hosting a
+counter object, ``clients`` client sites fully connected to them over
+the simulated LAN — starts one driver per client, and pumps the kernel
+dry. Drivers issue a weighted mix of protocol ops; one *nomad* object
+hops between serving sites whenever the mix draws ``migrate``, so
+mobility runs concurrently with invocation traffic, the combination
+the paper's runtime exists for.
+
+Accounting is closed-form: every issued request must settle (reply,
+typed shed, or typed failure) — ``unresolved`` is the count that did
+not and must be zero after a drain — and the sum of the server
+counters must equal the number of successful increments, which is the
+end-to-end no-lost-updates check.
+
+The soak variant layers the fault plane (drops, duplicates, jitter)
+and arms retry policies, demonstrating the exactly-once and
+backpressure machinery holding under sustained adversarial load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import MROMError
+from ..faults import DropInjector, DuplicateInjector, FaultPlane, JitterInjector
+from ..mobility import MobilityManager
+from ..net import LAN, Network, RetryPolicy, Site
+from ..net.rmi import BatchFuture
+from ..sim import Simulator
+from ..telemetry import state as _telemetry
+from .drivers import ClosedLoopDriver, DriverStats, OpenLoopDriver
+from .latency import LatencyRecorder
+from .profile import DEFAULT_PROFILE, OpProfile
+
+__all__ = ["LoadConfig", "LoadReport", "run_load_scenario", "run_soak_scenario"]
+
+
+@dataclass
+class LoadConfig:
+    """Knobs for one load run; the defaults are the smoke shape."""
+
+    sites: int = 4             # serving sites
+    clients: int = 4           # client sites (one driver each)
+    requests: int = 10_000     # total logical requests across all drivers
+    mode: str = "closed"       # "closed" or "open"
+    rate: float = 500.0        # open loop: per-client arrivals / sim second
+    think_time: float = 0.0    # closed loop: gap after each completion
+    seed: int = 0
+    inflight_limit: int | None = None  # per-server admission window
+    service_delay: float = 0.0         # per-request service time at servers
+    profile: OpProfile = field(default_factory=lambda: DEFAULT_PROFILE)
+    retry: RetryPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.sites < 1 or self.clients < 1 or self.requests < 1:
+            raise ValueError("sites, clients and requests must be positive")
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', not {self.mode!r}")
+        if self.rate <= 0 or self.think_time < 0 or self.service_delay < 0:
+            raise ValueError("rate must be positive; delays cannot be negative")
+
+
+@dataclass
+class LoadReport:
+    """Everything a run learned, in one flat record."""
+
+    mode: str
+    sites: int
+    clients: int
+    requests: int
+    seed: int
+    soak: bool
+    issued: int
+    completed: int
+    ok: int
+    shed: int
+    failed: int
+    unresolved: int
+    errors: dict
+    migrations: int
+    invoke_ok: int
+    counter_total: int
+    server_sheds: dict
+    duration: float
+    throughput: float
+    latency: dict
+    profile: dict
+    faults: dict = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """No lost updates: counters account for every ok increment."""
+        return self.counter_total == self.invoke_ok
+
+    def to_mapping(self) -> dict:
+        return {
+            **{name: getattr(self, name) for name in (
+                "mode", "sites", "clients", "requests", "seed", "soak",
+                "issued", "completed", "ok", "shed", "failed", "unresolved",
+                "errors", "migrations", "invoke_ok", "counter_total",
+                "server_sheds", "duration", "throughput", "profile", "faults",
+            )},
+            "consistent": self.consistent,
+            "latency": self.latency,
+        }
+
+    def to_lines(self) -> list[str]:
+        def ms(value: Any) -> str:
+            return "-" if value is None else f"{value * 1e3:.3f}ms"
+
+        lat = self.latency
+        lines = [
+            f"load report: {self.mode} loop, {self.sites} sites x "
+            f"{self.clients} clients, seed {self.seed}"
+            + (", soak (faults armed)" if self.soak else ""),
+            f"  requests  issued={self.issued} completed={self.completed} "
+            f"ok={self.ok} shed={self.shed} failed={self.failed} "
+            f"unresolved={self.unresolved}",
+            f"  integrity counters={self.counter_total} "
+            f"increments_ok={self.invoke_ok} "
+            + ("(no lost updates)" if self.consistent else "LOST UPDATES"),
+            f"  mobility  {self.migrations} migration(s) under load",
+            f"  time      {self.duration:.3f}s simulated, "
+            f"throughput {self.throughput:.1f} ok-ops/s",
+            f"  latency   p50={ms(lat.get('p50'))} p95={ms(lat.get('p95'))} "
+            f"p99={ms(lat.get('p99'))} mean={ms(lat.get('mean'))} "
+            f"(n={lat.get('count', 0)})",
+        ]
+        if self.errors:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.errors.items()))
+            lines.append(f"  failures  {pairs}")
+        if any(self.server_sheds.values()):
+            pairs = ", ".join(
+                f"{site}={count}" for site, count in self.server_sheds.items()
+            )
+            lines.append(f"  sheds     {pairs}")
+        if self.faults:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.faults.items()))
+            lines.append(f"  faults    {pairs}")
+        return lines
+
+
+class _Workload:
+    """The world plus the op implementations the drivers draw from."""
+
+    def __init__(self, config: LoadConfig):
+        self.config = config
+        self.network = Network(Simulator(config.seed))
+        self.server_ids = [f"s{i}" for i in range(config.sites)]
+        self.servers = {
+            name: Site(self.network, name, f"load.{name}")
+            for name in self.server_ids
+        }
+        self.clients = [
+            Site(self.network, f"c{i}", f"load.c{i}")
+            for i in range(config.clients)
+        ]
+        for client in self.clients:
+            for name in self.server_ids:
+                self.network.topology.connect(client.site_id, name, *LAN)
+        for left in self.server_ids:
+            for right in self.server_ids:
+                if left < right:
+                    self.network.topology.connect(left, right, *LAN)
+        self.managers = {
+            name: MobilityManager(site, retry_policy=config.retry)
+            for name, site in self.servers.items()
+        }
+        for site in self.servers.values():
+            site.inflight_limit = config.inflight_limit
+            site.service_delay = config.service_delay
+        self.targets = [
+            (name, self._make_counter(site).guid)
+            for name, site in self.servers.items()
+        ]
+        self.nomad = self._make_nomad(self.servers[self.server_ids[0]])
+        self.nomad_home = self.server_ids[0]
+        self.migrations = 0
+        self.invoke_ok = 0
+
+    @staticmethod
+    def _make_counter(site: Site):
+        counter = site.create_object(display_name=f"counter@{site.site_id}")
+        counter.define_fixed_data("count", 0)
+        counter.define_fixed_method(
+            "increment",
+            "self.set('count', self.get('count') + (args[0] if args else 1))\n"
+            "return self.get('count')",
+        )
+        counter.seal()
+        site.register_object(counter, name="apps/counter")
+        return counter
+
+    @staticmethod
+    def _make_nomad(site: Site):
+        nomad = site.create_object(display_name="nomad")
+        nomad.define_fixed_data("hops", 0)
+        nomad.define_fixed_method(
+            "install", "self.set('hops', self.get('hops') + 1)"
+        )
+        nomad.seal()
+        site.register_object(nomad)
+        return nomad
+
+    def counter_total(self) -> int:
+        total = 0
+        for name, guid in self.targets:
+            obj = self.servers[name].local_object(guid)
+            total += obj.get_data("count", caller=obj.owner)
+        return total
+
+    def issue_for(self, client: Site, rng) -> Any:
+        """The per-client ``issue()`` callback: draw an op, fire it."""
+        config = self.config
+
+        def issue() -> BatchFuture:
+            op = config.profile.pick(rng)
+            dst, guid = self.targets[rng.randrange(len(self.targets))]
+            if op == "invoke":
+                future = client.remote_invoke_async(
+                    dst, guid, "increment", [1], policy=config.retry
+                )
+                future.when_done(self._count_increment)
+                return future
+            if op == "get_data":
+                return client.remote_get_data_async(
+                    dst, guid, "count", policy=config.retry
+                )
+            if op == "describe":
+                return client.remote_describe_async(
+                    dst, guid, policy=config.retry
+                )
+            return self._hop()
+
+        return issue
+
+    def _count_increment(self, future: BatchFuture) -> None:
+        try:
+            future.result()
+        except MROMError:
+            return
+        self.invoke_ok += 1
+
+    def _hop(self) -> BatchFuture:
+        """Migrate the nomad one serving site onward (synchronously —
+        the transfer protocol pumps; the settled future keeps the
+        driver's accounting uniform)."""
+        future = BatchFuture()
+        here = self.server_ids.index(self.nomad_home)
+        dst = self.server_ids[(here + 1) % len(self.server_ids)]
+        if dst == self.nomad_home:  # single-site world: nothing to do
+            future._resolve(dst)
+            return future
+        try:
+            ref = self.managers[self.nomad_home].migrate(self.nomad, dst)
+        except MROMError as exc:
+            future._fail(exc)
+            return future
+        self.nomad = self.servers[dst].local_object(ref.guid)
+        self.nomad_home = dst
+        self.migrations += 1
+        future._resolve(dst)
+        return future
+
+
+def _run(config: LoadConfig, soak: bool, attach=None):
+    workload = _Workload(config)
+    # faults must attach after the world exists but before traffic starts
+    plane: FaultPlane | None = attach(workload.network) if attach else None
+    stats = DriverStats()
+    recorder = LatencyRecorder()
+    budget = lambda: stats.issued < config.requests  # noqa: E731
+
+    drivers = []
+    for index, client in enumerate(workload.clients):
+        rng = workload.network.simulator.derive_rng(f"load.client.{index}")
+        issue = workload.issue_for(client, rng)
+        if config.mode == "closed":
+            drivers.append(
+                ClosedLoopDriver(
+                    client, issue, budget, stats, recorder,
+                    think_time=config.think_time,
+                )
+            )
+        else:
+            drivers.append(
+                OpenLoopDriver(
+                    client, issue, budget, stats, recorder,
+                    rate=config.rate, rng=rng,
+                )
+            )
+    for driver in drivers:
+        driver.start()
+    workload.network.run()
+
+    duration = workload.network.now
+    report = LoadReport(
+        mode=config.mode,
+        sites=config.sites,
+        clients=config.clients,
+        requests=config.requests,
+        seed=config.seed,
+        soak=soak,
+        issued=stats.issued,
+        completed=stats.completed,
+        ok=stats.ok,
+        shed=stats.shed,
+        failed=stats.failed,
+        unresolved=stats.unresolved,
+        errors=dict(stats.errors),
+        migrations=workload.migrations,
+        invoke_ok=workload.invoke_ok,
+        counter_total=workload.counter_total(),
+        server_sheds={
+            name: site.shed_requests
+            for name, site in workload.servers.items()
+        },
+        duration=duration,
+        throughput=stats.ok / duration if duration > 0 else 0.0,
+        latency=recorder.snapshot(),
+        profile=config.profile.to_mapping(),
+        faults=dict(plane.counts) if plane is not None else {},
+    )
+    tel = _telemetry.ACTIVE
+    if tel is not None:
+        tel.events.emit(
+            "load.report",
+            mode=report.mode, issued=report.issued, ok=report.ok,
+            shed=report.shed, failed=report.failed,
+            unresolved=report.unresolved, throughput=report.throughput,
+            p50=report.latency.get("p50"), p99=report.latency.get("p99"),
+        )
+    return report
+
+
+def run_load_scenario(config: LoadConfig | None = None) -> LoadReport:
+    """One clean (fault-free) load run; see :class:`LoadConfig`."""
+    return _run(config or LoadConfig(), soak=False)
+
+
+#: Retry schedule armed for soak runs when the config does not bring one:
+#: generous attempts, short timeouts — tuned for the injected fault rates.
+SOAK_RETRY = RetryPolicy(
+    attempts=6, timeout=0.5, backoff=0.05, multiplier=2.0, max_backoff=1.0
+)
+
+
+def run_soak_scenario(config: LoadConfig | None = None) -> LoadReport:
+    """A load run with the PR 1 fault plane armed: messages are dropped,
+    duplicated and jittered while the drivers sustain offered load, and
+    retry policies (``SOAK_RETRY`` unless the config brings its own)
+    carry every logical request to a settled outcome anyway."""
+    config = config or LoadConfig()
+    if config.retry is None:
+        config = LoadConfig(**{**config.__dict__, "retry": SOAK_RETRY})
+
+    def attach(network: Network) -> FaultPlane:
+        plane = FaultPlane(network, seed=config.seed, scenario="load-soak")
+        plane.add(DropInjector(rate=0.02))
+        plane.add(DuplicateInjector(rate=0.02))
+        plane.add(JitterInjector(max_jitter=0.005, rate=0.25))
+        return plane
+
+    return _run(config, soak=True, attach=attach)

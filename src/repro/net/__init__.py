@@ -3,6 +3,7 @@
 from .gateway import TcpGateway, TcpGatewayClient
 from .marshal import MAGIC, Reference, marshal, marshalled_size, unmarshal
 from .rmi import (
+    AsyncCall,
     BatchFuture,
     BatchedRef,
     RemoteRef,
@@ -30,6 +31,7 @@ __all__ = [
     "Site",
     "RemoteRef",
     "RetryPolicy",
+    "AsyncCall",
     "BatchFuture",
     "BatchedRef",
     "RequestBatch",

@@ -27,7 +27,7 @@ import threading
 from typing import Any
 
 from ..core.acl import Principal
-from ..core.errors import MROMError, NetworkError
+from ..core.errors import MROMError, NetworkError, error_for_name
 from ..core.introspection import describe as describe_object
 from .marshal import marshal, unmarshal
 from .site import Site
@@ -136,11 +136,20 @@ class TcpGateway:
         kind = str(request["kind"])
         payload = request.get("payload", {})
         with self._lock:  # the simulation kernel is single-threaded
+            # external requests share the site's admission window, so
+            # TCP-borne load honours the same backpressure contract as
+            # simulation-borne load
+            if not self.site.try_admit(kind, src="tcp"):
+                error = self.site.overloaded_error()
+                return {"ok": False, "error": type(error).__name__,
+                        "message": str(error)}
             try:
                 result = self._dispatch(kind, payload)
             except MROMError as exc:
                 return {"ok": False, "error": type(exc).__name__,
                         "message": str(exc)}
+            finally:
+                self.site.release()
             self.requests_served += 1
             return {"ok": True, "result": self.site.export_value(result)}
 
@@ -198,12 +207,15 @@ class TcpGatewayClient:
         reply = _recv_frame(self._sock)
         if reply is None:
             raise NetworkError("gateway closed the connection")
-        if not isinstance(reply, dict) or not reply.get("ok"):
-            raise NetworkError(
-                f"{reply.get('error', 'NetworkError')}: "
-                f"{reply.get('message', 'gateway failure')}"
-                if isinstance(reply, dict)
-                else "malformed gateway reply"
+        if not isinstance(reply, dict):
+            raise NetworkError("malformed gateway reply")
+        if not reply.get("ok"):
+            # rebuild the remote failure under its own type: an external
+            # caller must be able to tell denial (AccessDeniedError)
+            # from absence (MethodNotFoundError) from overload
+            raise error_for_name(
+                str(reply.get("error", "")),
+                str(reply.get("message", "gateway failure")),
             )
         return reply.get("result")
 

@@ -26,16 +26,24 @@ from dataclasses import dataclass
 from typing import Any, Sequence, TYPE_CHECKING
 
 from ..core.acl import Principal
-from ..core.errors import NetworkError, RemoteInvocationError
+from ..core.errors import (
+    NetworkError,
+    OverloadError,
+    RemoteInvocationError,
+    RequestTimeoutError,
+    error_for_name,
+)
 from ..telemetry import state as _telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from .site import Site
+    from .transport import Message
 
 __all__ = [
     "RemoteRef",
     "RetryPolicy",
     "BatchFuture",
+    "AsyncCall",
     "RequestBatch",
     "BatchedRef",
     "SendQueue",
@@ -135,6 +143,41 @@ class RemoteRef:
             self.site, self.guid, caller=caller, policy=policy
         )
 
+    # -- non-blocking verbs (futures resolved by the event loop) ---------
+
+    def invoke_async(
+        self,
+        method: str,
+        args: Sequence[Any] = (),
+        caller: Principal | None = None,
+        policy: "RetryPolicy | None" = None,
+    ) -> BatchFuture:
+        """Invoke without pumping; the future settles when the reply
+        lands during any simulator pump (see :class:`AsyncCall`)."""
+        return self.holder.remote_invoke_async(
+            self.site, self.guid, method, list(args), caller=caller,
+            policy=policy,
+        )
+
+    def get_data_async(
+        self,
+        name: str,
+        caller: Principal | None = None,
+        policy: "RetryPolicy | None" = None,
+    ) -> BatchFuture:
+        return self.holder.remote_get_data_async(
+            self.site, self.guid, name, caller=caller, policy=policy
+        )
+
+    def describe_async(
+        self,
+        caller: Principal | None = None,
+        policy: "RetryPolicy | None" = None,
+    ) -> BatchFuture:
+        return self.holder.remote_describe_async(
+            self.site, self.guid, caller=caller, policy=policy
+        )
+
     def is_local(self) -> bool:
         return self.site == self.holder.site_id
 
@@ -167,24 +210,191 @@ def remote_error_from(payload: dict) -> RemoteInvocationError:
 
 
 # ---------------------------------------------------------------------------
+# async RMI: futures resolved by the event loop, not by pumping per call
+# ---------------------------------------------------------------------------
+
+
+class AsyncCall:
+    """The client half of one non-blocking logical request.
+
+    Where :meth:`Site.request` pumps the kernel to completion per call,
+    an async call is pure event-loop state: the request is sent, the
+    future is returned immediately, and the reply — whenever a pump
+    delivers it — settles the future. Timeouts and retries are ordinary
+    scheduled simulator events sharing one ``request_id`` (the receiver
+    still executes the logical request at most once), so a site can keep
+    an arbitrary window of requests in flight across the simulated WAN.
+
+    Remote failures settle the future with the *typed* rebuilt error
+    (:func:`repro.core.errors.error_for_name`): a shed request fails as
+    :class:`~repro.core.errors.OverloadError`, a denial as
+    ``AccessDeniedError`` — the structured contract the load drivers and
+    admission tests rely on.
+    """
+
+    __slots__ = (
+        "site", "dst", "kind", "wire_payload", "policy", "future",
+        "request_id", "issued_at", "attempt", "attempt_ids", "sent_any",
+        "_timer",
+    )
+
+    def __init__(
+        self,
+        site: "Site",
+        dst: str,
+        kind: str,
+        wire_payload: Any,
+        policy: "RetryPolicy | None",
+        future: BatchFuture,
+    ):
+        self.site = site
+        self.dst = dst
+        self.kind = kind
+        self.wire_payload = wire_payload
+        self.policy = policy
+        self.future = future
+        self.request_id = site.mint_request_id()
+        self.issued_at = site.network.now
+        self.attempt = 0
+        self.attempt_ids: list[int] = []
+        self.sent_any = False
+        self._timer = None
+
+    # -- sending ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._send_attempt()
+
+    def _send_attempt(self) -> None:
+        try:
+            msg_id = self.site.network.send(
+                self.site.site_id, self.dst, self.kind, self.wire_payload,
+                lamport=self.site.guids.tick(), request_id=self.request_id,
+            )
+        except NetworkError as exc:
+            self._attempt_failed(exc)
+            return
+        self.sent_any = True
+        self.attempt_ids.append(msg_id)
+        self.site._async_calls[msg_id] = self
+        if self.policy is not None:
+            self._timer = self.site.network.simulator.schedule(
+                self.policy.timeout,
+                self._on_timeout,
+                label=f"async timeout {self.kind} {self.request_id}",
+            )
+
+    # -- outcomes --------------------------------------------------------
+
+    def on_reply(self, message: "Message") -> None:
+        """A reply to any attempt of this logical request landed."""
+        if self._timer is not None:
+            self.site.network.simulator.cancel(self._timer)
+            self._timer = None
+        self._unregister()
+        if self.future.done:  # pragma: no cover - defensive
+            return
+        body = message.payload
+        if isinstance(body, dict) and body.get("ok") is False:
+            error = error_for_name(
+                str(body.get("error", "")),
+                str(body.get("message", "remote failure")),
+            )
+            if isinstance(error, OverloadError) and self.policy is not None:
+                # a shed is retryable: the refusal bypassed the served
+                # ledger, so a backed-off retry of the same request_id
+                # gets a fresh admission decision
+                self._attempt_failed(error)
+                return
+            self.future._fail(error)
+            return
+        if isinstance(body, dict) and "result" in body:
+            body = body["result"]
+        self.future._resolve(self.site.import_value(body))
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("rmi.timeouts").inc()
+        assert self.policy is not None
+        self._attempt_failed(
+            RequestTimeoutError(
+                f"no reply for {self.kind!r} from {self.dst!r} within "
+                f"{self.policy.timeout}s "
+                f"(attempt {self.attempt + 1}/{self.policy.attempts})"
+            )
+        )
+
+    def _attempt_failed(self, error: NetworkError) -> None:
+        self.attempt += 1
+        policy = self.policy
+        if policy is not None and self.attempt < policy.attempts:
+            # earlier attempts stay registered: a late reply landing
+            # during the backoff still settles the future (and the
+            # scheduled retry then finds it done and stands down)
+            self.site.network.simulator.schedule(
+                policy.backoff_for(self.attempt - 1),
+                self._retry,
+                label=f"async backoff {self.kind} {self.request_id}",
+            )
+            return
+        self._unregister()
+        if self.future.done:  # pragma: no cover - defensive
+            return
+        if self.sent_any and not isinstance(
+            error, (RequestTimeoutError, OverloadError)
+        ):
+            # at least one attempt reached the wire: ambiguous outcome.
+            # (An OverloadError is exempt: the server explicitly refused
+            # before executing, so the outcome is known, not ambiguous.)
+            error = RequestTimeoutError(
+                f"request {self.kind!r} to {self.dst!r} unresolved after "
+                f"{self.attempt} attempt(s): {error}"
+            )
+        self.future._fail(error)
+
+    def _retry(self) -> None:
+        if self.future.done:
+            return
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("rmi.retries").inc()
+        self._send_attempt()
+
+    def _unregister(self) -> None:
+        for msg_id in self.attempt_ids:
+            self.site._async_calls.pop(msg_id, None)
+
+    def __repr__(self) -> str:
+        state = "done" if self.future.done else f"attempt {self.attempt + 1}"
+        return f"AsyncCall({self.kind} -> {self.dst}, {state})"
+
+
+# ---------------------------------------------------------------------------
 # batched RMI: many logical requests, one transport frame per destination
 # ---------------------------------------------------------------------------
 
 
 class BatchFuture:
-    """The eventual outcome of one logical request inside a batch.
+    """The eventual outcome of one logical request issued without waiting.
 
-    Resolved when the owning batch is flushed; :meth:`result` then
+    Used both by the batched-RMI path (resolved when the owning batch is
+    flushed) and by the async serving path (resolved when the reply
+    message is delivered during any simulator pump); :meth:`result` then
     returns the decoded value or re-raises the remote failure exactly as
-    the unbatched call would have.
+    the synchronous call would have. :meth:`when_done` registers
+    completion callbacks — the hook the load drivers chain requests and
+    record latencies with.
     """
 
-    __slots__ = ("_done", "_value", "_error")
+    __slots__ = ("_done", "_value", "_error", "_callbacks")
 
     def __init__(self) -> None:
         self._done = False
         self._value: Any = None
         self._error: Exception | None = None
+        self._callbacks: list[Any] = []
 
     @property
     def done(self) -> bool:
@@ -192,7 +402,7 @@ class BatchFuture:
 
     def result(self) -> Any:
         if not self._done:
-            raise NetworkError("batched request not flushed yet")
+            raise NetworkError("request not resolved yet (still in flight)")
         if self._error is not None:
             raise self._error
         return self._value
@@ -201,13 +411,26 @@ class BatchFuture:
         """The stored failure without raising (None while pending/ok)."""
         return self._error
 
-    def _resolve(self, value: Any) -> None:
+    def when_done(self, callback) -> None:
+        """Run ``callback(future)`` at settlement (now, if already done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _settle(self) -> None:
         self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _resolve(self, value: Any) -> None:
         self._value = value
+        self._settle()
 
     def _fail(self, error: Exception) -> None:
-        self._done = True
         self._error = error
+        self._settle()
 
     def __repr__(self) -> str:
         if not self._done:

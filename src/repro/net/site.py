@@ -31,6 +31,7 @@ from ..core.errors import (
     MROMError,
     NamingError,
     NetworkError,
+    OverloadError,
     RemoteInvocationError,
     RequestTimeoutError,
 )
@@ -41,7 +42,15 @@ from ..naming import GuidFactory, NameService
 from ..telemetry import state as _telemetry
 from ..telemetry.context import TraceContext
 from .marshal import Reference, attach_trace, extract_trace
-from .rmi import BatchedRef, RemoteRef, RequestBatch, RetryPolicy, SendQueue
+from .rmi import (
+    AsyncCall,
+    BatchFuture,
+    BatchedRef,
+    RemoteRef,
+    RequestBatch,
+    RetryPolicy,
+    SendQueue,
+)
 from .transport import Message, Network
 
 __all__ = ["Site"]
@@ -72,9 +81,23 @@ class Site:
         }
         self._pending: dict[int, Message] = {}
         self._awaiting: set[int] = set()
+        #: in-flight async calls keyed by attempt msg_id; replies settle
+        #: the call's future instead of parking in ``_pending``
+        self._async_calls: dict[int, AsyncCall] = {}
         self._served: OrderedDict[str, Any] = OrderedDict()
         self._served_cap = 1024
         self._request_seq = itertools.count(1)
+        #: admission window: max requests admitted and not yet replied
+        #: to (None = unbounded); beyond it, requests are shed with a
+        #: structured OverloadError instead of queueing without bound
+        self.inflight_limit: int | None = None
+        #: simulated seconds between admission and execution of a
+        #: request; 0.0 serves at delivery time (legacy semantics), >0
+        #: models service latency so the inflight window can fill
+        self.service_delay = 0.0
+        #: requests admitted and not yet replied to
+        self.inflight = 0
+        self.shed_requests = 0
         #: default timeout/retry schedule for outgoing requests; None
         #: keeps the legacy fail-fast semantics (wait until the
         #: simulation drains, partitions raise at send time)
@@ -164,14 +187,27 @@ class Site:
     def receive(self, message: Message) -> None:
         """Transport delivery entry point.
 
-        Replies are matched against the set of requests still awaited;
-        a reply to a request this site has abandoned (timed out, or a
-        previous incarnation's) is discarded rather than leaking into
+        Replies are matched against the set of requests still awaited
+        (settling the future directly for async calls); a reply to a
+        request this site has abandoned (timed out, or a previous
+        incarnation's) is discarded rather than leaking into
         ``_pending`` forever. Requests carrying a ``request_id`` are
         executed **at most once**: the reply is recorded and replayed to
         any retry or duplicate delivery of the same logical request.
+
+        Fresh requests pass admission first: with ``inflight_limit``
+        set and the window full, the request is shed with a structured
+        :class:`~repro.core.errors.OverloadError` (never recorded in the
+        served ledger — a retry gets a fresh admission decision). With
+        ``service_delay`` > 0, admitted requests execute that many
+        simulated seconds after delivery, which is what lets the window
+        actually fill under concurrent load.
         """
         if message.kind == "reply":
+            call = self._async_calls.get(message.reply_to)
+            if call is not None:
+                call.on_reply(message)
+                return
             if message.reply_to in self._awaiting:
                 self._pending[message.reply_to] = message
             else:
@@ -192,6 +228,71 @@ class Site:
         if handler is None:
             self._reply_error(message, NetworkError(f"unknown kind {message.kind!r}"))
             return
+        if not self.try_admit(message.kind, src=message.src):
+            self._shed(message)
+            return
+        if self.service_delay > 0:
+            self.network.simulator.schedule(
+                self.service_delay,
+                lambda: self._serve(message, handler),
+                label=f"serve {message.kind} @ {self.site_id}",
+            )
+        else:
+            self._serve(message, handler)
+
+    # -- admission control ----------------------------------------------
+
+    def try_admit(self, kind: str = "", src: str = "") -> bool:
+        """Claim one slot of the inflight window (True = admitted).
+
+        Every admission must be balanced by one :meth:`release`; the
+        request paths do this when the reply goes out. The gateway
+        claims a slot per external request through the same window, so
+        TCP-borne and simulation-borne load share one budget.
+        """
+        if self.inflight_limit is not None and self.inflight >= self.inflight_limit:
+            self.shed_requests += 1
+            tel = _telemetry.ACTIVE
+            if tel is not None:
+                tel.metrics.counter("site.shed").inc()
+                tel.events.emit(
+                    "site.shed", time=self.network.now, site=self.site_id,
+                    kind=kind, src=src, inflight=self.inflight,
+                    limit=self.inflight_limit,
+                )
+            return False
+        self.inflight += 1
+        return True
+
+    def release(self) -> None:
+        """Return one admission slot (the request has been replied to)."""
+        self.inflight -= 1
+
+    def overloaded_error(self) -> OverloadError:
+        return OverloadError(
+            f"site {self.site_id} admission window full "
+            f"({self.inflight}/{self.inflight_limit})"
+        )
+
+    def _shed(self, message: Message) -> None:
+        """Refuse *message* with a structured overload reply.
+
+        Deliberately bypasses the served ledger: nothing executed, so a
+        retry of the same logical request deserves a fresh admission
+        decision instead of an eternally replayed refusal.
+        """
+        self._send_reply(
+            message,
+            {
+                "ok": False,
+                "error": "OverloadError",
+                "message": str(self.overloaded_error()),
+            },
+        )
+
+    def _serve(self, message: Message, handler: Handler) -> None:
+        """Execute one admitted request and send its reply."""
+        tel = _telemetry.ACTIVE
         span = None
         if tel is not None:
             # re-activate the caller's wire context: the server span
@@ -213,23 +314,26 @@ class Site:
         self.handling_depth += 1
         status = "ok"
         try:
-            result = handler(message)
-        except MROMError as exc:
-            status = "error"
-            if span is not None:
-                span.set(error=type(exc).__name__)
-            self._reply_error(message, exc)
-            return
+            try:
+                result = handler(message)
+            except MROMError as exc:
+                status = "error"
+                if span is not None:
+                    span.set(error=type(exc).__name__)
+                self._reply_error(message, exc)
+                return
+            self._reply(message, {"ok": True, "result": self.export_value(result)})
         except BaseException as exc:
-            status = "error"
-            if span is not None:
-                span.set(error=type(exc).__name__)
+            if status == "ok":
+                status = "error"
+                if span is not None:
+                    span.set(error=type(exc).__name__)
             raise
         finally:
             self.handling_depth -= 1
             if span is not None:
                 tel.end_span(span, status=status)
-        self._reply(message, {"ok": True, "result": self.export_value(result)})
+            self.release()
 
     def _reply(self, request: Message, payload: Any) -> None:
         if request.request_id:
@@ -413,6 +517,70 @@ class Site:
             ) from last_error
         raise last_error
 
+    def request_async(
+        self,
+        dst: str,
+        kind: str,
+        payload: Any,
+        policy: RetryPolicy | None = None,
+    ) -> BatchFuture:
+        """Send a request without pumping; returns a future.
+
+        The future settles when the reply is delivered during *any*
+        simulator pump — :meth:`wait`, a concurrent synchronous call, or
+        an explicit ``network.run()``. With a :class:`RetryPolicy`
+        (per-call, or the site's default), timeouts and retries are
+        scheduled simulator events sharing one ``request_id``, exactly as
+        deterministic as the blocking path. Remote failures settle the
+        future with the typed rebuilt error (an
+        :class:`~repro.core.errors.OverloadError` for shed requests).
+
+        With telemetry enabled the call is counted and the *current*
+        trace context (if any) is stamped into the envelope; no client
+        span is opened — an async call is not an interval on this
+        site's context stack.
+        """
+        policy = policy if policy is not None else self.retry_policy
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("rmi.async.requests").inc()
+            context = tel.current_context()
+            if context is not None:
+                payload = attach_trace(payload, context.to_wire())
+        future: BatchFuture = BatchFuture()
+        call = AsyncCall(
+            self, dst, kind, self.export_value(payload), policy, future
+        )
+        call.start()
+        return future
+
+    def wait(self, future: BatchFuture) -> Any:
+        """Pump the simulator until *future* settles; return its result.
+
+        Raises :class:`~repro.core.errors.NetworkError` if the
+        simulation drains without the reply (mirrors the policy-free
+        blocking path).
+        """
+        self.network.run_while(lambda: not future.done)
+        if not future.done:
+            raise NetworkError(
+                "simulation drained before the request resolved"
+            )
+        return future.result()
+
+    def wait_all(self, futures: Sequence[BatchFuture]) -> list:
+        """Pump until every future settles; returns their results
+        (raising the first stored failure encountered)."""
+        self.network.run_while(
+            lambda: any(not future.done for future in futures)
+        )
+        unresolved = sum(1 for future in futures if not future.done)
+        if unresolved:
+            raise NetworkError(
+                f"simulation drained with {unresolved} request(s) unresolved"
+            )
+        return [future.result() for future in futures]
+
     def _claim_reply(self, attempt_ids: Sequence[int]) -> Message | None:
         """Pop the reply to whichever attempt of a logical request landed."""
         for msg_id in attempt_ids:
@@ -434,6 +602,10 @@ class Site:
     def _decode_reply(self, reply: Message) -> Any:
         body = reply.payload
         if isinstance(body, Mapping) and body.get("ok") is False:
+            if body.get("error") == "OverloadError":
+                # a shed is a structured refusal, not a remote crash:
+                # surface it under its own type so callers can back off
+                raise OverloadError(body.get("message", "remote overloaded"))
             raise RemoteInvocationError(
                 body.get("message", "remote failure"),
                 remote_type=body.get("error", ""),
@@ -545,6 +717,56 @@ class Site:
         policy: RetryPolicy | None = None,
     ) -> dict:
         return self.request(
+            dst,
+            "describe",
+            {"target": guid, "caller": self._caller_payload(caller)},
+            policy=policy,
+        )
+
+    def remote_invoke_async(
+        self,
+        dst: str,
+        guid: str,
+        method: str,
+        args: Sequence[Any] = (),
+        caller: Principal | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> BatchFuture:
+        return self.request_async(
+            dst,
+            "invoke",
+            {
+                "target": guid,
+                "method": method,
+                "args": list(args),
+                "caller": self._caller_payload(caller),
+            },
+            policy=policy,
+        )
+
+    def remote_get_data_async(
+        self,
+        dst: str,
+        guid: str,
+        name: str,
+        caller: Principal | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> BatchFuture:
+        return self.request_async(
+            dst,
+            "get_data",
+            {"target": guid, "name": name, "caller": self._caller_payload(caller)},
+            policy=policy,
+        )
+
+    def remote_describe_async(
+        self,
+        dst: str,
+        guid: str,
+        caller: Principal | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> BatchFuture:
+        return self.request_async(
             dst,
             "describe",
             {"target": guid, "caller": self._caller_payload(caller)},

@@ -48,6 +48,7 @@ class Simulator:
         self._now = 0.0
         self._queue: list[Event] = []
         self._seq = itertools.count()
+        self._queued: set[int] = set()
         self._cancelled: set[int] = set()
         self.seed = seed
         self.rng = random.Random(seed)
@@ -80,6 +81,7 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         event = Event(self._now + delay, next(self._seq), action, label)
         heapq.heappush(self._queue, event)
+        self._queued.add(event.seq)
         return event
 
     def schedule_at(
@@ -89,23 +91,36 @@ class Simulator:
         return self.schedule(time - self._now, action, label)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event (lazy removal)."""
-        self._cancelled.add(event.seq)
+        """Cancel a pending event (lazy removal).
+
+        Cancelling an event that already fired (or was already cancelled)
+        is a no-op: only seqs still in the queue enter ``_cancelled``, so
+        ``pending`` stays exact and the set cannot accumulate stale
+        entries.
+        """
+        if event.seq in self._queued:
+            self._cancelled.add(event.seq)
+
+    def _skip_cancelled(self) -> None:
+        """Pop cancelled events off the head of the queue."""
+        while self._queue and self._queue[0].seq in self._cancelled:
+            event = heapq.heappop(self._queue)
+            self._queued.discard(event.seq)
+            self._cancelled.discard(event.seq)
 
     # -- execution --------------------------------------------------------------
 
     def step(self) -> bool:
         """Process the next event; returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.seq in self._cancelled:
-                self._cancelled.discard(event.seq)
-                continue
-            self._now = event.time
-            self.events_processed += 1
-            event.action()
-            return True
-        return False
+        self._skip_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._queued.discard(event.seq)
+        self._now = event.time
+        self.events_processed += 1
+        event.action()
+        return True
 
     def run(self, max_events: int | None = None) -> int:
         """Run until the queue drains (or *max_events* fire)."""
@@ -120,9 +135,17 @@ class Simulator:
 
     def run_until(self, time: float) -> int:
         """Run events with ``event.time <= time``; advance the clock to
-        *time* even if the queue drains earlier."""
+        *time* even if the queue drains earlier.
+
+        Cancelled events at the head are skipped *before* the deadline
+        check: a cancelled head must not let a live event past the
+        deadline sneak into this window.
+        """
         fired = 0
-        while self._queue and self._queue[0].time <= time:
+        while True:
+            self._skip_cancelled()
+            if not self._queue or self._queue[0].time > time:
+                break
             if not self.step():
                 break
             fired += 1
@@ -148,6 +171,7 @@ class Simulator:
 
     @property
     def pending(self) -> int:
+        # exact: _cancelled only ever holds seqs still in the queue
         return len(self._queue) - len(self._cancelled)
 
     def __repr__(self) -> str:

@@ -108,3 +108,52 @@ class TestLifecycle:
             assert active.invoke("increment") == 1
         with pytest.raises(ConcurrencyError):
             active.invoke_async("increment")
+
+    def test_submit_racing_stop_never_strands_the_future(self):
+        """Regression: a submit that passed the `_stopped` check but
+        enqueued *after* the ``_STOP`` sentinel used to leave its future
+        unresolved forever (the worker had already exited).
+
+        The interleaving is forced, not lucky: the submitting thread is
+        held between its liveness check and its ``put`` until ``stop()``
+        has enqueued the sentinel, and ``stop()`` is held before its
+        join until the racy item has landed behind the sentinel.
+        """
+        active = ActiveObject(build_counter())
+        stop_enqueued = threading.Event()
+        submitter_in_put = threading.Event()
+        racy_put_done = threading.Event()
+        mailbox = active._mailbox
+        original_put = mailbox.put
+
+        def racing_put(item, *args, **kwargs):
+            if isinstance(item, tuple):  # the racy work item
+                submitter_in_put.set()
+                assert stop_enqueued.wait(5)  # let _STOP go in first
+                original_put(item, *args, **kwargs)
+                racy_put_done.set()
+            else:  # the _STOP sentinel
+                original_put(item, *args, **kwargs)
+                stop_enqueued.set()
+
+        mailbox.put = racing_put
+        original_join = active._worker.join
+
+        def join_after_racy_put(timeout=None):
+            assert racy_put_done.wait(5)  # the item lands pre-drain
+            original_join(timeout)
+
+        active._worker.join = join_after_racy_put
+
+        futures = []
+        submitter = threading.Thread(
+            target=lambda: futures.append(active.invoke_async("increment"))
+        )
+        submitter.start()
+        assert submitter_in_put.wait(5)  # past the _stopped check
+        active.stop()
+        submitter.join(5)
+        assert futures, "the racy submit should have produced a future"
+        error = futures[0].exception(timeout=5)  # pre-fix: never resolves
+        assert isinstance(error, ConcurrencyError)
+        assert active.rejected == 1

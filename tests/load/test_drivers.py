@@ -1,0 +1,148 @@
+"""Op profiles and the closed/open-loop drivers in isolation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.load import (
+    DEFAULT_PROFILE,
+    ClosedLoopDriver,
+    DriverStats,
+    LatencyRecorder,
+    OpenLoopDriver,
+    OpProfile,
+)
+from repro.net import LAN, Network, Site
+from repro.sim import Simulator
+
+pytestmark = pytest.mark.load
+
+
+class TestOpProfile:
+    def test_weights_validate(self):
+        with pytest.raises(ValueError):
+            OpProfile(invoke=-1.0)
+        with pytest.raises(ValueError):
+            OpProfile(invoke=0, get_data=0, describe=0, migrate=0)
+
+    def test_pick_is_deterministic_per_seed(self):
+        draws = [
+            [DEFAULT_PROFILE.pick(random.Random(7)) for _ in range(20)]
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_pick_tracks_weights(self):
+        profile = OpProfile(invoke=1.0, get_data=0.0, describe=0.0, migrate=0.0)
+        rng = random.Random(3)
+        assert {profile.pick(rng) for _ in range(50)} == {"invoke"}
+
+    def test_parse_spec(self):
+        profile = OpProfile.parse("invoke=70, get_data=30")
+        assert profile.invoke == 70
+        assert profile.get_data == 30
+        assert profile.describe == 0  # a spec states the whole mix
+        assert profile.migrate == 0
+
+    def test_parse_rejects_unknown_ops_and_bad_weights(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            OpProfile.parse("teleport=1")
+        with pytest.raises(ValueError, match="bad weight"):
+            OpProfile.parse("invoke=lots")
+
+
+def two_site_world():
+    network = Network(Simulator(0))
+    client = Site(network, "client")
+    server = Site(network, "server")
+    network.topology.connect("client", "server", *LAN)
+    counter = server.create_object(display_name="counter")
+    counter.define_fixed_data("count", 0)
+    counter.define_fixed_method(
+        "increment", "self.set('count', self.get('count') + 1)\n"
+                     "return self.get('count')"
+    )
+    counter.seal()
+    server.register_object(counter)
+    return network, client, server, counter
+
+
+class TestClosedLoop:
+    def test_one_outstanding_request_chained_to_budget(self):
+        network, client, server, counter = two_site_world()
+        stats, recorder = DriverStats(), LatencyRecorder()
+        issue = lambda: client.remote_invoke_async(  # noqa: E731
+            "server", counter.guid, "increment"
+        )
+        driver = ClosedLoopDriver(
+            client, issue, lambda: stats.issued < 25, stats, recorder
+        )
+        driver.start()
+        network.run()
+        assert stats.issued == stats.completed == stats.ok == 25
+        assert stats.unresolved == 0
+        assert counter.get_data("count", caller=counter.owner) == 25
+        assert recorder.count == 25
+
+    def test_think_time_spaces_the_chain(self):
+        network, client, server, counter = two_site_world()
+        stats, recorder = DriverStats(), LatencyRecorder()
+        issue = lambda: client.remote_invoke_async(  # noqa: E731
+            "server", counter.guid, "increment"
+        )
+        driver = ClosedLoopDriver(
+            client, issue, lambda: stats.issued < 10, stats, recorder,
+            think_time=1.0,
+        )
+        driver.start()
+        network.run()
+        assert stats.ok == 10
+        assert network.now >= 9.0  # nine think gaps separate ten requests
+
+
+class TestOpenLoop:
+    def test_arrivals_do_not_wait_for_completions(self):
+        network, client, server, counter = two_site_world()
+        server.service_delay = 0.5  # far slower than the arrival gap
+        stats, recorder = DriverStats(), LatencyRecorder()
+        issue = lambda: client.remote_invoke_async(  # noqa: E731
+            "server", counter.guid, "increment"
+        )
+        driver = OpenLoopDriver(
+            client, issue, lambda: stats.issued < 20, stats, recorder,
+            rate=100.0,
+        )
+        driver.start()
+        network.run()
+        assert stats.issued == stats.completed == 20
+        # closed-loop would need >= 10s of service time serialized; open
+        # arrivals overlapped so the run finishes just after the last
+        # service completes
+        assert network.now < 20 * 0.5
+
+    def test_rate_must_be_positive(self):
+        network, client, _server, _counter = two_site_world()
+        with pytest.raises(ValueError):
+            OpenLoopDriver(
+                client, lambda: None, lambda: False,
+                DriverStats(), LatencyRecorder(), rate=0.0,
+            )
+
+    def test_poisson_gaps_are_seed_deterministic(self):
+        def run(seed):
+            network, client, server, counter = two_site_world()
+            stats, recorder = DriverStats(), LatencyRecorder()
+            issue = lambda: client.remote_invoke_async(  # noqa: E731
+                "server", counter.guid, "increment"
+            )
+            driver = OpenLoopDriver(
+                client, issue, lambda: stats.issued < 30, stats, recorder,
+                rate=50.0, rng=network.simulator.derive_rng("arrivals"),
+            )
+            driver.start()
+            network.run()
+            return network.now, stats.to_mapping()
+
+        assert run(5) == run(5)

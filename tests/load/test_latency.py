@@ -1,0 +1,98 @@
+"""The fixed-bucket latency recorder and its interpolated percentiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.load import LatencyRecorder
+from repro.telemetry import enabled
+
+pytestmark = pytest.mark.load
+
+
+class TestRecorder:
+    def test_empty_recorder_reports_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.count == 0
+        assert recorder.percentile(0.5) == 0.0
+        assert recorder.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_counts_sum_and_extremes(self):
+        recorder = LatencyRecorder()
+        for value in (0.001, 0.002, 0.010):
+            recorder.observe(value)
+        assert recorder.count == 3
+        assert recorder.total == pytest.approx(0.013)
+        assert recorder.min == 0.001
+        assert recorder.max == 0.010
+        assert recorder.mean == pytest.approx(0.013 / 3)
+
+    def test_bucket_edges_are_inclusive_below(self):
+        recorder = LatencyRecorder(boundaries=(0.1, 1.0))
+        recorder.observe(0.1)   # lands in the first bucket (<= 0.1)
+        recorder.observe(0.5)
+        recorder.observe(99.0)  # above every bound: the +Inf bucket
+        assert recorder.counts == [1, 1, 1]
+
+    def test_percentiles_interpolate_within_buckets(self):
+        recorder = LatencyRecorder(boundaries=(0.0, 1.0))
+        for _ in range(100):
+            recorder.observe(0.5)  # all in the (0.0, 1.0] bucket
+        # the bucket spans 0..1 uniformly by assumption; the estimate is
+        # clamped to [min, max], so every quantile reads the true value
+        assert recorder.percentile(0.50) == pytest.approx(0.5)
+        assert recorder.percentile(0.99) == pytest.approx(0.5)
+
+    def test_percentile_ordering_on_spread_samples(self):
+        recorder = LatencyRecorder()
+        for index in range(1, 1001):
+            recorder.observe(index / 1000.0)  # 1ms .. 1s
+        p50, p95, p99 = (
+            recorder.percentile(q) for q in (0.50, 0.95, 0.99)
+        )
+        assert p50 < p95 < p99 <= recorder.max
+        assert p50 == pytest.approx(0.5, rel=0.25)
+        assert p99 == pytest.approx(0.99, rel=0.25)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        recorder = LatencyRecorder(boundaries=(0.001,))
+        recorder.observe(7.0)
+        recorder.observe(9.0)
+        assert recorder.percentile(0.99) == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(boundaries=())
+        with pytest.raises(ValueError):
+            LatencyRecorder(boundaries=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            LatencyRecorder().percentile(0.0)
+        with pytest.raises(ValueError):
+            LatencyRecorder().percentile(1.5)
+
+    def test_snapshot_shape(self):
+        recorder = LatencyRecorder()
+        recorder.observe(0.003)
+        snapshot = recorder.snapshot()
+        for key in ("count", "sum", "mean", "min", "max", "p50", "p95",
+                    "p99", "boundaries", "buckets"):
+            assert key in snapshot
+        assert snapshot["count"] == 1
+
+
+class TestTelemetryExport:
+    def test_samples_mirror_into_the_metrics_registry(self):
+        with enabled() as tel:
+            recorder = LatencyRecorder(name="load.latency.test")
+            recorder.observe(0.004)
+            recorder.observe(0.008)
+            histogram = tel.metrics.histogram(
+                "load.latency.test", recorder.boundaries
+            )
+            assert histogram.count == 2
+            assert histogram.total == pytest.approx(0.012)
+
+    def test_recording_works_with_telemetry_off(self):
+        recorder = LatencyRecorder()
+        recorder.observe(0.001)
+        assert recorder.count == 1

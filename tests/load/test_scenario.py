@@ -1,0 +1,128 @@
+"""End-to-end load and soak scenarios: the acceptance invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.load import (
+    LoadConfig,
+    OpProfile,
+    run_load_scenario,
+    run_soak_scenario,
+)
+from repro.telemetry import enabled
+
+pytestmark = pytest.mark.load
+
+# test-sized: the CLI smoke runs the full 10k-request shape
+SMALL = dict(sites=4, clients=4, requests=1_200)
+
+
+class TestCleanLoad:
+    def test_closed_loop_settles_every_request(self):
+        report = run_load_scenario(LoadConfig(**SMALL))
+        assert report.issued == report.requests
+        assert report.unresolved == 0
+        assert report.shed == report.failed == 0
+        assert report.ok == report.issued
+        assert report.consistent  # counters == successful increments
+        assert report.migrations > 0  # mobility ran under load
+        assert report.latency["count"] == report.ok
+        assert 0 < report.latency["p50"] <= report.latency["p95"] <= (
+            report.latency["p99"]
+        )
+        assert report.throughput > 0
+
+    def test_open_loop_settles_every_request(self):
+        report = run_load_scenario(LoadConfig(**SMALL, mode="open", rate=800))
+        assert report.unresolved == 0
+        assert report.ok == report.issued
+        assert report.consistent
+
+    def test_runs_are_seed_deterministic(self):
+        first = run_load_scenario(LoadConfig(**SMALL, seed=9))
+        second = run_load_scenario(LoadConfig(**SMALL, seed=9))
+        assert first.to_mapping() == second.to_mapping()
+
+    def test_different_seeds_differ(self):
+        first = run_load_scenario(LoadConfig(**SMALL, seed=1))
+        second = run_load_scenario(LoadConfig(**SMALL, seed=2))
+        assert first.to_mapping() != second.to_mapping()
+
+    def test_report_renders_lines_and_mapping(self):
+        report = run_load_scenario(LoadConfig(sites=4, clients=2, requests=200))
+        lines = report.to_lines()
+        assert any("p50=" in line for line in lines)
+        assert any("no lost updates" in line for line in lines)
+        mapping = report.to_mapping()
+        assert mapping["consistent"] is True
+        assert mapping["latency"]["count"] == report.ok
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(sites=0)
+        with pytest.raises(ValueError):
+            LoadConfig(mode="bursty")
+        with pytest.raises(ValueError):
+            LoadConfig(rate=0)
+
+
+class TestBackpressure:
+    def test_window_below_offered_load_sheds_structured(self):
+        report = run_load_scenario(LoadConfig(
+            **SMALL, mode="open", rate=2_000.0,
+            inflight_limit=2, service_delay=0.002,
+            profile=OpProfile(invoke=1.0, get_data=0, describe=0, migrate=0),
+        ))
+        assert report.shed > 0
+        assert report.failed == 0  # non-shed requests all complete
+        assert report.unresolved == 0  # a shed is a settled outcome
+        assert report.ok + report.shed == report.issued
+        assert report.consistent
+        assert sum(report.server_sheds.values()) >= report.shed
+
+    def test_shed_count_visible_in_telemetry(self):
+        with enabled() as tel:
+            report = run_load_scenario(LoadConfig(
+                sites=4, clients=4, requests=400, mode="open", rate=2_000.0,
+                inflight_limit=1, service_delay=0.002,
+                profile=OpProfile(invoke=1.0, get_data=0, describe=0,
+                                  migrate=0),
+            ))
+            assert report.shed > 0
+            assert tel.metrics.counter_value("site.shed") == sum(
+                report.server_sheds.values()
+            )
+            shed_events = [e for e in tel.events if e.name == "site.shed"]
+            assert shed_events
+            assert {e.attrs["site"] for e in shed_events} <= set(
+                report.server_sheds
+            )
+            reports = [e for e in tel.events if e.name == "load.report"]
+            assert reports and reports[-1].attrs["shed"] == report.shed
+
+    def test_generous_window_never_sheds(self):
+        report = run_load_scenario(LoadConfig(
+            sites=4, clients=2, requests=400, inflight_limit=64,
+            service_delay=0.001,
+        ))
+        assert report.shed == 0
+        assert report.ok == report.issued
+
+
+class TestSoak:
+    def test_soak_settles_everything_despite_faults(self):
+        report = run_soak_scenario(LoadConfig(**SMALL))
+        assert report.soak
+        assert report.faults.get("drop", 0) > 0  # faults actually fired
+        assert report.faults.get("duplicate", 0) > 0
+        assert report.unresolved == 0  # every future settled anyway
+        assert report.consistent  # dedup held: no double increments
+        assert report.ok == report.issued  # retries carried all to success
+
+    def test_soak_is_seed_deterministic(self):
+        first = run_soak_scenario(LoadConfig(sites=4, clients=2,
+                                             requests=400, seed=3))
+        second = run_soak_scenario(LoadConfig(sites=4, clients=2,
+                                              requests=400, seed=3))
+        assert first.to_mapping() == second.to_mapping()

@@ -7,7 +7,13 @@ import textwrap
 import pytest
 
 from repro.core import Principal, owner_only
-from repro.core.errors import NetworkError
+from repro.core.errors import (
+    AccessDeniedError,
+    MethodNotFoundError,
+    NamingError,
+    NetworkError,
+    OverloadError,
+)
 from repro.net import Network, Site, WAN
 from repro.net.gateway import TcpGateway, TcpGatewayClient
 from repro.sim import Simulator
@@ -67,7 +73,7 @@ class TestGateway:
         guarded.seal()
         haifa.register_object(guarded)
         with TcpGatewayClient(gateway.host, gateway.port) as client:
-            with pytest.raises(NetworkError, match="AccessDeniedError"):
+            with pytest.raises(AccessDeniedError):
                 client.invoke(guarded.guid, "secret")
             # a client claiming the owner's principal passes (authn is
             # out of scope, per the protocol spec)
@@ -78,12 +84,25 @@ class TestGateway:
             assert result == 42
 
     def test_errors_cross_the_bridge_typed(self, gated_world):
+        """Regression: every remote failure used to collapse into a bare
+        NetworkError, so external callers could not tell denial from
+        absence. The wire `error` name now maps back to the matching
+        MROMError subclass."""
         gateway, _haifa, _boston, counter = gated_world
         with TcpGatewayClient(gateway.host, gateway.port) as client:
-            with pytest.raises(NetworkError, match="MethodNotFoundError"):
+            with pytest.raises(MethodNotFoundError, match="no_such_method"):
                 client.invoke(counter.guid, "no_such_method")
             with pytest.raises(NetworkError, match="not at haifa"):
                 client.invoke("mrom://haifa/99.99", "anything")
+            with pytest.raises(NamingError, match="cannot resolve"):
+                client.resolve("no/such/name")
+            # denial vs absence are now distinct catchable types
+            try:
+                client.invoke(counter.guid, "no_such_method")
+            except AccessDeniedError:  # pragma: no cover - the bug
+                pytest.fail("absence must not surface as denial")
+            except MethodNotFoundError:
+                pass
 
     def test_gateway_request_can_pump_the_simulation(self, gated_world):
         gateway, haifa, boston, _counter = gated_world
@@ -125,6 +144,64 @@ class TestGateway:
             thread.join()
         assert not errors
         assert counter.get_data("count") == 100
+
+    def test_concurrent_clients_under_backpressure_limits(self, gated_world):
+        """Several clients hammering one gateway simultaneously: the
+        kernel lock serializes them, so even an admission window of 1
+        never sheds, no reply is lost or cross-wired, and
+        ``requests_served`` accounts for every request exactly once."""
+        import threading
+
+        gateway, haifa, _boston, counter = gated_world
+        haifa.inflight_limit = 1  # the lock keeps inflight at <= 1
+        clients, per_client = 6, 20
+        served_before = gateway.requests_served
+        errors: list = []
+        replies: dict[int, list] = {}
+
+        def hammer(worker: int) -> None:
+            mine: list = []
+            replies[worker] = mine
+            try:
+                with TcpGatewayClient(gateway.host, gateway.port) as client:
+                    for _ in range(per_client):
+                        mine.append(client.invoke(counter.guid, "increment"))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert haifa.shed_requests == 0  # serialization held the window
+        assert haifa.inflight == 0  # every admission was released
+        total = clients * per_client
+        assert counter.get_data("count") == total
+        assert gateway.requests_served - served_before == total
+        # no interleaved replies: each client saw strictly increasing
+        # counter values, and together they saw every value exactly once
+        seen: list[int] = []
+        for mine in replies.values():
+            assert mine == sorted(mine)
+            seen.extend(mine)
+        assert sorted(seen) == list(range(1, total + 1))
+
+    def test_gateway_sheds_typed_overload_when_window_closed(self, gated_world):
+        gateway, haifa, _boston, counter = gated_world
+        haifa.inflight_limit = 0  # admit nothing: every request sheds
+        with TcpGatewayClient(gateway.host, gateway.port) as client:
+            with pytest.raises(OverloadError, match="admission window full"):
+                client.invoke(counter.guid, "increment")
+        assert haifa.shed_requests == 1
+        assert counter.get_data("count") == 0
+        haifa.inflight_limit = None
+        with TcpGatewayClient(gateway.host, gateway.port) as client:
+            assert client.invoke(counter.guid, "increment") == 1
 
     def test_truly_external_process(self, gated_world):
         """The acid test: a separate Python interpreter talks to the

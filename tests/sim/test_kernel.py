@@ -77,6 +77,54 @@ class TestControl:
         sim.run()
         assert fired == ["kept"]
 
+    def test_run_until_skips_cancelled_head_before_deadline_check(self):
+        # regression: a cancelled event at the head used to pass the
+        # `head.time <= time` peek, and step() would then fire the next
+        # *live* event even when its time lay past the deadline
+        sim = Simulator()
+        fired = []
+        doomed = sim.schedule(1.0, lambda: fired.append("doomed"))
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.cancel(doomed)
+        assert sim.run_until(2.0) == 0
+        assert fired == []
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["late"]
+        assert sim.now == 5.0
+
+    def test_run_until_fires_live_events_behind_cancelled_head(self):
+        sim = Simulator()
+        fired = []
+        doomed = sim.schedule(0.5, lambda: fired.append("doomed"))
+        sim.schedule(1.0, lambda: fired.append("kept"))
+        sim.cancel(doomed)
+        assert sim.run_until(2.0) == 1
+        assert fired == ["kept"]
+
+    def test_pending_survives_double_cancel(self):
+        # regression: cancelling the same event twice used to count it
+        # twice in the lazy-removal set, making `pending` undercount
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.pending == 1
+
+    def test_pending_survives_cancel_after_fire(self):
+        # regression: cancelling an event that already fired used to
+        # poison `pending` forever (the seq was never popped again)
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.cancel(event)
+        assert sim.pending == 0
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
     def test_run_while_converges(self):
         sim = Simulator()
         box = {"done": False}

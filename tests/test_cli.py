@@ -126,3 +126,35 @@ class TestStore:
         store._image_path(guid, version).write_bytes(b"junk")
         assert main(["store", "--root", str(root), "verify"]) == 1
         assert "CORRUPT" in capsys.readouterr().out
+
+
+@pytest.mark.load
+class TestLoad:
+    def test_load_reports_percentiles(self, capsys):
+        assert main(["load", "--requests", "300", "--clients", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "p50=" in out and "p99=" in out
+        assert "unresolved=0" in out
+        assert "no lost updates" in out
+
+    def test_load_json_report(self, capsys):
+        import json
+
+        assert main(["load", "--requests", "200", "--clients", "2",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["unresolved"] == 0
+        assert report["consistent"] is True
+        assert {"p50", "p95", "p99"} <= set(report["latency"])
+
+    def test_load_window_sheds(self, capsys):
+        assert main([
+            "load", "--requests", "400", "--mode", "open", "--rate", "2000",
+            "--window", "1", "--service-delay", "0.002",
+            "--mix", "invoke=1",
+        ]) == 0
+        assert "sheds" in capsys.readouterr().out
+
+    def test_load_bad_mix_is_a_usage_error(self, capsys):
+        with pytest.raises(ValueError, match="unknown op"):
+            main(["load", "--requests", "10", "--mix", "teleport=1"])
