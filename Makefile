@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath load-smoke load-tests examples series check all trace-smoke
+.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath load-smoke load-tests recover-smoke recovery-tests bench-recovery examples series check all trace-smoke
 
 install:
 	$(PYTHON) setup.py develop || pip install -e .
@@ -51,12 +51,27 @@ load-smoke:
 load-tests:
 	$(PYTHON) -m pytest -m load tests/
 
+# Durability acceptance: the crash-and-restart soak (>= 3 whole-site
+# kill/restart cycles under fault injection; closed-form accounting and
+# exactly-once ownership must hold across them).
+recover-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro recover --selftest
+
+# Only the WAL / crash-recovery test suite (marker: recovery).
+recovery-tests:
+	$(PYTHON) -m pytest -m recovery tests/
+
+# The recovery acceptance bench: recovery-time ceiling, replay-
+# throughput floor, durability-off overhead. Writes BENCH_recovery.json.
+bench-recovery:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_perf12_recovery.py --benchmark-only -q
+
 series: bench
 	@echo; for f in benchmarks/out/*.txt; do echo "--- $$f"; cat $$f; echo; done
 
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; echo; done
 
-check: test lint trace-smoke load-smoke bench
+check: test lint trace-smoke load-smoke recover-smoke bench
 
 all: install check examples

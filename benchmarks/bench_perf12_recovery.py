@@ -1,0 +1,210 @@
+"""PERF-12: WAL durability and crash recovery.
+
+Drives the durability plane's acceptance shapes and snapshots what they
+measure into ``BENCH_recovery.json`` at the repo root:
+
+* **crash soak** — a durable closed-loop soak in which whole sites are
+  killed and recovered from their write-ahead logs ``CYCLES`` times
+  must keep every closed-form invariant: zero lost replies, zero lost
+  updates, exactly-once ownership of every application object after
+  the dust settles;
+* **recovery time** — no single in-soak recovery may take longer than
+  ``MAX_RECOVERY_SECONDS`` of wall clock (restart latency is the
+  durability plane's service-level number);
+* **replay throughput** — folding a ``REPLAY_RECORDS``-record log back
+  into a live site must sustain at least ``MIN_REPLAY_RATE`` records
+  per wall second (decode + checksum + fold, the whole pipeline);
+* **durability-off overhead** — with no journal attached the hot path
+  pays only ``journal is not None`` guards; their measured cost per
+  request must stay under ``MAX_OFF_OVERHEAD`` of the request cost
+  (same method as PERF-9's telemetry-off guard accounting).
+
+Soak numbers are simulated-time and seeded — a regression there is a
+behavioural change. The two wall-clock numbers (recovery time, replay
+rate) have deliberately loose floors so CI jitter cannot trip them.
+"""
+
+import time
+from pathlib import Path
+
+from repro.load import LoadConfig, run_load_scenario, run_soak_scenario
+from repro.mobility.package import pack
+from repro.net.site import Site
+from repro.net.transport import Network
+from repro.persistence import MemoryStore, WriteAheadLog, recover_site
+from repro.sim import Simulator
+from repro.telemetry import Telemetry, enabled
+from repro.telemetry.exporters import write_bench_json
+
+from .series import emit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: enforced floors/ceilings (the PR's acceptance criteria)
+MAX_RECOVERY_SECONDS = 1.0    # wall clock, per in-soak recovery
+MIN_REPLAY_RATE = 2_000.0     # records per wall second, big-log replay
+MAX_OFF_OVERHEAD = 0.03       # durability-off guard cost / request cost
+
+REQUESTS = 3_000
+SITES = 4
+CLIENTS = 4
+CYCLES = 3
+REPLAY_RECORDS = 4_000
+
+
+def _big_log() -> WriteAheadLog:
+    """A log the size a busy site accumulates between compactions: one
+    object image followed by REPLAY_RECORDS served-reply records."""
+    network = Network(Simulator(0))
+    site = Site(network, "bench", "bench")
+    counter = site.create_object(display_name="bench-counter")
+    counter.define_fixed_data("count", 0)
+    counter.define_fixed_method(
+        "increment",
+        "self.set('count', self.get('count') + 1)\nreturn self.get('count')",
+    )
+    counter.seal()
+    site.register_object(counter)
+    image = pack(counter, strip_native_wrappers=True)
+
+    wal = WriteAheadLog(MemoryStore())
+    wal.append(
+        "object.image", {"guid": counter.guid, "package": image},
+        site="bench", time=0.0,
+    )
+    for index in range(REPLAY_RECORDS - 1):
+        wal.append(
+            "served.reply",
+            {"kind": "invoke", "request_id": f"req-{index}",
+             "reply": {"status": "ok", "value": index}},
+            site="bench", time=float(index),
+        )
+    return wal
+
+
+def _guard_seconds() -> float:
+    """Mean wall cost of one ``site.journal is not None`` check."""
+    network = Network(Simulator(0))
+    site = Site(network, "guard", "guard")
+    assert site.journal is None
+    rounds = 200_000
+    started = time.perf_counter()
+    hits = 0
+    for _ in range(rounds):
+        if site.journal is not None:  # the durability-off hot path
+            hits += 1
+    elapsed = time.perf_counter() - started
+    assert hits == 0
+    return elapsed / rounds
+
+
+def test_perf12_recovery(benchmark):
+    # -- crash soak: kill/restart whole sites under faulty load ---------
+    with enabled(Telemetry()) as tel:
+        soak = run_soak_scenario(LoadConfig(
+            sites=SITES, clients=CLIENTS, requests=REQUESTS, mode="closed",
+            durable=True, crash_cycles=CYCLES,
+        ))
+    recoveries = soak.recovery_reports
+    slowest = max(
+        (report.replay_seconds for report in recoveries), default=0.0
+    )
+    replayed = sum(report.records_replayed for report in recoveries)
+
+    # -- replay throughput: a big log folded back into a live site ------
+    wal = _big_log()
+    _site, _manager, replay = recover_site(
+        Network(Simulator(0)), "bench", wal, domain="bench"
+    )
+    replay_rate = replay.records_replayed / max(replay.replay_seconds, 1e-9)
+
+    # -- durability-off overhead: guards on a journal-less hot path -----
+    started = time.perf_counter()
+    off = run_load_scenario(LoadConfig(
+        sites=SITES, clients=CLIENTS, requests=REQUESTS, mode="closed",
+    ))
+    off_wall = time.perf_counter() - started
+    per_request = off_wall / off.issued
+    # the serve path consults the guard a handful of times per request
+    # (register/reply/batch plus the transfer hooks); 8 is a ceiling
+    guard = _guard_seconds()
+    off_overhead = (guard * 8) / per_request
+
+    emit(
+        "perf12_recovery",
+        f"PERF-12: WAL durability and crash recovery "
+        f"({SITES} sites x {CLIENTS} clients, {REQUESTS} requests, "
+        f"{CYCLES} kill/restart cycles)",
+        ["metric", "value", "floor/ceiling"],
+        [
+            ("soak ok", soak.ok, f"== {REQUESTS}"),
+            ("soak unresolved", soak.unresolved, "== 0"),
+            ("restarts completed", soak.restarts, f">= {CYCLES}"),
+            ("exactly-once ownership", soak.exactly_once, "True"),
+            ("records replayed in soak", replayed, ">= 1"),
+            ("slowest recovery s", slowest, f"<= {MAX_RECOVERY_SECONDS}"),
+            ("replay records", replay.records_replayed,
+             f"== {REPLAY_RECORDS}"),
+            ("replay rate records/s", replay_rate, f">= {MIN_REPLAY_RATE}"),
+            ("guard cost ns", guard * 1e9, "-"),
+            ("request cost us", per_request * 1e6, "-"),
+            ("durability-off overhead", off_overhead,
+             f"<= {MAX_OFF_OVERHEAD}"),
+        ],
+    )
+    write_bench_json(
+        REPO_ROOT / "BENCH_recovery.json",
+        tel.metrics,
+        name="perf12_recovery",
+        extra={
+            "requests": REQUESTS,
+            "sites": SITES,
+            "clients": CLIENTS,
+            "crash_cycles": CYCLES,
+            "soak_ok": soak.ok,
+            "soak_unresolved": soak.unresolved,
+            "restarts": soak.restarts,
+            "exactly_once": soak.exactly_once,
+            "soak_records_replayed": replayed,
+            "slowest_recovery_s": round(slowest, 6),
+            "max_recovery_s": MAX_RECOVERY_SECONDS,
+            "replay_records": replay.records_replayed,
+            "replay_rate_per_s": round(replay_rate, 2),
+            "min_replay_rate_per_s": MIN_REPLAY_RATE,
+            "guard_cost_ns": round(guard * 1e9, 3),
+            "request_cost_us": round(per_request * 1e6, 3),
+            "durability_off_overhead": round(off_overhead, 6),
+            "max_durability_off_overhead": MAX_OFF_OVERHEAD,
+        },
+    )
+
+    assert soak.ok == REQUESTS and soak.unresolved == 0, (
+        f"crash soak lost requests: ok={soak.ok} "
+        f"unresolved={soak.unresolved}"
+    )
+    assert soak.consistent, "crash soak lost updates across restarts"
+    assert soak.restarts >= CYCLES, (
+        f"only {soak.restarts}/{CYCLES} kill/restart cycles completed"
+    )
+    assert soak.exactly_once, (
+        f"ownership not exactly-once after recovery: "
+        f"{soak.durable.get('ownership')}"
+    )
+    assert slowest <= MAX_RECOVERY_SECONDS, (
+        f"slowest in-soak recovery took {slowest:.3f}s "
+        f"(ceiling {MAX_RECOVERY_SECONDS}s)"
+    )
+    assert replay.records_replayed == REPLAY_RECORDS
+    assert replay_rate >= MIN_REPLAY_RATE, (
+        f"replay sustained only {replay_rate:.0f} records/s "
+        f"(floor {MIN_REPLAY_RATE})"
+    )
+    assert off_overhead <= MAX_OFF_OVERHEAD, (
+        f"durability-off guards cost {off_overhead * 100:.2f}% of a "
+        f"request (ceiling {MAX_OFF_OVERHEAD * 100:.0f}%)"
+    )
+
+    benchmark(lambda: run_soak_scenario(LoadConfig(
+        sites=SITES, clients=CLIENTS, requests=500,
+        durable=True, crash_cycles=1,
+    )))

@@ -20,11 +20,23 @@ Commands:
   cross-wire trace invariants, exiting non-zero on any violation.
 * ``load [--mode closed|open] [--sites N] [--clients N] [--requests N]
   [--rate R] [--window N] [--service-delay S] [--mix SPEC] [--soak]
-  [--seed N] [--json] [--smoke]`` — drive a mixed workload through a
-  multi-site world and report throughput, shed/failure accounting and
-  p50/p95/p99 latencies (see ``docs/LOAD.md``); ``--smoke`` runs the
-  acceptance pair (sustain + overload) and exits non-zero on any
-  violated invariant.
+  [--durable] [--backend memory|file|sqlite] [--wal-root DIR]
+  [--crash-cycles N] [--seed N] [--json] [--smoke]`` — drive a mixed
+  workload through a multi-site world and report throughput,
+  shed/failure accounting and p50/p95/p99 latencies (see
+  ``docs/LOAD.md``); ``--durable`` journals every site to a
+  write-ahead log and ``--crash-cycles`` kills and WAL-recovers whole
+  sites mid-run; ``--smoke`` runs the acceptance pair (sustain +
+  overload) and exits non-zero on any violated invariant.
+* ``recover --selftest [--seed N]`` / ``recover --root DIR
+  [--backend file|sqlite] [--json]`` — durability tooling (see
+  ``docs/DURABILITY.md``): ``--selftest`` runs the seeded
+  crash-recovery acceptance soak (repeated site kill/restart under
+  faulty load; exactly-once ownership, zero lost replies, zero lost
+  updates) and exits non-zero on any violation; offline mode opens
+  every write-ahead log under DIR, replays it through recovery, and
+  reports what a restart would reinstate, exiting non-zero if any
+  log shows unrepaired damage.
 """
 
 from __future__ import annotations
@@ -317,6 +329,9 @@ def _load_config(args) -> "object":
         mode=args.mode, rate=args.rate, think_time=args.think_time,
         seed=args.seed, inflight_limit=args.window,
         service_delay=args.service_delay, retry=retry,
+        durable=args.durable or bool(args.crash_cycles),
+        backend=args.backend, wal_root=args.wal_root,
+        crash_cycles=args.crash_cycles,
     )
     if profile is not None:
         kwargs["profile"] = profile
@@ -401,7 +416,125 @@ def _cmd_load(args: argparse.Namespace) -> int:
     else:
         for line in report.to_lines():
             print(line)
-    return 0 if report.unresolved == 0 and report.consistent else 1
+    clean = (
+        report.unresolved == 0 and report.consistent and report.exactly_once
+    )
+    return 0 if clean else 1
+
+
+def _recover_selftest(args) -> int:
+    """The crash-recovery acceptance round: a durable soak with whole
+    sites killed and WAL-recovered mid-run. Every closed-form invariant
+    from the non-crashing soak must still hold, plus exactly-once
+    ownership after the restarts."""
+    from .load import LoadConfig, run_soak_scenario
+
+    cycles = max(3, args.crash_cycles or 0)
+    # disk-backed stores only when the caller gave them a directory;
+    # the invariants under test are backend-independent
+    backend = args.backend if args.wal_root else "memory"
+    config = LoadConfig(
+        sites=max(4, args.sites), clients=max(4, args.clients),
+        requests=max(2_000, args.requests), mode="closed", seed=args.seed,
+        durable=True, backend=backend, wal_root=args.wal_root,
+        crash_cycles=cycles,
+    )
+    report = run_soak_scenario(config)
+    for line in report.to_lines():
+        print(line)
+    for recovery in report.durable.get("recoveries", []):
+        print(
+            "  recovery  site={site_id} records={records_replayed} "
+            "objects={objects_restored} served={served_restored} "
+            "unresolved={unresolved_restored} damage={damage}".format(
+                **recovery
+            )
+        )
+    problems: list[str] = []
+    if report.unresolved:
+        problems.append(f"{report.unresolved} request(s) never settled")
+    if report.ok + report.shed + report.failed != report.issued:
+        problems.append("outcome accounting does not add up")
+    if report.failed:
+        problems.append(
+            f"{report.failed} request(s) failed terminally ({report.errors})"
+        )
+    if not report.consistent:
+        problems.append(
+            f"lost updates across restarts (counters {report.counter_total} "
+            f"!= ok increments {report.invoke_ok})"
+        )
+    if report.restarts < cycles:
+        problems.append(
+            f"only {report.restarts}/{cycles} crash-restart cycles completed"
+        )
+    if not report.exactly_once:
+        problems.append(
+            f"ownership not exactly-once after recovery: "
+            f"{report.durable.get('ownership')}"
+        )
+    print(f"recover selftest: {'OK' if not problems else 'VIOLATED'}")
+    for problem in problems:
+        print(f"VIOLATION: {problem}")
+    return 1 if problems else 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from .net.transport import Network
+    from .persistence import WriteAheadLog, make_store, recover_site
+    from .sim import Simulator
+
+    if args.selftest:
+        return _recover_selftest(args)
+    if not args.root:
+        print("error: recover needs --root DIR (or --selftest)",
+              file=sys.stderr)
+        return 2
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    suffix = ".db" if args.backend == "sqlite" else ".wal"
+    logs = sorted(root.glob(f"*{suffix}"))
+    if not logs:
+        print(f"error: no *{suffix} logs under {root}", file=sys.stderr)
+        return 2
+    # an offline scratch world: replay answers "what would a restart
+    # reinstate", it does not join the logs' original internetwork
+    network = Network(Simulator())
+    damaged = 0
+    reports = []
+    for path in logs:
+        site_id = path.stem
+        wal = WriteAheadLog(
+            make_store(args.backend, root=str(root), name=site_id)
+        )
+        _site, manager, report = recover_site(
+            network, site_id, wal, domain=f"recover.{site_id}"
+        )
+        mapping = report.to_mapping()
+        mapping["pending_transfers"] = len(manager.unresolved)
+        reports.append(mapping)
+        if report.damage is not None:
+            damaged += 1
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    else:
+        for mapping in reports:
+            print(
+                "{site_id}: records={records_replayed} "
+                "objects={objects_restored} (+{objects_failed} failed) "
+                "served={served_restored} ledger={ledger_restored} "
+                "pending-transfers={pending_transfers} "
+                "snapshot={snapshot_used} damage={damage}".format(**mapping)
+            )
+        print(
+            f"recover: {len(reports)} log(s) replayed, "
+            f"{damaged} with damage"
+        )
+    return 1 if damaged else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -568,6 +701,20 @@ def build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument("--soak", action="store_true",
                              help="layer the fault plane (drops, duplicates, "
                                   "jitter) with retries armed")
+    load_parser.add_argument("--durable", action="store_true",
+                             help="journal every serving site to a "
+                                  "write-ahead log")
+    load_parser.add_argument("--backend",
+                             choices=("memory", "file", "sqlite"),
+                             default="memory",
+                             help="WAL store backend (file/sqlite need "
+                                  "--wal-root)")
+    load_parser.add_argument("--wal-root", default=None, metavar="DIR",
+                             help="directory for file/sqlite WAL stores")
+    load_parser.add_argument("--crash-cycles", type=int, default=0,
+                             metavar="N",
+                             help="kill and WAL-recover whole sites N times "
+                                  "mid-run (implies --durable)")
     load_parser.add_argument("--seed", type=int, default=0)
     load_parser.add_argument("--json", action="store_true",
                              help="machine-readable JSON report")
@@ -575,6 +722,46 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run the sustain+overload acceptance pair; "
                                   "non-zero exit on violation")
     load_parser.set_defaults(handler=_cmd_load)
+
+    recover_parser = commands.add_parser(
+        "recover",
+        help="replay write-ahead logs, or run the crash-recovery "
+             "acceptance soak",
+        description=(
+            "Durability tooling. With --selftest, run the seeded "
+            "crash-recovery acceptance round: a durable soak in which "
+            "whole sites are repeatedly killed and recovered from their "
+            "write-ahead logs; every closed-form invariant (zero lost "
+            "replies, zero lost updates, exactly-once ownership) must "
+            "hold, else exit 1. Without it, open every WAL under --root "
+            "and report what a restart would reinstate; exit 1 if any "
+            "log shows damage."
+        ),
+    )
+    recover_parser.add_argument("--selftest", action="store_true",
+                                help="run the seeded crash-recovery "
+                                     "acceptance soak")
+    recover_parser.add_argument("--root", default=None, metavar="DIR",
+                                help="directory holding the WALs to replay")
+    recover_parser.add_argument("--backend",
+                                choices=("memory", "file", "sqlite"),
+                                default="file",
+                                help="store backend (offline replay: file "
+                                     "or sqlite)")
+    recover_parser.add_argument("--wal-root", default=None, metavar="DIR",
+                                help="selftest: directory for file/sqlite "
+                                     "WAL stores")
+    recover_parser.add_argument("--sites", type=int, default=4)
+    recover_parser.add_argument("--clients", type=int, default=4)
+    recover_parser.add_argument("--requests", type=int, default=3_000)
+    recover_parser.add_argument("--crash-cycles", type=int, default=3,
+                                metavar="N",
+                                help="selftest: kill/restart cycles "
+                                     "(minimum 3)")
+    recover_parser.add_argument("--seed", type=int, default=0)
+    recover_parser.add_argument("--json", action="store_true",
+                                help="machine-readable JSON report")
+    recover_parser.set_defaults(handler=_cmd_recover)
     return parser
 
 

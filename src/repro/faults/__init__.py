@@ -10,6 +10,7 @@ See ``docs/FAULTS.md`` for the model and the exactly-once argument.
 from .injectors import (
     CrashRestartInjector,
     DropInjector,
+    DurableCrashInjector,
     DuplicateInjector,
     JitterInjector,
     LinkFlapInjector,
@@ -32,6 +33,7 @@ __all__ = [
     "ScheduledInjector",
     "LinkFlapInjector",
     "CrashRestartInjector",
+    "DurableCrashInjector",
     "ChaosReport",
     "run_chaos_scenario",
     "CHAOS_POLICY",

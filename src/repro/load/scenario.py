@@ -24,10 +24,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..core.errors import MROMError
-from ..faults import DropInjector, DuplicateInjector, FaultPlane, JitterInjector
+from ..core.errors import MROMError, TransferUnresolvedError
+from ..faults import (
+    DropInjector,
+    DuplicateInjector,
+    DurableCrashInjector,
+    FaultPlane,
+    JitterInjector,
+)
 from ..mobility import MobilityManager
 from ..net import LAN, Network, RetryPolicy, Site
+from ..persistence import (
+    BACKENDS,
+    WriteAheadLog,
+    attach_journal,
+    make_store,
+    recover_site,
+)
 from ..net.rmi import BatchFuture
 from ..sim import Simulator
 from ..telemetry import state as _telemetry
@@ -53,6 +66,17 @@ class LoadConfig:
     service_delay: float = 0.0         # per-request service time at servers
     profile: OpProfile = field(default_factory=lambda: DEFAULT_PROFILE)
     retry: RetryPolicy | None = None
+    #: durability plane: journal every serving site into a WAL
+    durable: bool = False
+    backend: str = "memory"        # WAL store backend (see persistence.BACKENDS)
+    wal_root: str | None = None    # directory for file/sqlite backends
+    #: crash-and-restart schedule (requires durable=True): kill whole
+    #: serving sites mid-run, this many cycles total, restarting each
+    #: from its WAL
+    crash_cycles: int = 0
+    crash_start: float = 0.5       # first crash fires at this sim time
+    crash_down: float = 0.4        # seconds each victim stays dark
+    crash_every: float = 1.2       # base spacing between a victim's cycles
 
     def __post_init__(self) -> None:
         if self.sites < 1 or self.clients < 1 or self.requests < 1:
@@ -61,6 +85,18 @@ class LoadConfig:
             raise ValueError(f"mode must be 'closed' or 'open', not {self.mode!r}")
         if self.rate <= 0 or self.think_time < 0 or self.service_delay < 0:
             raise ValueError("rate must be positive; delays cannot be negative")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, not {self.backend!r}"
+            )
+        if self.backend != "memory" and self.wal_root is None:
+            raise ValueError(f"backend {self.backend!r} needs wal_root")
+        if self.crash_cycles < 0:
+            raise ValueError("crash_cycles cannot be negative")
+        if self.crash_cycles and not self.durable:
+            raise ValueError("crash_cycles requires durable=True")
+        if self.crash_start < 0 or self.crash_down <= 0 or self.crash_every <= 0:
+            raise ValueError("crash schedule values must be positive")
 
 
 @dataclass
@@ -89,11 +125,30 @@ class LoadReport:
     latency: dict
     profile: dict
     faults: dict = field(default_factory=dict)
+    #: durability summary (empty for non-durable runs): restarts,
+    #: per-guid ownership counts after drain, per-recovery reports —
+    #: deterministic values only, so seed-determinism holds over mappings
+    durable: dict = field(default_factory=dict)
+    #: the raw RecoveryReport objects (wall-clock replay timings live
+    #: here, deliberately outside to_mapping)
+    recovery_reports: list = field(default_factory=list, repr=False)
 
     @property
     def consistent(self) -> bool:
         """No lost updates: counters account for every ok increment."""
         return self.counter_total == self.invoke_ok
+
+    @property
+    def restarts(self) -> int:
+        return int(self.durable.get("restarts", 0))
+
+    @property
+    def exactly_once(self) -> bool:
+        """Exactly one live copy of every application object at drain."""
+        ownership = self.durable.get("ownership")
+        if ownership is None:
+            return True
+        return all(count == 1 for count in ownership.values())
 
     def to_mapping(self) -> dict:
         return {
@@ -102,8 +157,10 @@ class LoadReport:
                 "issued", "completed", "ok", "shed", "failed", "unresolved",
                 "errors", "migrations", "invoke_ok", "counter_total",
                 "server_sheds", "duration", "throughput", "profile", "faults",
+                "durable",
             )},
             "consistent": self.consistent,
+            "exactly_once": self.exactly_once,
             "latency": self.latency,
         }
 
@@ -140,6 +197,12 @@ class LoadReport:
         if self.faults:
             pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.faults.items()))
             lines.append(f"  faults    {pairs}")
+        if self.durable:
+            lines.append(
+                f"  durable   restarts={self.restarts} "
+                + ("exactly-once ownership" if self.exactly_once
+                   else "OWNERSHIP VIOLATION")
+            )
         return lines
 
 
@@ -172,14 +235,29 @@ class _Workload:
         for site in self.servers.values():
             site.inflight_limit = config.inflight_limit
             site.service_delay = config.service_delay
+        # the durability plane attaches before any application object is
+        # registered, so the initial registrations are already journaled
+        self.wals: dict[str, WriteAheadLog] = {}
+        self.journals: dict = {}
+        self.recovery_reports: list = []
+        self.restarts = 0
+        if config.durable:
+            for name, site in self.servers.items():
+                wal = WriteAheadLog(
+                    make_store(config.backend, root=config.wal_root, name=name)
+                )
+                self.wals[name] = wal
+                self.journals[name] = attach_journal(site, wal)
         self.targets = [
             (name, self._make_counter(site).guid)
             for name, site in self.servers.items()
         ]
         self.nomad = self._make_nomad(self.servers[self.server_ids[0]])
         self.nomad_home = self.server_ids[0]
+        self.nomad_guid = self.nomad.guid
         self.migrations = 0
         self.invoke_ok = 0
+        self._hop_inflight = False
 
     @staticmethod
     def _make_counter(site: Site):
@@ -211,6 +289,61 @@ class _Workload:
             obj = self.servers[name].local_object(guid)
             total += obj.get_data("count", caller=obj.owner)
         return total
+
+    def ownership(self) -> dict[str, int]:
+        """Live-copy count per application guid across serving sites."""
+        guids = [guid for _name, guid in self.targets] + [self.nomad_guid]
+        return {
+            guid: sum(
+                1 for site in self.servers.values() if site.has_object(guid)
+            )
+            for guid in guids
+        }
+
+    # -- the crash-and-restart plane ---------------------------------------
+
+    def arm_recovery(self, plane: FaultPlane) -> None:
+        """Schedule ``config.crash_cycles`` whole-site kill/restart
+        cycles, spread round-robin across the serving sites."""
+        config = self.config
+        share: dict[str, int] = {}
+        for index in range(config.crash_cycles):
+            victim = self.server_ids[index % len(self.server_ids)]
+            share[victim] = share.get(victim, 0) + 1
+        for offset, (victim, cycles) in enumerate(sorted(share.items())):
+            plane.add(
+                DurableCrashInjector(
+                    victim,
+                    self._recover,
+                    at=config.crash_start + offset * config.crash_every,
+                    down_for=config.crash_down,
+                    cycles=cycles,
+                    every=config.crash_every * len(share),
+                )
+            )
+
+    def _recover(self, network: Network, site_id: str) -> None:
+        """The restart procedure: a fresh incarnation from the WAL, host
+        configuration re-applied, journal re-attached and compacted."""
+        config = self.config
+        site, manager, report = recover_site(
+            network, site_id, self.wals[site_id],
+            domain=f"load.{site_id}", retry_policy=config.retry,
+        )
+        site.inflight_limit = config.inflight_limit
+        site.service_delay = config.service_delay
+        for name, guid in self.targets:
+            if name == site_id and site.has_object(guid):
+                site.names.bind("apps/counter", guid)
+        self.servers[site_id] = site
+        self.managers[site_id] = manager
+        journal = attach_journal(site, self.wals[site_id])
+        journal.checkpoint(compact=True)  # fold replayed history away
+        self.journals[site_id] = journal
+        if self.nomad_home == site_id and site.has_object(self.nomad_guid):
+            self.nomad = site.local_object(self.nomad_guid)
+        self.restarts += 1
+        self.recovery_reports.append(report)
 
     def issue_for(self, client: Site, rng) -> Any:
         """The per-client ``issue()`` callback: draw an op, fire it."""
@@ -247,16 +380,83 @@ class _Workload:
     def _hop(self) -> BatchFuture:
         """Migrate the nomad one serving site onward (synchronously —
         the transfer protocol pumps; the settled future keeps the
-        driver's accounting uniform)."""
+        driver's accounting uniform).
+
+        Hops are serialized: ``migrate`` pumps the simulator, so while
+        one handoff is stretched out by faults (a crashed destination
+        keeps the retry window open for seconds of simulated time)
+        other drivers' events fire inside the pump and would otherwise
+        start a second, concurrent migration of the same object. A hop
+        that finds one already in flight defers instead.
+        """
         future = BatchFuture()
+        if self._hop_inflight:
+            future._resolve("deferred")
+            return future
+        self._hop_inflight = True
+        try:
+            return self._hop_once(future)
+        finally:
+            self._hop_inflight = False
+
+    def _hop_once(self, future: BatchFuture) -> BatchFuture:
+        manager = self.managers[self.nomad_home]
+        if manager.unresolved:
+            # a previous handoff's verdict is still pending (a restart
+            # resurrected its write-ahead intent, or a timeout left it
+            # ambiguous): never migrate a guid whose ownership is in
+            # question — resolve first, then adopt wherever it settled
+            try:
+                manager.reconcile()
+            except MROMError:
+                pass
+            if manager.unresolved:
+                future._resolve("deferred")
+                return future
+            ring = [self.nomad_home] + [
+                name for name in self.server_ids if name != self.nomad_home
+            ]
+            for name in ring:
+                if self.servers[name].has_object(self.nomad_guid):
+                    # re-adopt the live instance wherever the verdict put
+                    # it (a restart may have swapped the site object out
+                    # from under our stale reference)
+                    self.nomad = self.servers[name].local_object(
+                        self.nomad_guid
+                    )
+                    self.nomad_home = name
+                    break
+            else:
+                future._resolve("deferred")
+                return future
         here = self.server_ids.index(self.nomad_home)
         dst = self.server_ids[(here + 1) % len(self.server_ids)]
         if dst == self.nomad_home:  # single-site world: nothing to do
             future._resolve(dst)
             return future
+        if not self.network.is_live(dst):
+            # never migrate toward a dead host; hop again once it is back
+            future._resolve("deferred")
+            return future
         try:
             ref = self.managers[self.nomad_home].migrate(self.nomad, dst)
+        except TransferUnresolvedError:
+            # ambiguous verdict (typically: the destination crashed
+            # mid-handshake): the write-ahead intent is journaled and the
+            # transfer sits in `unresolved` — the next hop's guard
+            # reconciles it, and ownership is never in doubt meanwhile
+            future._resolve("deferred")
+            return future
         except MROMError as exc:
+            if (
+                self.config.crash_cycles
+                and self.servers[self.nomad_home].has_object(self.nomad_guid)
+            ):
+                # the handoff aborted cleanly under a crash schedule and
+                # the object never left — environment weather, not a
+                # protocol failure; the driver will hop again
+                future._resolve("deferred")
+                return future
             future._fail(exc)
             return future
         self.nomad = self.servers[dst].local_object(ref.guid)
@@ -270,6 +470,12 @@ def _run(config: LoadConfig, soak: bool, attach=None):
     workload = _Workload(config)
     # faults must attach after the world exists but before traffic starts
     plane: FaultPlane | None = attach(workload.network) if attach else None
+    if config.durable and config.crash_cycles > 0:
+        if plane is None:  # durable non-soak runs still need a plane to
+            plane = FaultPlane(  # carry the crash schedule
+                workload.network, seed=config.seed, scenario="load-durable"
+            )
+        workload.arm_recovery(plane)
     stats = DriverStats()
     recorder = LatencyRecorder()
     budget = lambda: stats.issued < config.requests  # noqa: E731
@@ -295,6 +501,22 @@ def _run(config: LoadConfig, soak: bool, attach=None):
     for driver in drivers:
         driver.start()
     workload.network.run()
+
+    if config.durable:
+        # drain-time reconciliation: every write-ahead intent a restart
+        # resurrected (and every timeout-flagged handoff) gets its
+        # verdict now, so ownership is settled before accounting
+        for _round in range(10):
+            if not any(
+                manager.unresolved for manager in workload.managers.values()
+            ):
+                break
+            for manager in list(workload.managers.values()):
+                try:
+                    manager.reconcile()
+                except MROMError:
+                    pass
+            workload.network.run()
 
     duration = workload.network.now
     report = LoadReport(
@@ -323,6 +545,19 @@ def _run(config: LoadConfig, soak: bool, attach=None):
         latency=recorder.snapshot(),
         profile=config.profile.to_mapping(),
         faults=dict(plane.counts) if plane is not None else {},
+        durable=(
+            {
+                "backend": config.backend,
+                "restarts": workload.restarts,
+                "ownership": workload.ownership(),
+                "recoveries": [
+                    recovery.to_mapping()
+                    for recovery in workload.recovery_reports
+                ],
+            }
+            if config.durable else {}
+        ),
+        recovery_reports=list(workload.recovery_reports),
     )
     tel = _telemetry.ACTIVE
     if tel is not None:

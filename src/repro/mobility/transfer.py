@@ -120,6 +120,8 @@ class MobilityManager:
         self._ledger: OrderedDict[str, dict] = OrderedDict()
         #: transfer_id -> {"guid", "dst", "mode"} for unresolved handoffs
         self.unresolved: dict[str, dict] = {}
+        #: let the site's journal snapshot transfer state at checkpoints
+        site.mobility = self
         site.add_handler("transfer", self._handle_transfer)
         site.add_handler("transfer.prepare", self._handle_prepare)
         site.add_handler("transfer.query", self._handle_query)
@@ -197,6 +199,14 @@ class MobilityManager:
             trace_stamp = tel.context_of(span).to_wire()
         package = pack(obj, trace=trace_stamp)
         transfer_id = self._mint_transfer_id()
+        journal = self.site.journal
+        if journal is not None:
+            # write-ahead intent: if this incarnation dies between
+            # PREPARE and COMMIT, recovery re-raises the transfer as
+            # unresolved and reconcile() settles it via transfer.query
+            journal.note_intent(
+                transfer_id, {"guid": obj.guid, "dst": dst, "mode": mode}
+            )
         if span is not None:
             span.set(transfer_id=transfer_id)
             span.event("PREPARE", transfer_id=transfer_id,
@@ -214,6 +224,8 @@ class MobilityManager:
             )
         except RemoteInvocationError as exc:
             # the destination answered and refused: nothing settled there
+            if journal is not None:
+                journal.note_resolved(transfer_id, "aborted")
             if span is not None:
                 span.event("ABORT", reason=type(exc).__name__,
                            sim_time=self.site.network.now)
@@ -235,6 +247,8 @@ class MobilityManager:
         except BaseException:
             # PartitionError before anything was sent propagates as-is:
             # the failure is atomic, the object never left
+            if journal is not None:
+                journal.note_resolved(transfer_id, "aborted")
             if span is not None:
                 span.event("ABORT", reason="send-failure",
                            sim_time=self.site.network.now)
@@ -247,6 +261,8 @@ class MobilityManager:
             raise MobilityError(f"malformed transfer report from {dst!r}")
         if mode == "move" and self.site.has_object(obj.guid):
             self.site.unregister_object(obj.guid)
+        if journal is not None:
+            journal.note_resolved(transfer_id, "committed")
         self.departures += 1
         if span is not None:
             span.event("COMMIT", transfer_id=transfer_id,
@@ -310,6 +326,9 @@ class MobilityManager:
                     span.event("reconcile.outcome", transfer_id=transfer_id,
                                outcome=outcomes[transfer_id])
                     tel.metrics.counter("transfers.reconciled").inc()
+                journal = self.site.journal
+                if journal is not None:
+                    journal.note_resolved(transfer_id, outcomes[transfer_id])
                 del self.unresolved[transfer_id]
         finally:
             if span is not None:
@@ -351,6 +370,11 @@ class MobilityManager:
         self._ledger.move_to_end(transfer_id)
         while len(self._ledger) > self._LEDGER_CAP:
             self._ledger.popitem(last=False)
+        journal = self.site.journal
+        if journal is not None:
+            # durable dedup: a restarted receiver must still suppress
+            # re-delivered PREPAREs and still veto queried-away ones
+            journal.note_ledger(transfer_id, state, report)
 
     def _suppress_duplicate(self, transfer_id: str, cause: str) -> None:
         self.duplicates_suppressed += 1

@@ -109,6 +109,13 @@ class Site:
         #: requests); the crash injector uses it to fail-stop the site
         #: only at a quiescent instant
         self.handling_depth = 0
+        #: the durability plane, when one is attached
+        #: (:class:`repro.persistence.journal.SiteJournal`); None keeps
+        #: every hook a single attribute test
+        self.journal = None
+        #: back-pointer set by :class:`repro.mobility.transfer.
+        #: MobilityManager` so the journal can snapshot transfer state
+        self.mobility = None
         self.incarnation = network.register(self)
 
     # ------------------------------------------------------------------
@@ -138,6 +145,8 @@ class Site:
         obj.environment.setdefault("domain", self.domain)
         if name is not None:
             self.names.bind(name, obj.guid)
+        if self.journal is not None:
+            self.journal.note_register(obj)
         return obj
 
     def unregister_object(self, guid: str) -> MROMObject:
@@ -146,6 +155,8 @@ class Site:
         except KeyError:
             raise NetworkError(f"object {guid} is not registered at {self.site_id}") from None
         obj.environment.pop("site", None)
+        if self.journal is not None:
+            self.journal.note_unregister(guid)
         return obj
 
     def local_object(self, guid: str) -> MROMObject:
@@ -344,6 +355,15 @@ class Site:
             self._served.move_to_end(request.request_id)
             while len(self._served) > self._served_cap:
                 self._served.popitem(last=False)
+        if self.journal is not None:
+            # reply and post-execution state become durable before the
+            # reply can reach the wire: a retry landing on the next
+            # incarnation replays this outcome (a request-id-less legacy
+            # request still journals the state it mutated)
+            self.journal.note_served(
+                request.kind, request.request_id or "", payload,
+                request.payload,
+            )
         self._send_reply(request, payload)
 
     def _send_reply(self, request: Message, payload: Any) -> None:
@@ -938,6 +958,10 @@ class Site:
             self._served.move_to_end(request_id)
             while len(self._served) > self._served_cap:
                 self._served.popitem(last=False)
+            if self.journal is not None:
+                self.journal.note_served(
+                    kind, request_id, envelope, entry.get("payload")
+                )
         return envelope
 
     def __repr__(self) -> str:

@@ -94,22 +94,50 @@ def schedule_checkpoints(
     image at most one period old — the standing posture a host needs for
     the crash-restart story (see :mod:`repro.faults`). Returns a zero-
     argument cancel function that stops future checkpoints.
+
+    Two subtleties this schedule must survive:
+
+    * a tick landing inside a crash window must *skip* the checkpoint
+      but keep the period alive — an early version returned without
+      rescheduling, permanently stranding the persistence plane the
+      first time its site went down;
+    * the pending event is cancelled through
+      :meth:`~repro.sim.kernel.Simulator.cancel`, not just flagged, so
+      ``Simulator.pending`` stays exact and ``run_until`` never stalls
+      on a zombie checkpoint at the head of the queue (the same family
+      as the cancelled-head deadline fix in the kernel).
+
+    Each tick also re-resolves the site's *current* endpoint, so after
+    a crash-restart the new incarnation gets checkpointed rather than
+    the dead object the closure originally captured.
     """
     if period <= 0:
         raise PersistenceError(f"checkpoint period must be > 0, got {period}")
-    simulator = site.network.simulator
-    state = {"live": True, "reports": []}
+    network = site.network
+    site_id = site.site_id
+    simulator = network.simulator
+    state: dict = {"live": True, "reports": [], "event": None}
 
     def tick() -> None:
-        if not state["live"] or not site.network.is_live(site.site_id):
+        state["event"] = None
+        if not state["live"]:
             return
-        state["reports"].append(checkpoint_site(site, store, keep=keep))
-        simulator.schedule(period, tick, label=f"checkpoint {site.site_id}")
+        if network.is_live(site_id):
+            target = network.endpoint(site_id)
+            state["reports"].append(checkpoint_site(target, store, keep=keep))
+        state["event"] = simulator.schedule(
+            period, tick, label=f"checkpoint {site_id}"
+        )
 
-    simulator.schedule(period, tick, label=f"checkpoint {site.site_id}")
+    state["event"] = simulator.schedule(
+        period, tick, label=f"checkpoint {site_id}"
+    )
 
     def cancel() -> None:
         state["live"] = False
+        if state["event"] is not None:
+            simulator.cancel(state["event"])
+            state["event"] = None
 
     cancel.reports = state["reports"]  # type: ignore[attr-defined]
     return cancel

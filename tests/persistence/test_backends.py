@@ -1,0 +1,160 @@
+"""The pluggable frame stores: contract, capacity, damage, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PersistenceError
+from repro.persistence import (
+    BACKENDS,
+    FileStore,
+    MemoryStore,
+    SqliteStore,
+    Store,
+    StoreFullError,
+    make_store,
+)
+
+pytestmark = pytest.mark.recovery
+
+FRAMES = [b"alpha", b"beta-beta", b"\x00\xffgamma\x00"]
+
+
+def open_store(backend: str, tmp_path, **kwargs) -> Store:
+    return make_store(backend, root=tmp_path, name="site", **kwargs)
+
+
+class TestContract:
+    """Every backend honours the same ordered append-only contract."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_round_trip_preserves_order_and_bytes(self, backend, tmp_path):
+        store = open_store(backend, tmp_path)
+        ordinals = [store.append(frame) for frame in FRAMES]
+        assert ordinals == [0, 1, 2]
+        assert store.frames() == FRAMES
+        assert store.appends == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rewrite_replaces_everything(self, backend, tmp_path):
+        store = open_store(backend, tmp_path)
+        for frame in FRAMES:
+            store.append(frame)
+        store.rewrite([b"compacted"])
+        assert store.frames() == [b"compacted"]
+        store.append(b"after")
+        assert store.frames() == [b"compacted", b"after"]
+
+    @pytest.mark.parametrize("backend", ("file", "sqlite"))
+    def test_reopen_sees_appended_frames(self, backend, tmp_path):
+        store = open_store(backend, tmp_path)
+        for frame in FRAMES:
+            store.append(frame)
+        store.sync()
+        store.close()
+        again = open_store(backend, tmp_path)
+        assert again.frames() == FRAMES
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_size_tracks_payload_bytes(self, backend, tmp_path):
+        store = open_store(backend, tmp_path)
+        assert store.size_bytes() == 0
+        store.append(b"x" * 10)
+        assert store.size_bytes() >= 10
+
+
+class TestCapacity:
+    """A full store refuses the append — the journal's fail-safe hook."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_full_store_raises(self, backend, tmp_path):
+        store = open_store(backend, tmp_path, capacity_bytes=16)
+        store.append(b"x" * 10)
+        with pytest.raises(StoreFullError):
+            store.append(b"y" * 10)
+        # the refused frame was not half-written
+        assert store.frames() == [b"x" * 10]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(PersistenceError):
+            MemoryStore(capacity_bytes=0)
+
+    def test_store_full_is_a_persistence_error(self):
+        assert issubclass(StoreFullError, PersistenceError)
+
+
+class TestFileDamage:
+    """Torn tails: the file store detects them, rewrite repairs them."""
+
+    def test_truncated_length_word(self, tmp_path):
+        store = FileStore(tmp_path / "site.wal")
+        store.append(b"intact")
+        store.close()
+        raw = (tmp_path / "site.wal").read_bytes()
+        (tmp_path / "site.wal").write_bytes(raw + b"\x00\x00")  # torn u32
+        again = FileStore(tmp_path / "site.wal")
+        assert again.frames() == [b"intact"]
+        assert again.truncated
+
+    def test_frame_cut_mid_body(self, tmp_path):
+        store = FileStore(tmp_path / "site.wal")
+        store.append(b"intact")
+        store.append(b"doomed-frame")
+        store.close()
+        raw = (tmp_path / "site.wal").read_bytes()
+        (tmp_path / "site.wal").write_bytes(raw[:-5])
+        again = FileStore(tmp_path / "site.wal")
+        assert again.frames() == [b"intact"]
+        assert again.truncated
+
+    def test_rewrite_clears_truncation(self, tmp_path):
+        store = FileStore(tmp_path / "site.wal")
+        store.append(b"intact")
+        store.close()
+        raw = (tmp_path / "site.wal").read_bytes()
+        (tmp_path / "site.wal").write_bytes(raw + b"\x00")
+        again = FileStore(tmp_path / "site.wal")
+        frames = again.frames()
+        assert again.truncated
+        again.rewrite(frames)
+        assert not again.truncated
+        assert again.frames() == [b"intact"]
+
+    def test_bad_header_is_fatal(self, tmp_path):
+        (tmp_path / "site.wal").write_bytes(b"NOTAWAL0\n")
+        store = FileStore(tmp_path / "site.wal")
+        with pytest.raises(PersistenceError):
+            store.frames()
+
+
+class TestClosedStores:
+    def test_file_append_after_close(self, tmp_path):
+        store = FileStore(tmp_path / "site.wal")
+        store.append(b"one")
+        store.close()
+        with pytest.raises(PersistenceError):
+            store.append(b"two")
+
+    def test_sqlite_append_after_close(self, tmp_path):
+        store = SqliteStore(tmp_path / "site.db")
+        store.append(b"one")
+        store.close()
+        with pytest.raises(PersistenceError):
+            store.append(b"two")
+
+
+class TestMakeStore:
+    def test_unknown_backend(self):
+        with pytest.raises(PersistenceError):
+            make_store("papyrus")
+
+    @pytest.mark.parametrize("backend", ("file", "sqlite"))
+    def test_disk_backends_need_a_root(self, backend):
+        with pytest.raises(PersistenceError):
+            make_store(backend)
+
+    def test_paths_are_namespaced(self, tmp_path):
+        make_store("file", root=tmp_path, name="s7").append(b"x")
+        make_store("sqlite", root=tmp_path, name="s7").append(b"x")
+        assert (tmp_path / "s7.wal").exists()
+        assert (tmp_path / "s7.db").exists()

@@ -1,0 +1,93 @@
+"""Regressions for the recurring checkpoint schedule: cancellation must
+leave ``Simulator.pending`` exact, and a tick landing inside a crash
+window must skip the checkpoint without stranding the schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PersistenceError
+from repro.net import Network, Site
+from repro.persistence import ObjectStore, schedule_checkpoints
+from repro.sim import Simulator
+
+from ..conftest import build_counter
+
+pytestmark = pytest.mark.recovery
+
+
+def checkpointed_world(tmp_path, period=1.0):
+    network = Network(Simulator(0))
+    site = Site(network, "a", "dom.a")
+    counter = build_counter()
+    site.register_object(counter)
+    store = ObjectStore(tmp_path / "store")
+    cancel = schedule_checkpoints(site, store, period=period)
+    return network, site, store, cancel
+
+
+class TestCancellation:
+    def test_cancel_removes_the_pending_event(self, tmp_path):
+        network, _site, _store, cancel = checkpointed_world(tmp_path)
+        simulator = network.simulator
+        assert simulator.pending == 1
+        cancel()
+        # the regression: the event used to stay queued as a zombie,
+        # leaving `pending` wrong and run_until stalled on its deadline
+        assert simulator.pending == 0
+
+    def test_cancel_stops_future_checkpoints(self, tmp_path):
+        network, _site, _store, cancel = checkpointed_world(tmp_path)
+        network.simulator.run_until(2.5)
+        assert len(cancel.reports) == 2
+        cancel()
+        network.simulator.run_until(10.0)
+        assert len(cancel.reports) == 2  # nothing fired after cancel
+
+    def test_cancel_is_idempotent(self, tmp_path):
+        network, _site, _store, cancel = checkpointed_world(tmp_path)
+        cancel()
+        cancel()
+        assert network.simulator.pending == 0
+
+    def test_run_until_advances_past_a_cancelled_tick(self, tmp_path):
+        network, _site, _store, cancel = checkpointed_world(tmp_path)
+        cancel()
+        network.simulator.run_until(5.0)
+        assert network.simulator.now == 5.0
+
+
+class TestCrashWindow:
+    def test_tick_during_downtime_skips_but_reschedules(self, tmp_path):
+        network, site, _store, cancel = checkpointed_world(tmp_path)
+        network.simulator.run_until(1.5)
+        assert len(cancel.reports) == 1
+        network.unregister("a")
+        # two ticks land inside the crash window: both must skip the
+        # checkpoint yet keep the period alive (the regression returned
+        # without rescheduling, stranding the schedule forever)
+        network.simulator.run_until(3.5)
+        assert len(cancel.reports) == 1
+        assert network.simulator.pending == 1  # the schedule survives
+        Site(network, "a", "dom.a").register_object(build_counter())
+        network.simulator.run_until(5.5)
+        assert len(cancel.reports) == 3  # checkpoints resumed
+
+    def test_restarted_incarnation_is_the_one_checkpointed(self, tmp_path):
+        network, site, store, cancel = checkpointed_world(tmp_path)
+        network.simulator.run_until(1.5)
+        network.unregister("a")
+        revived = Site(network, "a", "dom.a")
+        fresh = build_counter()
+        fresh.invoke("increment", [41], caller=fresh.owner)
+        revived.register_object(fresh)
+        network.simulator.run_until(2.5)
+        # the tick re-resolved the CURRENT endpoint, not the dead object
+        # the closure originally captured
+        assert store.load(fresh.guid).get_data("count") == 41
+
+    def test_period_must_be_positive(self, tmp_path):
+        network = Network(Simulator(0))
+        site = Site(network, "a", "dom.a")
+        with pytest.raises(PersistenceError):
+            schedule_checkpoints(site, ObjectStore(tmp_path / "s"), period=0)

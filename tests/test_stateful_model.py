@@ -316,3 +316,128 @@ FastpathInvalidationMachine.TestCase.settings = settings(
 )
 TestFastpathInvalidation = FastpathInvalidationMachine.TestCase
 
+
+# ---------------------------------------------------------------------------
+# crash-recovery rules (the durability layer, repro.persistence)
+# ---------------------------------------------------------------------------
+
+
+class CrashRecoveryMachine(RuleBasedStateMachine):
+    """Model the durability contract of the write-ahead log.
+
+    Rules interleave application work (remote increments, nomad
+    migrations), maintenance (checkpoint, with and without compaction),
+    and whole-site crash-restarts, while a plain-Python mirror tracks
+    what the application believes: each counter's value, the nomad's
+    home and hop count. Invariants after every step:
+
+    * every object has exactly one owner (exactly-once transfer holds
+      no matter which sites crashed mid-history);
+    * each counter reads back what the mirror predicts — no lost
+      updates, no double-applies;
+    * the nomad lives where the mirror says, and ``install`` ran once
+      per migration — recovery never re-runs it.
+    """
+
+    SITES = ("a", "b", "c")
+
+    def __init__(self):
+        super().__init__()
+        from .conftest import build_counter
+        from .persistence.conftest import DurableWorld
+
+        self.world = DurableWorld(seed=7, names=self.SITES)
+        self.counts: dict[str, int] = {}
+        self.counters: dict[str, str] = {}
+        for name in self.SITES:
+            counter = build_counter()
+            self.world.sites[name].register_object(counter)
+            self.counters[name] = counter.guid
+            self.counts[name] = 0
+        nomad = self.world.sites["a"].create_object(display_name="nomad")
+        nomad.define_fixed_data("hops", 0)
+        nomad.define_fixed_method(
+            "install", "self.set('hops', self.get('hops') + 1)"
+        )
+        nomad.seal()
+        self.world.sites["a"].register_object(nomad)
+        self.nomad_guid = nomad.guid
+        self.nomad_home = "a"
+        self.hops = 0
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(
+        target_index=st.integers(min_value=0, max_value=2),
+        step=st.integers(min_value=1, max_value=5),
+    )
+    def increment(self, target_index, step):
+        from .persistence.conftest import FAST
+
+        target = self.SITES[target_index]
+        caller = self.SITES[(target_index + 1) % len(self.SITES)]
+        result = self.world.sites[caller].remote_invoke(
+            target, self.counters[target], "increment", [step], policy=FAST
+        )
+        self.counts[target] += step
+        assert result == self.counts[target]
+
+    @rule(pick=st.integers(min_value=0, max_value=1))
+    def migrate_nomad(self, pick):
+        choices = [name for name in self.SITES if name != self.nomad_home]
+        dst = choices[pick % len(choices)]
+        home = self.world.sites[self.nomad_home]
+        self.world.managers[self.nomad_home].migrate(
+            home.local_object(self.nomad_guid), dst
+        )
+        self.nomad_home = dst
+        self.hops += 1
+
+    @rule(
+        site_index=st.integers(min_value=0, max_value=2),
+        compact=st.booleans(),
+    )
+    def checkpoint(self, site_index, compact):
+        self.world.journals[self.SITES[site_index]].checkpoint(
+            compact=compact
+        )
+
+    @rule(site_index=st.integers(min_value=0, max_value=2))
+    def crash_restart(self, site_index):
+        name = self.SITES[site_index]
+        report = self.world.crash_restart(name)
+        assert report.objects_failed == 0, f"recovery dropped objects at {name}"
+        assert report.damage is None  # quiescent crash: the log is whole
+
+    # -- invariants --------------------------------------------------------
+
+    def _sole_owner(self, guid: str) -> str:
+        owners = self.world.owners_of(guid)
+        assert len(owners) == 1, f"{guid} owned by {owners}"
+        return owners[0]
+
+    @invariant()
+    def counters_match_mirror(self):
+        for name, guid in self.counters.items():
+            owner = self._sole_owner(guid)
+            assert owner == name  # counters never migrate
+            obj = self.world.sites[owner].local_object(guid)
+            assert obj.get_data("count", caller=obj.owner) == (
+                self.counts[name]
+            ), f"counter at {name} lost or double-applied an update"
+
+    @invariant()
+    def nomad_is_where_the_mirror_says(self):
+        owner = self._sole_owner(self.nomad_guid)
+        assert owner == self.nomad_home
+        obj = self.world.sites[owner].local_object(self.nomad_guid)
+        assert obj.get_data("hops", caller=obj.owner) == self.hops, (
+            "install ran a different number of times than migrations"
+        )
+
+
+CrashRecoveryMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=15, deadline=None
+)
+TestCrashRecovery = CrashRecoveryMachine.TestCase
+
