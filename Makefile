@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath load-smoke load-tests recover-smoke recovery-tests bench-recovery examples series check all trace-smoke
+.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath load-smoke load-tests recover-smoke recovery-tests bench-recovery examples series check all trace-smoke analyze sanitize-smoke bench-analysis
 
 install:
 	$(PYTHON) setup.py develop || pip install -e .
@@ -23,6 +23,23 @@ lint:
 # Only the static-analysis test suite (marker: analysis).
 lint-tests:
 	$(PYTHON) -m pytest -m analysis tests/
+
+# Interprocedural analysis: races, wait cycles, migration safety — over
+# the examples and the apps tier, gated against the committed baseline
+# (only findings the baseline has never seen fail the build).
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro analyze examples/ src/repro/apps/ --strict --baseline ANALYZE_BASELINE.json
+
+# Differential acceptance: a sanitizer-instrumented soak must observe at
+# least one dynamic race, and every observed race/cycle must match a
+# static diagnostic from the same effect summaries.
+sanitize-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro analyze --sanitize-smoke
+
+# The sanitizer overhead bench: disabled-path guards and enable/disable
+# drift both under 2% of one sync RMI. Writes BENCH_analysis.json.
+bench-analysis:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_perf13_analysis.py --benchmark-only -q
 
 # Telemetry acceptance: run the traced scenario, validate the JSON-lines
 # export against the span schema and the cross-wire trace invariants.
@@ -72,6 +89,6 @@ series: bench
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; echo; done
 
-check: test lint trace-smoke load-smoke recover-smoke bench
+check: test lint analyze sanitize-smoke trace-smoke load-smoke recover-smoke bench
 
 all: install check examples

@@ -1,0 +1,163 @@
+"""PERF-13: happens-before sanitizer overhead on a cross-wire workload.
+
+The sanitizer follows the telemetry plane's contract: when no sanitizer
+is installed, every hook in the RMI path (wait tracking, send/serve
+clock plumbing, access expansion) costs one module-attribute read plus
+an identity test. This bench enforces that on a synchronous remote
+invocation — the workload that crosses *every* hook class in one call:
+``request`` wait edges, ``note_sent``, ``begin_serve``/``end_serve``,
+the invoke access expansion and the reply join.
+
+Two directions, both under the same 2% budget telemetry lives under:
+
+* **guard budget** — measured per-site guard cost, times a generous
+  per-RMI site count, must stay under 2% of the disabled-path call;
+* **stability** — disabled-path timings taken before and after an
+  enabled interlude must agree within 2%: switching the sanitizer on
+  and off leaves no residual cost.
+
+Writes ``BENCH_analysis.json`` at the repo root for the CI archive.
+"""
+
+import gc
+from pathlib import Path
+
+from repro.analysis import sanitizer as hb
+from repro.core import allow_all
+from repro.net import LAN, Network, Site
+from repro.sim import Simulator
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.exporters import write_bench_json
+
+from .series import emit, time_per_call
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: the disabled path may cost at most this fraction of one RMI call
+BUDGET = 0.02
+#: guarded hook sites one sync RMI can cross (wait begin/end, send,
+#: serve begin/end, invoke expansion, reply join, protocol read) —
+#: deliberately over-counted
+SITES_PER_RMI = 10
+TRIALS = 3
+
+RMW_BODY = (
+    "n = self.get('total') + 1\n"
+    "self.set('total', n)\n"
+    "return n"
+)
+
+
+def _best(fn, trials: int = TRIALS) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        gc.collect()
+        best = min(best, time_per_call(fn))
+    return best
+
+
+def _guard_cost() -> float:
+    """Seconds per disabled-path guard (loop overhead subtracted)."""
+    n = 100_000
+
+    def guarded() -> None:
+        for _ in range(n):
+            san = hb.ACTIVE
+            if san is not None:  # pragma: no cover - disabled in this loop
+                raise AssertionError("sanitizer unexpectedly active")
+
+    def bare() -> None:
+        for _ in range(n):
+            pass
+
+    per_guarded = _best(guarded) / n
+    per_bare = _best(bare) / n
+    return max(per_guarded - per_bare, 0.0)
+
+
+def _remote_world():
+    network = Network(Simulator())
+    client = Site(network, "client", "perf13.client")
+    server = Site(network, "server", "perf13.server")
+    network.topology.connect("client", "server", *LAN)
+    obj = server.create_object(display_name="perf13-counter")
+    obj.define_fixed_data("total", 0)
+    obj.define_fixed_method("bump", RMW_BODY, acl=allow_all())
+    obj.seal()
+    server.register_object(obj)
+    return client, obj.guid
+
+
+def test_perf13_sanitizer_overhead(benchmark):
+    assert hb.ACTIVE is None, "sanitizer must start disabled"
+    client, guid = _remote_world()
+    workload = lambda: client.remote_invoke("server", guid, "bump", [])  # noqa: E731
+
+    workload()  # warm caches before the first trial is believed
+
+    # measured in a retry loop: a preempted trial can fake a drift far
+    # above anything the guard could cause — keep the cleanest attempt
+    best = None
+    for _attempt in range(5):
+        disabled_before = _best(workload)
+        san = hb.enable()
+        try:
+            enabled_time = _best(workload)
+        finally:
+            hb.disable()
+        gc.collect()
+        disabled_after = _best(workload)
+        disabled = min(disabled_before, disabled_after)
+        drift = abs(disabled_before - disabled_after) / disabled
+        if best is None or drift < best[0]:
+            best = (drift, disabled, enabled_time, san)
+        if drift < BUDGET:
+            break
+    drift, disabled, enabled_time, san = best
+    guard = _guard_cost()
+    guard_share = (SITES_PER_RMI * guard) / disabled
+    emit(
+        "perf13_sanitizer_overhead",
+        "PERF-13: happens-before sanitizer overhead on one sync RMI",
+        ["variant", "us/call", "vs_disabled"],
+        [
+            ("disabled", disabled * 1e6, 1.0),
+            ("enabled", enabled_time * 1e6, enabled_time / disabled),
+            ("guard (x%d)" % SITES_PER_RMI,
+             SITES_PER_RMI * guard * 1e6, guard_share),
+        ],
+    )
+    registry = MetricsRegistry()
+    registry.counter("hb.tasks").inc(san.tasks_created)
+    registry.counter("hb.accesses").inc(san.access_count)
+    registry.counter("hb.sends").inc(san.send_count)
+    registry.counter("hb.syncs").inc(san.sync_count)
+    registry.counter("hb.races").inc(len(san.races))
+    write_bench_json(
+        REPO_ROOT / "BENCH_analysis.json",
+        registry,
+        name="perf13_sanitizer_overhead",
+        extra={
+            "disabled_us_per_call": round(disabled * 1e6, 4),
+            "enabled_us_per_call": round(enabled_time * 1e6, 4),
+            "enabled_over_disabled": round(enabled_time / disabled, 4),
+            "guard_ns": round(guard * 1e9, 2),
+            "disabled_drift": round(drift, 4),
+            "budget": BUDGET,
+        },
+    )
+    # the contract: the sanitizer-off path regresses the RMI by < 2%
+    assert guard_share < BUDGET, (
+        f"disabled-path guards cost {guard_share:.2%} of one RMI "
+        f"(budget {BUDGET:.0%})"
+    )
+    assert drift < BUDGET, (
+        f"disabled path drifted {drift:.2%} across an enable/disable "
+        f"cycle (budget {BUDGET:.0%})"
+    )
+    # switching the sanitizer on must record something, not nothing — a
+    # free enabled path would mean the hooks silently stopped observing
+    assert san.tasks_created > 0
+    assert san.access_count > 0
+    benchmark(workload)
+    assert hb.ACTIVE is None

@@ -8,8 +8,16 @@ Two front ends over one diagnostic core:
   of migrating objects (:func:`analyze_object`, :func:`analyze_package`,
   the :func:`admission_policy` PREPARE gate);
 
-both reporting :class:`~repro.analysis.diagnostics.Diagnostic` findings
-rendered by :func:`render_text` / :func:`render_json`.
+plus the interprocedural layer (``repro analyze``): per-method effect
+sets feeding :mod:`.races` (``race.*``), wait-for cycle detection in
+:mod:`.deadlock` (``cycle.*``), the migration-safety dataflow in
+:mod:`.migration_safety` (``migration.*``), the :mod:`.callgraph`
+builders they share, the :mod:`.baseline` suppression format, and the
+runtime happens-before :mod:`.sanitizer` that differentially validates
+the race verdicts during chaos/soak runs.
+
+All of it reports :class:`~repro.analysis.diagnostics.Diagnostic`
+findings rendered by :func:`render_text` / :func:`render_json`.
 
 Attribute access is lazy (PEP 562): :mod:`repro.mobility.sandbox`
 imports the diagnostics core from this package while the admission
@@ -22,6 +30,7 @@ from __future__ import annotations
 from .diagnostics import (  # noqa: F401  (the cycle-free core)
     Diagnostic,
     Severity,
+    dedupe,
     fails,
     render_json,
     render_text,
@@ -31,6 +40,7 @@ from .diagnostics import (  # noqa: F401  (the cycle-free core)
 __all__ = [
     "Diagnostic",
     "Severity",
+    "dedupe",
     "fails",
     "render_json",
     "render_text",
@@ -47,6 +57,14 @@ __all__ = [
     "analyze_object",
     "analyze_package",
     "admission_policy",
+    "RACE_RULES",
+    "CYCLE_RULES",
+    "MIGRATION_RULES",
+    "analyze_paths",
+    "Sanitizer",
+    "load_baseline",
+    "write_baseline",
+    "suppress",
     "all_rule_ids",
 ]
 
@@ -63,6 +81,14 @@ _LAZY = {
     "analyze_object": "admission",
     "analyze_package": "admission",
     "admission_policy": "admission",
+    "RACE_RULES": "races",
+    "CYCLE_RULES": "deadlock",
+    "MIGRATION_RULES": "migration_safety",
+    "analyze_paths": "interproc",
+    "Sanitizer": "sanitizer",
+    "load_baseline": "baseline",
+    "write_baseline": "baseline",
+    "suppress": "baseline",
 }
 
 
@@ -83,16 +109,23 @@ def __getattr__(name: str):
 def all_rule_ids() -> dict[str, str]:
     """Every rule id the subsystem can emit, with its description.
 
-    Unions the MPL lint registry, the admission registry and the sandbox
-    verifier's rule ids — the docs test keys off this so no rule ships
+    Unions the MPL lint registry, the sandbox verifier, the admission
+    registry and the interprocedural pass registries (races, cycles,
+    migration safety) — the docs test keys off this so no rule ships
     undocumented.
     """
     from ..mobility.sandbox import SANDBOX_RULES
     from .admission import ADMISSION_RULES
+    from .deadlock import CYCLE_RULES
+    from .migration_safety import MIGRATION_RULES
     from .mpl_lint import RULES
+    from .races import RACE_RULES
 
     combined: dict[str, str] = {}
     combined.update(RULES)
     combined.update(SANDBOX_RULES)
     combined.update(ADMISSION_RULES)
+    combined.update(RACE_RULES)
+    combined.update(CYCLE_RULES)
+    combined.update(MIGRATION_RULES)
     return combined

@@ -57,6 +57,14 @@ ADMISSION_RULES: dict[str, str] = {
     "adm.unreachable-item": "an item whose ACL admits nobody after migration (warning)",
     "adm.open-meta": "a meta-surface invocable by anonymous callers (warning)",
     "adm.tower-breach": "a meta-invoke tower without an extensible meta section (error)",
+    # concurrency rules (opt-in: `concurrency=True`, which the admission
+    # gate passes): re-tagged race.*/cycle.* findings from the
+    # interprocedural layer, run over the arriving code itself
+    "adm.race.lost-update": "a method read-modify-writes an item; concurrent invocations can lose updates (warning)",
+    "adm.race.write-write": "two methods write one item with no mutual ordering (warning)",
+    "adm.race.read-write": "a method reads an item another method writes concurrently (warning)",
+    "adm.race.unsynced-structural": "a method mutates object structure racing cached dispatch pins (warning)",
+    "adm.cycle.recursion": "a method's self-call chain reaches itself; every invocation recurses (warning)",
 }
 
 _ROLE_NAMES = {role.value for role in CodeRole}
@@ -230,13 +238,20 @@ def _check_meta_openness(
 # ---------------------------------------------------------------------------
 
 
-def analyze_object(obj) -> list[Diagnostic]:
+def analyze_object(obj, concurrency: bool = False) -> list[Diagnostic]:
     """Pre-flight a live :class:`~repro.core.mobject.MROMObject`.
 
     The sender-side mirror of :func:`analyze_package`: everything found
     here would bounce (or warrant a warning) at a destination running the
     admission gate, so a migrating application can lint itself *before*
     paying for the round trip.
+
+    With *concurrency* (what the admission gate passes), the
+    interprocedural race/recursion rules also run over the object's
+    portable methods, reported under the ``adm.race.*``/``adm.cycle.*``
+    ids; they stay opt-in because a read-modify-write counter is a
+    perfectly admissible object — the findings are advice unless the
+    gate is strict.
     """
     from ..core.items import DataItem, MROMMethod
 
@@ -272,7 +287,34 @@ def analyze_object(obj) -> list[Diagnostic]:
         findings.extend(
             _analyze_live_method(method, f"invoke@level{level}", label)
         )
+    if concurrency:
+        from .races import effects_of_live_object
+
+        findings.extend(
+            _concurrency_findings(
+                effects_of_live_object(obj),
+                label,
+                obj.principal.display_name or str(obj.guid),
+            )
+        )
     return findings
+
+
+def _concurrency_findings(effects, label: str, subject: str) -> list[Diagnostic]:
+    """Race/recursion findings over *effects*, re-tagged ``adm.*``.
+
+    The same engines the ``repro analyze`` CLI runs — one ground truth,
+    two reporting surfaces — with the rule ids prefixed so the refusal
+    report says which gate said no.
+    """
+    import dataclasses
+
+    from .deadlock import recursion_findings
+    from .races import conflicts
+
+    raw = conflicts(effects, label, subject)
+    raw += recursion_findings(effects, label, subject)
+    return [dataclasses.replace(d, rule=f"adm.{d.rule}") for d in raw]
 
 
 def _analyze_live_method(method, name: str, label: str) -> list[Diagnostic]:
@@ -306,13 +348,17 @@ def _analyze_live_method(method, name: str, label: str) -> list[Diagnostic]:
 # ---------------------------------------------------------------------------
 
 
-def analyze_package(package: Mapping) -> list[Diagnostic]:
+def analyze_package(
+    package: Mapping, concurrency: bool = False
+) -> list[Diagnostic]:
     """Audit a raw transfer package before anything is unpacked.
 
     This is what the PREPARE admission gate runs: the input is the
     untrusted mapping straight off the wire, so every access is guarded
     and structural surprises become ``adm.bad-package`` findings instead
-    of exceptions.
+    of exceptions. With *concurrency*, the race/recursion rules also run
+    over the packed portable method sources (``adm.race.*``/
+    ``adm.cycle.*``, warnings).
     """
     from ..mobility.package import FORMAT
 
@@ -389,7 +435,44 @@ def analyze_package(package: Mapping) -> list[Diagnostic]:
             findings.extend(
                 _analyze_packed_method(raw, f"invoke@level{level}", label)
             )
+    if concurrency:
+        findings.extend(
+            _concurrency_findings(
+                _packed_effects(package),
+                label,
+                str(package.get("display_name") or guid or "<package>"),
+            )
+        )
     return findings
+
+
+def _packed_effects(package: Mapping) -> dict:
+    """Effect sets for a package's portable base-level methods."""
+    from ..lang.effects import effects_of_portable
+
+    effects: dict = {}
+    for section in ("fixed_methods", "ext_methods"):
+        raw_section = package.get(section, [])
+        if not isinstance(raw_section, (list, tuple)):
+            continue
+        for raw in raw_section:
+            if not isinstance(raw, Mapping):
+                continue
+            if isinstance(raw.get("metadata"), Mapping) and raw["metadata"].get(
+                "meta"
+            ):
+                continue
+            components = raw.get("components")
+            if not isinstance(components, Mapping):
+                continue
+            body = components.get("body")
+            if not isinstance(body, Mapping):
+                continue
+            source = body.get("source")
+            if body.get("flavour") == "portable" and isinstance(source, str):
+                name = str(raw.get("name", "<unnamed>"))
+                effects[name] = effects_of_portable(source, name)
+    return effects
 
 
 def _raw_items(package: Mapping, section: str, findings, label) -> list[Mapping]:
@@ -507,7 +590,7 @@ def _analyze_packed_method(raw: Mapping, name: str, label: str) -> list[Diagnost
 # ---------------------------------------------------------------------------
 
 
-def admission_policy(strict: bool = False):
+def admission_policy(strict: bool = False, concurrency: bool = True):
     """An ``AdmissionPolicy`` callable running :func:`analyze_package`.
 
     Plug into :class:`~repro.mobility.transfer.MobilityManager` (or pass
@@ -515,12 +598,13 @@ def admission_policy(strict: bool = False):
     raw package is analyzed and a failing report raises
     :class:`AdmissionRefusal` — the migration bounces with the findings
     attached, and nothing was unpacked or imported. With *strict*,
-    warnings (open meta surfaces, unreachable items, external references)
-    also refuse admission.
+    warnings (open meta surfaces, unreachable items, external references,
+    and the ``adm.race.*``/``adm.cycle.*`` concurrency findings the gate
+    checks by default) also refuse admission.
     """
 
     def policy(package: Mapping, src: str) -> None:
-        findings = analyze_package(package)
+        findings = analyze_package(package, concurrency=concurrency)
         if fails(findings, strict=strict):
             guid = ""
             if isinstance(package, Mapping):

@@ -1,0 +1,66 @@
+"""Baseline suppression for the lint/analyze CLIs.
+
+Turning a new analyzer on over a mature tree surfaces a wall of
+pre-existing findings; fixing them all before CI can gate is a flag-day
+nobody schedules. A *baseline* breaks the deadlock: the first run with
+``--baseline file.json`` records every current finding and exits clean;
+every later run subtracts the recorded set and fails only on findings
+the baseline has never seen. The debt stays visible (it is a committed
+JSON file with a count in plain sight) while the gate holds the line at
+"no new ones".
+
+A finding matches a baseline entry on ``(rule, source, line)`` — the
+same identity the dedupe pass uses. Line numbers do drift when files are
+edited above a finding; that re-surfaces the finding as "new", which is
+the right failure mode for a gate (stale suppressions die loudly, not
+silently).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+
+__all__ = ["load_baseline", "write_baseline", "suppress", "baseline_key"]
+
+_FORMAT = "repro-baseline/1"
+
+
+def baseline_key(diagnostic: Diagnostic) -> str:
+    return f"{diagnostic.rule}|{diagnostic.source}|{diagnostic.line}"
+
+
+def write_baseline(path: str | Path, diagnostics: list) -> int:
+    """Record *diagnostics* as the accepted debt; returns the count."""
+    entries = sorted({baseline_key(d) for d in diagnostics})
+    payload = {"format": _FORMAT, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set:
+    """The recorded finding keys, or None when the file does not exist."""
+    file = Path(path)
+    if not file.exists():
+        return None
+    payload = json.loads(file.read_text())
+    if payload.get("format") != _FORMAT:
+        raise ValueError(
+            f"{file} is not a recognized baseline file "
+            f"(format {payload.get('format')!r}, expected {_FORMAT!r})"
+        )
+    return set(payload.get("findings", ()))
+
+
+def suppress(diagnostics: list, baseline: set) -> tuple:
+    """Split findings into (new, suppressed) against a baseline set."""
+    new: list = []
+    suppressed: list = []
+    for diagnostic in diagnostics:
+        if baseline_key(diagnostic) in baseline:
+            suppressed.append(diagnostic)
+        else:
+            new.append(diagnostic)
+    return new, suppressed

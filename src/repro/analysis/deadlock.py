@@ -1,0 +1,205 @@
+"""Wait-for cycle detection across sites and objects (``cycle.*`` rules).
+
+The kernel's sync RMI pump nests: a handler that issues its own
+``request`` parks its site's serving slot until the inner reply lands.
+Two sites whose handlers call back into each other can therefore form a
+wait-for cycle with no lock anywhere in sight — and when both sites also
+carry finite admission windows (``inflight_limit``), the cycle is worse
+than slow: each site's window can fill with requests parked on the
+other, after which *nothing* drains and the shed path is the only exit.
+That is why :data:`CYCLE_RULES` grades a plain await cycle as a warning
+but an admission-window cycle as an error.
+
+Detection is incremental over the host scan's edges in program order:
+each sync edge is added to the wait-for graph and a cycle is reported at
+the edge that *closes* it — the line a reader would point at when asked
+"where did this become circular?". Async edges do not park a slot and do
+not join the graph; migration handoffs block the sender and do.
+
+The MPL-level pass reports unbounded self-recursion through the
+``self.call`` dispatch chain — the single-object analogue of the site
+cycle, and the shape the admission gate re-tags as ``adm.cycle.*``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..lang.effects import MethodEffects, effects_of_object
+from .callgraph import scan_host
+from .diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "CYCLE_RULES",
+    "analyze_program",
+    "analyze_host_source",
+    "recursion_findings",
+]
+
+CYCLE_RULES = {
+    "cycle.await": (
+        "sync RMI wait-for edges between sites form a cycle; nested "
+        "request pumps can park every participant on the others"
+    ),
+    "cycle.admission": (
+        "a wait-for cycle runs entirely through sites with finite "
+        "admission windows; the windows can mutually exhaust and the "
+        "cycle hard-deadlocks into the shed path"
+    ),
+    "cycle.recursion": (
+        "a method's self-call chain reaches itself; every invocation "
+        "recurses without a terminating dispatch"
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# MPL: self-call recursion
+# ---------------------------------------------------------------------------
+
+
+def recursion_findings(
+    effects: Mapping[str, MethodEffects],
+    source: str = "",
+    subject: str = "<object>",
+) -> list:
+    """Self-call cycles within one object's method table.
+
+    One finding per distinct cycle (as a set of methods), anchored at
+    the call edge of the first participating method in name order.
+    """
+    graph = {
+        name: sorted(eff.self_calls) for name, eff in effects.items()
+    }
+    seen_cycles: set = set()
+    out: list = []
+
+    def find_cycle(start: str) -> list | None:
+        stack = [(start, [start])]
+        visited = set()
+        while stack:
+            node, path = stack.pop()
+            for callee in graph.get(node, ()):
+                if callee == start:
+                    return path
+                if callee in visited or callee not in graph:
+                    continue
+                visited.add(callee)
+                stack.append((callee, path + [callee]))
+        return None
+
+    for name in sorted(graph):
+        cycle = find_cycle(name)
+        if cycle is None:
+            continue
+        key = frozenset(cycle)
+        if key in seen_cycles:
+            continue
+        seen_cycles.add(key)
+        first_hop = cycle[1] if len(cycle) > 1 else name
+        line, column = effects[name].self_calls.get(
+            first_hop, effects[name].self_calls.get(name, (0, 0))
+        )
+        ring = " -> ".join(cycle + [name])
+        out.append(Diagnostic(
+            rule="cycle.recursion",
+            severity=Severity.WARNING,
+            message=(
+                f"method '{name}' of {subject} reaches itself through its "
+                f"self-call chain ({ring}); every invocation recurses"
+            ),
+            source=source,
+            line=line,
+            column=column,
+            hint="guard the recursive dispatch with a terminating branch "
+                 "the analysis can see, or break the cycle",
+            extra={"object": subject, "methods": sorted(key)},
+        ))
+    return out
+
+
+def analyze_program(program, label: str = "<mpl>") -> list:
+    """Recursion findings for every object declared in one MPL program."""
+    out: list = []
+    for decl in program.objects:
+        out.extend(
+            recursion_findings(effects_of_object(decl), label, decl.name)
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# host scenarios: cross-site wait-for cycles
+# ---------------------------------------------------------------------------
+
+#: edge kinds that park the caller until the callee replies
+_WAITING_KINDS = frozenset({"rmi", "migrate"})
+
+
+def analyze_host_source(source: str, label: str = "<host>") -> list:
+    """Wait-for cycle findings for one host scenario file."""
+    scan = scan_host(source, label)
+    waits: dict = {}  # src site node -> set of dst site nodes
+    reported: set = set()
+    out: list = []
+
+    def path_between(start: str, goal: str) -> list | None:
+        stack = [(start, [start])]
+        visited = {start}
+        while stack:
+            node, path = stack.pop()
+            for succ in sorted(waits.get(node, ())):
+                if succ == goal:
+                    return path + [succ]
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+    for edge in scan.graph.edges:
+        if edge.kind not in _WAITING_KINDS:
+            continue
+        back_path = path_between(edge.dst, edge.src)
+        waits.setdefault(edge.src, set()).add(edge.dst)
+        if back_path is None and edge.src != edge.dst:
+            continue
+        # the edge closes a cycle: src -> dst -> ... -> src
+        ring = [edge.src] + (back_path if back_path else [edge.dst])
+        sites = tuple(sorted({n.split(":", 1)[1] for n in ring}))
+        if sites in reported:
+            continue
+        reported.add(sites)
+        pretty = " -> ".join(n.split(":", 1)[1] for n in ring)
+        out.append(Diagnostic(
+            rule="cycle.await",
+            severity=Severity.WARNING,
+            message=(
+                f"sync RMI edges form a wait-for cycle ({pretty}); nested "
+                f"request pumps can park every site on the others"
+            ),
+            source=label,
+            line=edge.line,
+            column=edge.column,
+            hint="break the cycle with an async verb or route one leg "
+                 "through a reply instead of a nested request",
+            extra={"sites": list(sites)},
+        ))
+        if all(site in scan.windows for site in sites):
+            limits = {site: scan.windows[site] for site in sites}
+            out.append(Diagnostic(
+                rule="cycle.admission",
+                severity=Severity.ERROR,
+                message=(
+                    f"the wait-for cycle ({pretty}) runs entirely through "
+                    f"sites with finite admission windows "
+                    f"({', '.join(f'{s}={limits[s]}' for s in sites)}); "
+                    f"the windows can mutually exhaust and hard-deadlock"
+                ),
+                source=label,
+                line=edge.line,
+                column=edge.column,
+                hint="raise one window, or make one leg async so a parked "
+                     "slot cannot hold the only capacity",
+                extra={"sites": list(sites)},
+            ))
+    return out

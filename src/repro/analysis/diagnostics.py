@@ -25,6 +25,7 @@ __all__ = [
     "render_json",
     "worst_severity",
     "fails",
+    "dedupe",
 ]
 
 
@@ -124,6 +125,27 @@ def render_json(diagnostics: list[Diagnostic]) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def dedupe(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Collapse findings that agree on (rule, source, line).
+
+    Different front ends can report the same defect — a path listed
+    twice, an object both linted from source and analyzed live — and a
+    reader should see it once. The first occurrence wins (front ends run
+    in pipeline order, so the first carries the earliest context); column
+    and message wording are deliberately not part of the key, since two
+    passes rarely phrase one defect identically.
+    """
+    seen: set = set()
+    out: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        key = (diagnostic.rule, diagnostic.source, diagnostic.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(diagnostic)
+    return out
 
 
 def worst_severity(diagnostics: list[Diagnostic]) -> Severity | None:

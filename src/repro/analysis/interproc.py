@@ -1,0 +1,94 @@
+"""The whole-system analysis driver behind ``repro analyze``.
+
+``repro lint`` checks each MPL program in isolation; this driver runs
+the *interprocedural* passes over everything reachable from the given
+paths:
+
+* every MPL unit (standalone ``.mpl`` files and programs embedded in
+  python hosts, discovered by the same walker the linter uses) goes
+  through the race pass and the self-recursion pass, with embedded
+  findings re-anchored into the containing file;
+* every host ``.py`` file goes through the cross-site wait-for cycle
+  pass and the migration-safety dataflow.
+
+Units that fail to parse are skipped silently — ``repro lint`` owns
+syntax reporting, and double-reporting a parse error from two commands
+would defeat the dedupe satellite this driver honors on its way out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Iterable
+
+from ..core.errors import MPLSyntaxError
+from . import deadlock, migration_safety, races
+from .diagnostics import Diagnostic, dedupe
+from .sources import iter_units
+
+__all__ = ["analyze_paths"]
+
+
+def _shift(findings: list, offset: int) -> list:
+    if not offset:
+        return findings
+    return [
+        dataclasses.replace(f, line=f.line + offset if f.line else 0)
+        for f in findings
+    ]
+
+
+def _host_files(paths: Iterable[str | Path]) -> list:
+    files: list = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        elif entry.suffix == ".py":
+            files.append(entry)
+    return files
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    *,
+    check_races: bool = True,
+    check_deadlocks: bool = True,
+    check_migration: bool = True,
+) -> list:
+    """Run the selected interprocedural passes over *paths*."""
+    from ..lang.parser import parse
+
+    findings: list[Diagnostic] = []
+    if check_races or check_deadlocks:
+        for unit in iter_units(paths):
+            try:
+                program = parse(unit.source)
+            except MPLSyntaxError:
+                continue  # `repro lint` owns syntax reporting
+            unit_findings: list = []
+            if check_races:
+                unit_findings.extend(
+                    races.analyze_program(program, unit.label)
+                )
+            if check_deadlocks:
+                unit_findings.extend(
+                    deadlock.analyze_program(program, unit.label)
+                )
+            findings.extend(_shift(unit_findings, unit.line_offset))
+    if check_deadlocks or check_migration:
+        for file in _host_files(paths):
+            try:
+                text = file.read_text()
+            except OSError:
+                continue
+            if check_deadlocks:
+                findings.extend(
+                    deadlock.analyze_host_source(text, str(file))
+                )
+            if check_migration:
+                findings.extend(
+                    migration_safety.analyze_host_source(text, str(file))
+                )
+    return dedupe(findings)

@@ -7,9 +7,19 @@ Commands:
   verification a host performs before admitting MPL-borne code);
 * ``inspect PACKAGE.mrom`` — describe a packed object file without
   executing any of its code (safe interrogation of an artifact at rest);
-* ``lint PATH... [--object PACKAGE.mrom] [--strict] [--json]`` — static
-  analysis: MPL lint over files/trees plus migration admission analysis
-  over packed objects (see ``docs/ANALYSIS.md``);
+* ``lint PATH... [--object PACKAGE.mrom] [--strict] [--json]
+  [--baseline FILE.json]`` — static analysis: MPL lint over files/trees
+  plus migration admission analysis over packed objects (see
+  ``docs/ANALYSIS.md``);
+* ``analyze PATH... [--races] [--deadlocks] [--migration] [--strict]
+  [--json] [--baseline FILE.json]`` / ``analyze --sanitize-smoke
+  [--seed N] [--requests N]`` — interprocedural analysis: cross-object
+  call graph, race detection (``race.*``), wait-cycle and recursion
+  detection (``cycle.*``) and migration-safety dataflow
+  (``migration.*``) over MPL programs and host scenario scripts;
+  ``--sanitize-smoke`` runs a happens-before-sanitized soak and fails
+  unless every dynamically observed race/cycle matches a static
+  diagnostic (see ``docs/ANALYSIS.md``);
 * ``store list / show / verify`` — inspect a persistence store;
 * ``chaos --seed N`` — run the deterministic fault-injection scenario
   (see ``docs/FAULTS.md``); identical seeds print identical reports.
@@ -142,8 +152,46 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
+def _apply_baseline(findings: list, baseline_path: str) -> tuple:
+    """Shared ``--baseline`` semantics for lint and analyze.
+
+    Returns ``(findings, notes)``: when the baseline file is missing the
+    current findings are recorded as accepted debt and the run passes
+    clean; when it exists, recorded findings are subtracted and only the
+    new ones remain to gate on.
+    """
+    from .analysis.baseline import load_baseline, suppress, write_baseline
+
+    known = load_baseline(baseline_path)
+    if known is None:
+        count = write_baseline(baseline_path, findings)
+        return [], [f"baseline: recorded {count} finding(s) to {baseline_path}"]
+    new, suppressed = suppress(findings, known)
+    notes = []
+    if suppressed:
+        notes.append(
+            f"baseline: suppressed {len(suppressed)} known finding(s)"
+        )
+    return new, notes
+
+
+def _report_findings(findings: list, notes: list, args: argparse.Namespace) -> int:
     from .analysis import fails, render_json, render_text
+
+    if args.json:
+        print(render_json(findings))
+    else:
+        for line in render_text(findings):
+            print(line)
+        for note in notes:
+            print(note)
+        if not findings:
+            print("clean: no findings")
+    return 1 if fails(findings, strict=args.strict) else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import dedupe
     from .analysis.sources import lint_paths
 
     findings = []
@@ -161,14 +209,92 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"error: no such path: {path}", file=sys.stderr)
         return 2
     findings.extend(lint_paths(args.paths))
-    if args.json:
-        print(render_json(findings))
-    else:
-        for line in render_text(findings):
-            print(line)
-        if not findings:
-            print("clean: no findings")
-    return 1 if fails(findings, strict=args.strict) else 0
+    findings = dedupe(findings)
+    notes: list = []
+    if args.baseline:
+        findings, notes = _apply_baseline(findings, args.baseline)
+    return _report_findings(findings, notes, args)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.sanitize_smoke:
+        return _sanitize_smoke(args)
+    from .analysis.interproc import analyze_paths
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+    if not args.paths:
+        print("error: no paths given (and --sanitize-smoke not set)",
+              file=sys.stderr)
+        return 2
+    all_passes = not (args.races or args.deadlocks or args.migration)
+    findings = analyze_paths(
+        args.paths,
+        check_races=all_passes or args.races,
+        check_deadlocks=all_passes or args.deadlocks,
+        check_migration=all_passes or args.migration,
+    )
+    notes: list = []
+    if args.baseline:
+        findings, notes = _apply_baseline(findings, args.baseline)
+    return _report_findings(findings, notes, args)
+
+
+def _sanitize_smoke(args: argparse.Namespace) -> int:
+    """Run a sanitizer-instrumented soak and cross-check its verdicts.
+
+    The acceptance bar is differential: the run must observe at least
+    one dynamic race (the workload's read-modify-write counters make
+    that non-vacuous), and every race/cycle the sanitizer saw must be
+    matched by a static diagnostic from the same effect summaries.
+    """
+    from .analysis import sanitizer as hb
+    from .load.scenario import LoadConfig, run_soak_scenario
+
+    san = hb.enable()
+    try:
+        report = run_soak_scenario(
+            LoadConfig(
+                sites=3,
+                clients=3,
+                requests=args.requests,
+                mode="closed",
+                seed=args.seed,
+            )
+        )
+    finally:
+        hb.disable()
+    verdict = san.crosscheck()
+    print(
+        f"sanitize-smoke: tasks={verdict['tasks']} "
+        f"accesses={verdict['accesses']} sends={verdict['sends']} "
+        f"syncs={verdict['syncs']}"
+    )
+    print(
+        f"sanitize-smoke: observed {verdict['observed_races']} race(s), "
+        f"{verdict['observed_cycles']} cycle(s); "
+        f"{verdict['static_findings']} static finding(s)"
+    )
+    failures = []
+    if report.unresolved:
+        failures.append(f"{report.unresolved} unresolved request(s)")
+    if not verdict["observed_races"]:
+        failures.append("vacuous run: no dynamic races observed")
+    for race in verdict["unmatched_races"]:
+        failures.append(f"unreported race: {race}")
+    for cycle in verdict["unmatched_cycles"]:
+        failures.append(f"unreported wait cycle: {cycle}")
+    for failure in failures:
+        print(f"sanitize-smoke: FAIL: {failure}")
+    if not failures:
+        print(
+            "sanitize-smoke: OK — every observed hazard matched a "
+            "static diagnostic"
+        )
+    return 1 if failures else 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -594,7 +720,66 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--json", action="store_true", help="machine-readable JSON report"
     )
+    lint_parser.add_argument(
+        "--baseline", metavar="FILE.json", default=None,
+        help="record findings on first run; later runs fail only on "
+             "findings the baseline has not seen",
+    )
     lint_parser.set_defaults(handler=_cmd_lint)
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="interprocedural race/deadlock/migration-safety analysis",
+        description=(
+            "Build a cross-object call graph over MPL programs and host "
+            "scenario scripts under the given paths and report potential "
+            "races (race.*), wait/recursion cycles (cycle.*) and "
+            "migration-safety hazards (migration.*). With "
+            "--sanitize-smoke, instead run a sanitizer-instrumented soak "
+            "and cross-check every dynamically observed hazard against "
+            "the static analysis. Exit codes match lint: 0 clean, 1 "
+            "findings (warnings only under --strict), 2 usage error."
+        ),
+    )
+    analyze_parser.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories to analyze (.mpl, and .py host scripts)",
+    )
+    analyze_parser.add_argument(
+        "--races", action="store_true",
+        help="run only the race-detection pass",
+    )
+    analyze_parser.add_argument(
+        "--deadlocks", action="store_true",
+        help="run only the wait-cycle/recursion pass",
+    )
+    analyze_parser.add_argument(
+        "--migration", action="store_true",
+        help="run only the migration-safety pass",
+    )
+    analyze_parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    analyze_parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
+    analyze_parser.add_argument(
+        "--baseline", metavar="FILE.json", default=None,
+        help="record findings on first run; later runs fail only on "
+             "findings the baseline has not seen",
+    )
+    analyze_parser.add_argument(
+        "--sanitize-smoke", action="store_true",
+        help="run a happens-before-sanitized soak and require every "
+             "observed race/cycle to match a static diagnostic",
+    )
+    analyze_parser.add_argument("--seed", type=int, default=0)
+    analyze_parser.add_argument(
+        "--requests", type=int, default=1500,
+        help="soak request count for --sanitize-smoke",
+    )
+    analyze_parser.set_defaults(handler=_cmd_analyze)
 
     store_parser = commands.add_parser("store", help="inspect an object store")
     store_parser.add_argument("--root", required=True)

@@ -12,6 +12,11 @@ discipline.
 The mailbox accepts work from any thread; the worker is the only thread
 that ever touches the object. ``stop()`` drains cleanly; submitting to a
 stopped object fails fast.
+
+When the happens-before sanitizer is active, each submission carries the
+submitter's vector clock into the worker, and the worker runs as one
+persistent task — mailbox serialization *is* a happens-before edge, which
+is exactly the guarantee the wrapper sells.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import threading
 from concurrent.futures import Future
 from typing import Any, Sequence
 
+from ..analysis import sanitizer as _sanitizer
 from ..core.acl import Principal
 from ..core.errors import ConcurrencyError
 from ..core.mobject import MROMObject
@@ -51,6 +57,7 @@ class ActiveObject:
         self._mailbox: "queue.Queue" = queue.Queue(maxsize=queue_limit)
         self._stopped = threading.Event()
         self._drain_lock = threading.Lock()
+        self._hb_task = None  # the worker's persistent sanitizer task
         self.processed = 0
         self.rejected = 0
         self._worker = threading.Thread(
@@ -74,7 +81,9 @@ class ActiveObject:
                 f"active object {self.obj.guid} is stopped"
             )
         future: "Future[Any]" = Future()
-        self._mailbox.put((method, list(args), caller, future))
+        san = _sanitizer.ACTIVE
+        clock = san.snapshot() if san is not None else None
+        self._mailbox.put((method, list(args), caller, future, clock))
         if self._stopped.is_set() and not self._worker.is_alive():
             # stop() raced this submit: the item may have landed after
             # the _STOP sentinel, with nobody left to serve it. Either
@@ -101,9 +110,20 @@ class ActiveObject:
             work = self._mailbox.get()
             if work is _STOP:
                 return
-            method, args, caller, future = work
+            method, args, caller, future, clock = work
             if not future.set_running_or_notify_cancel():
                 continue
+            san = _sanitizer.ACTIVE
+            if san is not None:
+                # one persistent task for the worker: item N's effects
+                # happen-before item N+1's, the actor guarantee itself
+                if self._hb_task is None:
+                    self._hb_task = san.fork(
+                        label=f"active:{self.obj.guid}", parent=None
+                    )
+                san.merge(self._hb_task, clock)
+                san.push(self._hb_task)
+                san.invoke(self.obj, method)
             try:
                 result = self.obj.invoke(method, args, caller=caller)
             except BaseException as exc:  # noqa: BLE001 - delivered via future
@@ -111,6 +131,8 @@ class ActiveObject:
             else:
                 future.set_result(result)
             finally:
+                if san is not None:
+                    san.pop()
                 self.processed += 1
 
     # -- lifecycle -------------------------------------------------------------
@@ -125,6 +147,18 @@ class ActiveObject:
         ever left waiting on a future nobody will resolve.
         """
         if self._stopped.is_set():
+            # A concurrent stop() may still be between set() and its
+            # join: draining now could steal queued work — or the _STOP
+            # sentinel itself — out from under the live worker, which
+            # would fail accepted invocations spuriously and leave the
+            # worker parked on an empty mailbox forever while the first
+            # stop() times out. Wait for the worker first; the drain is
+            # only safe against a dead worker.
+            self._worker.join(timeout=timeout)
+            if self._worker.is_alive():
+                raise ConcurrencyError(
+                    f"active object {self.obj.guid} did not drain in time"
+                )
             self._fail_leftovers()
             return
         self._stopped.set()
@@ -146,7 +180,7 @@ class ActiveObject:
                     return
                 if work is _STOP:  # a duplicate sentinel; nothing to fail
                     continue
-                _method, _args, _caller, future = work
+                _method, _args, _caller, future, _clock = work
                 self.rejected += 1
                 if future.set_running_or_notify_cancel():
                     future.set_exception(

@@ -158,17 +158,19 @@ class MobilityManager:
         report = self._handoff(obj, dst, install_args, mode="copy")
         return RemoteRef(self.site, dst, str(report["guid"]))
 
-    def preflight(self, obj: MROMObject) -> list:
+    def preflight(self, obj: MROMObject, concurrency: bool = False) -> list:
         """Sender-side admission analysis of a live object.
 
         Returns the :class:`~repro.analysis.diagnostics.Diagnostic` list a
         destination running the admission gate would raise about *obj* —
         run it before :meth:`migrate` to avoid paying for a round trip
         that ends in an :class:`~repro.analysis.admission.AdmissionRefusal`.
+        Pass ``concurrency=True`` to also see the ``adm.race.*``/
+        ``adm.cycle.*`` advice a *strict* gate would veto on.
         """
         from ..analysis.admission import analyze_object
 
-        return analyze_object(obj)
+        return analyze_object(obj, concurrency=concurrency)
 
     def _mint_transfer_id(self) -> str:
         """A package sequence number, unique across site incarnations."""

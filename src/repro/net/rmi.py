@@ -33,6 +33,7 @@ from ..core.errors import (
     RequestTimeoutError,
     error_for_name,
 )
+from ..analysis import sanitizer as _sanitizer
 from ..telemetry import state as _telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -235,7 +236,7 @@ class AsyncCall:
     __slots__ = (
         "site", "dst", "kind", "wire_payload", "policy", "future",
         "request_id", "issued_at", "attempt", "attempt_ids", "sent_any",
-        "_timer",
+        "_timer", "hb_clock",
     )
 
     def __init__(
@@ -259,6 +260,7 @@ class AsyncCall:
         self.attempt_ids: list[int] = []
         self.sent_any = False
         self._timer = None
+        self.hb_clock = None  # issuer's vector clock, when sanitizing
 
     # -- sending ---------------------------------------------------------
 
@@ -275,6 +277,11 @@ class AsyncCall:
             self._attempt_failed(exc)
             return
         self.sent_any = True
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            if self.hb_clock is None:
+                self.hb_clock = san.snapshot()
+            san.note_sent(msg_id, fallback=self.hb_clock)
         self.attempt_ids.append(msg_id)
         self.site._async_calls[msg_id] = self
         if self.policy is not None:
@@ -294,23 +301,40 @@ class AsyncCall:
         self._unregister()
         if self.future.done:  # pragma: no cover - defensive
             return
-        body = message.payload
-        if isinstance(body, dict) and body.get("ok") is False:
-            error = error_for_name(
-                str(body.get("error", "")),
-                str(body.get("message", "remote failure")),
-            )
-            if isinstance(error, OverloadError) and self.policy is not None:
-                # a shed is retryable: the refusal bypassed the served
-                # ledger, so a backed-off retry of the same request_id
-                # gets a fresh admission decision
-                self._attempt_failed(error)
+        san = _sanitizer.ACTIVE
+        hb_task = None
+        if san is not None:
+            # settle the future under a task that happens-after both the
+            # issue point and the serving activity, so callback chains
+            # (the load drivers' next request) inherit the full ordering
+            hb_task = san.fork(label=f"reply.{self.kind}", parent=None)
+            if self.hb_clock:
+                san.merge(hb_task, self.hb_clock)
+            serve_clock = san.reply_clock(message.reply_to)
+            if serve_clock:
+                san.merge(hb_task, serve_clock)
+            san.push(hb_task)
+        try:
+            body = message.payload
+            if isinstance(body, dict) and body.get("ok") is False:
+                error = error_for_name(
+                    str(body.get("error", "")),
+                    str(body.get("message", "remote failure")),
+                )
+                if isinstance(error, OverloadError) and self.policy is not None:
+                    # a shed is retryable: the refusal bypassed the served
+                    # ledger, so a backed-off retry of the same request_id
+                    # gets a fresh admission decision
+                    self._attempt_failed(error)
+                    return
+                self.future._fail(error)
                 return
-            self.future._fail(error)
-            return
-        if isinstance(body, dict) and "result" in body:
-            body = body["result"]
-        self.future._resolve(self.site.import_value(body))
+            if isinstance(body, dict) and "result" in body:
+                body = body["result"]
+            self.future._resolve(self.site.import_value(body))
+        finally:
+            if san is not None:
+                san.pop()
 
     def _on_timeout(self) -> None:
         self._timer = None

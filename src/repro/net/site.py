@@ -38,6 +38,7 @@ from ..core.errors import (
 from ..core.introspection import describe as describe_object
 from ..core.items import ItemHandle
 from ..core.mobject import MROMObject
+from ..analysis import sanitizer as _sanitizer
 from ..naming import GuidFactory, NameService
 from ..telemetry import state as _telemetry
 from ..telemetry.context import TraceContext
@@ -303,6 +304,15 @@ class Site:
 
     def _serve(self, message: Message, handler: Handler) -> None:
         """Execute one admitted request and send its reply."""
+        san = _sanitizer.ACTIVE
+        hb_task = None
+        if san is not None:
+            # the serving activity happens-after the send that carried
+            # the request; its final clock is published under the same
+            # msg id so the requester's reply absorption closes the loop
+            hb_task = san.begin_serve(
+                message.msg_id, label=f"serve.{message.kind}@{self.site_id}"
+            )
         tel = _telemetry.ACTIVE
         span = None
         if tel is not None:
@@ -344,6 +354,8 @@ class Site:
             self.handling_depth -= 1
             if span is not None:
                 tel.end_span(span, status=status)
+            if san is not None:
+                san.end_serve(message.msg_id, hb_task)
             self.release()
 
     def _reply(self, request: Message, payload: Any) -> None:
@@ -414,6 +426,25 @@ class Site:
         so the serving site joins the same trace; every retry carries the
         identical context.
         """
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            # the pump parks this site on dst until the reply lands — a
+            # sync-wait edge; outstanding edges forming a ring is the
+            # dynamic witness the cycle.* rules must have predicted
+            san.wait_begin(self.site_id, dst)
+            try:
+                return self._request_traced(dst, kind, payload, policy)
+            finally:
+                san.wait_end(self.site_id, dst)
+        return self._request_traced(dst, kind, payload, policy)
+
+    def _request_traced(
+        self,
+        dst: str,
+        kind: str,
+        payload: Any,
+        policy: RetryPolicy | None = None,
+    ) -> Any:
         tel = _telemetry.ACTIVE
         if tel is None:
             return self._request(dst, kind, payload, policy)
@@ -446,6 +477,9 @@ class Site:
             msg_id = self.network.send(
                 self.site_id, dst, kind, wire_payload, lamport=self.guids.tick()
             )
+            san = _sanitizer.ACTIVE
+            if san is not None:
+                san.note_sent(msg_id)
             self._awaiting.add(msg_id)
             try:
                 self.network.run_while(lambda: msg_id not in self._pending)
@@ -488,6 +522,9 @@ class Site:
                     last_error = exc
                 else:
                     sent_any = True
+                    san = _sanitizer.ACTIVE
+                    if san is not None:
+                        san.note_sent(msg_id)
                     attempt_ids.append(msg_id)
                     self._awaiting.add(msg_id)
                     expired: dict[str, bool] = {}
@@ -620,6 +657,11 @@ class Site:
         self.network.run_while(lambda: "fired" not in woken)
 
     def _decode_reply(self, reply: Message) -> Any:
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            # join the serving task's published clock: everything the
+            # handler did happens-before this caller's next step
+            san.absorb_reply(reply.reply_to)
         body = reply.payload
         if isinstance(body, Mapping) and body.get("ok") is False:
             if body.get("error") == "OverloadError":
@@ -828,12 +870,18 @@ class Site:
         obj = self.local_object(str(body["target"]))
         caller = self._caller_from(body.get("caller"))
         args = self.import_value(body.get("args", []))
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            san.invoke(obj, str(body["method"]))
         return obj.invoke(str(body["method"]), args, caller=caller)
 
     def _handle_get_data(self, message: Message) -> Any:
         body = message.payload
         obj = self.local_object(str(body["target"]))
         caller = self._caller_from(body.get("caller"))
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            san.data_read(obj, str(body["name"]))
         return obj.get_data(str(body["name"]), caller=caller)
 
     def _handle_describe(self, message: Message) -> dict:

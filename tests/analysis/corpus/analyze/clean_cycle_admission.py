@@ -1,0 +1,10 @@
+"""Clean twin: admission windows are fine as long as traffic is one-way."""
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+alpha.inflight_limit = 1
+beta.inflight_limit = 1
+
+alpha.request("beta", "ping", {"from": "alpha"})

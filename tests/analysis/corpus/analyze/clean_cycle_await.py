@@ -1,0 +1,9 @@
+"""Clean twin: fan-out RMI with no reverse edge, hence no cycle."""
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+
+alpha.request("beta", "ping", {"from": "alpha"})
+alpha.remote_describe("beta", "some-guid")

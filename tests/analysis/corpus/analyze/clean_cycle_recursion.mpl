@@ -1,0 +1,10 @@
+object chain {
+  data a = 0
+  data b = 0
+  method outer() {
+    self.inner()
+  }
+  method inner() {
+    b = 1
+  }
+}

@@ -1,0 +1,14 @@
+"""Clean twin: the agent carries a plain name, not a live remote stub."""
+from repro.mobility import MobilityManager
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+manager = MobilityManager(alpha)
+
+registry_name = "apps/registry"
+agent = alpha.create_object(display_name="agent")
+agent.define_fixed_data("home_registry", registry_name)
+agent.seal()
+manager.migrate(agent, "beta")

@@ -1,0 +1,14 @@
+"""Clean twin: a migrating agent whose method bodies are portable strings."""
+from repro.mobility import MobilityManager
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+manager = MobilityManager(alpha)
+
+agent = alpha.create_object(display_name="agent")
+agent.define_fixed_data("hops", 0)
+agent.define_fixed_method("work", "self.set('hops', 0)")
+agent.seal()
+manager.migrate(agent, "beta")

@@ -1,0 +1,14 @@
+"""Clean twin: only marshalable shapes (lists, dicts, scalars) migrate."""
+from repro.mobility import MobilityManager
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+manager = MobilityManager(alpha)
+
+agent = alpha.create_object(display_name="agent")
+agent.define_fixed_data("seen", ["alpha", "beta"])
+agent.define_fixed_data("stats", {"hops": 0})
+agent.seal()
+manager.migrate(agent, "beta")

@@ -1,0 +1,6 @@
+object tally {
+  data count = 0
+  method reset() {
+    count = 0
+  }
+}

@@ -1,0 +1,10 @@
+object gauge {
+  data level = 0
+  data limit = 10
+  method peek() {
+    return limit
+  }
+  method refill() {
+    level = 5
+  }
+}

@@ -1,0 +1,6 @@
+object shape {
+  data tag = 0
+  method relabel() {
+    self.set("tag", 7)
+  }
+}

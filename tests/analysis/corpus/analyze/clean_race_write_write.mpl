@@ -1,0 +1,10 @@
+object board {
+  data total = 0
+  data spare = 0
+  method reset() {
+    total = 0
+  }
+  method stash() {
+    spare = 1
+  }
+}

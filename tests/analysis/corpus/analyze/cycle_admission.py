@@ -1,0 +1,12 @@
+"""Seeded hazard: a wait cycle through sites whose admission windows
+can mutually exhaust — a deadlock even without any literal lock."""
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+alpha.inflight_limit = 1
+beta.inflight_limit = 1
+
+alpha.request("beta", "ping", {"from": "alpha"})
+beta.request("alpha", "ping", {"from": "beta"})  # //! cycle.await, cycle.admission

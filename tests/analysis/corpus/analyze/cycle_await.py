@@ -1,0 +1,9 @@
+"""Seeded hazard: a synchronous RMI cycle between two serving sites."""
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+
+alpha.request("beta", "ping", {"from": "alpha"})
+beta.request("alpha", "ping", {"from": "beta"})  # //! cycle.await

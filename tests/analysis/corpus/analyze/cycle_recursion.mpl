@@ -1,0 +1,6 @@
+object looper {
+  data n = 0
+  method spin() {
+    self.spin() //! cycle.recursion
+  }
+}

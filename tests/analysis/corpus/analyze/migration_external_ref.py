@@ -1,0 +1,14 @@
+"""Seeded hazard: a by-reference stub stored on a migrating agent."""
+from repro.mobility import MobilityManager
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+manager = MobilityManager(alpha)
+
+directory = alpha.remote_resolve("beta", "apps/registry")
+agent = alpha.create_object(display_name="agent")
+agent.define_fixed_data("home_registry", directory)  # //! migration.external-ref
+agent.seal()
+manager.migrate(agent, "beta")

@@ -1,0 +1,14 @@
+"""Seeded hazard: a native (non-string) method body on a migrating agent."""
+from repro.mobility import MobilityManager
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+manager = MobilityManager(alpha)
+
+agent = alpha.create_object(display_name="agent")
+agent.define_fixed_data("hops", 0)
+agent.define_fixed_method("work", lambda self, args: None)  # //! migration.native-code
+agent.seal()
+manager.migrate(agent, "beta")

@@ -1,0 +1,14 @@
+"""Seeded hazard: a data value with no wire form on a migrating agent."""
+from repro.mobility import MobilityManager
+from repro.net import Network, Site
+
+net = Network()
+alpha = Site(net, "alpha")
+beta = Site(net, "beta")
+manager = MobilityManager(alpha)
+
+agent = alpha.create_object(display_name="agent")
+agent.define_fixed_data("seen", {"alpha", "beta"})  # //! migration.unmarshalable-value
+agent.define_fixed_method("install", "self.set('hops', 1)")
+agent.seal()
+manager.migrate(agent, "beta")

@@ -1,0 +1,6 @@
+object tally {
+  data count = 0
+  method bump() {
+    count = count + 1 //! race.lost-update
+  }
+}

@@ -1,0 +1,9 @@
+object gauge {
+  data level = 0
+  method peek() {
+    return level //! race.read-write
+  }
+  method refill() {
+    level = 5
+  }
+}

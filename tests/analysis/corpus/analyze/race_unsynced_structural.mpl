@@ -1,0 +1,6 @@
+object shape {
+  data tag = 0
+  method evolve() {
+    self.add_data("extra", 1) //! race.unsynced-structural
+  }
+}

@@ -1,0 +1,9 @@
+object board {
+  data total = 0
+  method reset() {
+    total = 0
+  }
+  method stamp() {
+    total = 9 //! race.write-write
+  }
+}

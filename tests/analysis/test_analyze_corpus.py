@@ -1,0 +1,74 @@
+"""The seeded interprocedural corpus: every ``race.*``/``cycle.*``/
+``migration.*`` rule fires exactly where marked.
+
+Mirrors the MPL lint corpus convention (``test_corpus.py``): each hazard
+file under ``corpus/analyze/`` seeds one rule (or a marked pair) with a
+``//! rule-id`` comment on the offending line, and the analyzer must
+report exactly those (line, rule) pairs — nowhere else. Every hazard
+file has a ``clean_*`` twin exercising the same constructs in their safe
+form, on which the analyzer must stay silent (zero false positives).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.deadlock import CYCLE_RULES
+from repro.analysis.interproc import analyze_paths
+from repro.analysis.migration_safety import MIGRATION_RULES
+from repro.analysis.races import RACE_RULES
+
+pytestmark = pytest.mark.analysis
+
+CORPUS = Path(__file__).parent / "corpus" / "analyze"
+_MARKER = re.compile(r"//!\s*(.+?)\s*$")
+
+
+def expectations(text: str) -> set[tuple[int, str]]:
+    expected: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _MARKER.search(line)
+        if match:
+            for rule in match.group(1).split(","):
+                expected.add((lineno, rule.strip()))
+    return expected
+
+
+def corpus_files(clean: bool) -> list[Path]:
+    return sorted(
+        path
+        for pattern in ("*.mpl", "*.py")
+        for path in CORPUS.glob(pattern)
+        if path.name.startswith("clean_") == clean
+    )
+
+
+@pytest.mark.parametrize(
+    "path", corpus_files(clean=False), ids=lambda p: p.stem
+)
+def test_rule_fires_exactly_where_marked(path: Path):
+    expected = expectations(path.read_text())
+    assert expected, f"{path.name} carries no //! markers"
+    actual = {(d.line, d.rule) for d in analyze_paths([path])}
+    assert actual == expected
+
+
+@pytest.mark.parametrize(
+    "path", corpus_files(clean=True), ids=lambda p: p.stem
+)
+def test_clean_twin_stays_silent(path: Path):
+    assert analyze_paths([path]) == []
+
+
+def test_every_analyzer_rule_is_seeded_in_the_corpus():
+    seeded: set[str] = set()
+    for path in corpus_files(clean=False):
+        seeded |= {rule for _line, rule in expectations(path.read_text())}
+    assert seeded == set(RACE_RULES) | set(CYCLE_RULES) | set(MIGRATION_RULES)
+
+
+def test_every_hazard_has_a_clean_twin():
+    hazards = {p.stem for p in corpus_files(clean=False)}
+    twins = {p.stem.removeprefix("clean_") for p in corpus_files(clean=True)}
+    assert hazards == twins

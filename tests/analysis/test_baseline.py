@@ -1,0 +1,118 @@
+"""Baseline suppression: record the debt once, gate only on new findings."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    baseline_key,
+    load_baseline,
+    suppress,
+    write_baseline,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.cli import main
+
+pytestmark = pytest.mark.analysis
+
+
+def _diag(rule="race.lost-update", source="f.mpl", line=4):
+    return Diagnostic(
+        rule=rule, severity=Severity.WARNING, message="m",
+        source=source, line=line, column=1,
+    )
+
+
+class TestModule:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "base.json"
+        count = write_baseline(path, [_diag(), _diag(line=9)])
+        assert count == 2
+        assert load_baseline(path) == {
+            baseline_key(_diag()), baseline_key(_diag(line=9))
+        }
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") is None
+
+    def test_wrong_format_is_loud(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_suppress_splits_new_from_known(self, tmp_path):
+        path = tmp_path / "base.json"
+        write_baseline(path, [_diag()])
+        new, suppressed = suppress(
+            [_diag(), _diag(line=9)], load_baseline(path)
+        )
+        assert [d.line for d in new] == [9]
+        assert [d.line for d in suppressed] == [4]
+
+
+HAZARD = (
+    "object o {\n"
+    "  data n = 0\n"
+    "  method bump() {\n"
+    "    n = n + 1\n"
+    "  }\n"
+    "}\n"
+)
+
+
+class TestCLIFlow:
+    def test_first_run_records_and_passes(self, tmp_path, capsys):
+        script = tmp_path / "h.mpl"
+        script.write_text(HAZARD)
+        baseline = tmp_path / "base.json"
+        code = main([
+            "analyze", str(script), "--strict", "--baseline", str(baseline)
+        ])
+        assert code == 0
+        assert "recorded 1 finding(s)" in capsys.readouterr().out
+        assert baseline.exists()
+
+    def test_second_run_suppresses_known_findings(self, tmp_path, capsys):
+        script = tmp_path / "h.mpl"
+        script.write_text(HAZARD)
+        baseline = tmp_path / "base.json"
+        assert main([
+            "analyze", str(script), "--strict", "--baseline", str(baseline)
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "analyze", str(script), "--strict", "--baseline", str(baseline)
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suppressed 1 known finding(s)" in out
+
+    def test_new_finding_still_fails(self, tmp_path, capsys):
+        script = tmp_path / "h.mpl"
+        script.write_text(HAZARD)
+        baseline = tmp_path / "base.json"
+        assert main([
+            "analyze", str(script), "--strict", "--baseline", str(baseline)
+        ]) == 0
+        # a second hazard the baseline has never seen
+        script.write_text(HAZARD.replace("object o", "object p") + HAZARD)
+        code = main([
+            "analyze", str(script), "--strict", "--baseline", str(baseline)
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "race.lost-update" in out
+
+    def test_lint_shares_the_baseline_flag(self, tmp_path, capsys):
+        script = tmp_path / "h.mpl"
+        script.write_text("object o {\n  data unused = 0\n}\n")
+        baseline = tmp_path / "base.json"
+        first = main([
+            "lint", str(script), "--strict", "--baseline", str(baseline)
+        ])
+        capsys.readouterr()
+        second = main([
+            "lint", str(script), "--strict", "--baseline", str(baseline)
+        ])
+        assert (first, second) == (0, 0)

@@ -1,0 +1,62 @@
+"""Regression: a concurrent second ``stop()`` must not steal the
+``_STOP`` sentinel (or queued work) out from under the first one.
+
+The happens-before sanitizer's soak instrumentation surfaced the
+ordering bug this pins down: ``stop()`` on an already-stopping object
+used to drain the mailbox immediately. With the worker still serving a
+long invocation, that drain could consume the sentinel the first
+``stop()`` had queued — the drain loop discards sentinels — leaving the
+worker parked forever on an empty ``get()`` and the first ``stop()`` to
+die on its join timeout. The fix joins the worker before draining: the
+drain is only safe against a dead worker.
+"""
+
+import threading
+import time
+
+from repro.concurrency import ActiveObject
+from repro.core import MROMObject
+
+
+def test_concurrent_second_stop_does_not_steal_the_sentinel():
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def blocker(self_view, args, ctx):
+        entered.set()
+        gate.wait(5)
+        return "done"
+
+    obj = MROMObject(display_name="blocker")
+    obj.define_fixed_method("block", blocker)
+    obj.seal()
+    active = ActiveObject(obj)
+    future = active.invoke_async("block")
+    assert entered.wait(5), "worker never picked the invocation up"
+
+    errors: list = []
+
+    def do_stop():
+        try:
+            active.stop(timeout=10)
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    first = threading.Thread(target=do_stop)
+    first.start()
+    deadline = time.monotonic() + 5
+    while not active._stopped.is_set() and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert active._stopped.is_set()
+    second = threading.Thread(target=do_stop)
+    second.start()
+    # the window where a premature drain would eat the sentinel: the
+    # worker is still blocked inside the invocation
+    time.sleep(0.05)
+    gate.set()
+    first.join(15)
+    second.join(15)
+    assert not first.is_alive() and not second.is_alive()
+    assert errors == []
+    assert not active._worker.is_alive()
+    assert future.result(timeout=5) == "done"

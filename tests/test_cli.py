@@ -158,3 +158,65 @@ class TestLoad:
     def test_load_bad_mix_is_a_usage_error(self, capsys):
         with pytest.raises(ValueError, match="unknown op"):
             main(["load", "--requests", "10", "--mix", "teleport=1"])
+
+
+@pytest.mark.analysis
+class TestAnalyze:
+    HAZARD = (
+        "object o {\n"
+        "  data n = 0\n"
+        "  method bump() {\n"
+        "    n = n + 1\n"
+        "  }\n"
+        "}\n"
+    )
+
+    def test_findings_reported_with_lint_exit_codes(self, tmp_path, capsys):
+        script = tmp_path / "h.mpl"
+        script.write_text(self.HAZARD)
+        assert main(["analyze", str(script)]) == 0  # warnings pass by default
+        assert "race.lost-update" in capsys.readouterr().out
+        assert main(["analyze", str(script), "--strict"]) == 1
+
+    def test_clean_tree_is_clean(self, tmp_path, capsys):
+        script = tmp_path / "ok.mpl"
+        script.write_text(
+            "object o {\n  data n = 0\n  method reset() {\n    n = 0\n  }\n}\n"
+        )
+        assert main(["analyze", str(script), "--strict"]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_pass_selection(self, tmp_path, capsys):
+        script = tmp_path / "h.mpl"
+        script.write_text(self.HAZARD)
+        assert main(["analyze", str(script), "--deadlocks", "--strict"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(script), "--races", "--strict"]) == 1
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        script = tmp_path / "h.mpl"
+        script.write_text(self.HAZARD)
+        main(["analyze", str(script), "--json"])
+        report = json.loads(capsys.readouterr().out)
+        rules = [d["rule"] for d in report["diagnostics"]]
+        assert rules == ["race.lost-update"]
+        assert report["summary"]["warnings"] == 1
+
+    def test_missing_path_is_a_usage_error(self, capsys):
+        assert main(["analyze", "/nonexistent/tree"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_no_paths_is_a_usage_error(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.load
+    def test_sanitize_smoke_matches_every_witness(self, capsys):
+        assert main([
+            "analyze", "--sanitize-smoke", "--requests", "600",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "observed 0 race(s)" not in out  # non-vacuous
