@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath load-smoke load-tests recover-smoke recovery-tests bench-recovery examples series check all trace-smoke analyze sanitize-smoke bench-analysis
+.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath load-smoke load-tests recover-smoke recovery-tests bench-recovery cluster-smoke cluster-tests bench-cluster examples series check all trace-smoke analyze sanitize-smoke bench-analysis
 
 install:
 	$(PYTHON) setup.py develop || pip install -e .
@@ -83,12 +83,28 @@ recovery-tests:
 bench-recovery:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_perf12_recovery.py --benchmark-only -q
 
+# Cluster acceptance: the sustain + soak pair over the sharded
+# directory (closed-form accounting, single-owner, convergence; under
+# faults the only admissible terminal failure is a typed StaleLeaseError).
+cluster-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro cluster --smoke
+
+# Only the ring / directory / cluster-scenario suite (marker: cluster).
+cluster-tests:
+	$(PYTHON) -m pytest -m cluster tests/
+
+# The cluster scaling bench: simulated 4->8 and multi-process 4->16
+# site throughput floors, stale-lease rate ceiling. Writes
+# BENCH_cluster.json.
+bench-cluster:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_perf14_cluster.py --benchmark-only -q
+
 series: bench
 	@echo; for f in benchmarks/out/*.txt; do echo "--- $$f"; cat $$f; echo; done
 
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; echo; done
 
-check: test lint analyze sanitize-smoke trace-smoke load-smoke recover-smoke bench
+check: test lint analyze sanitize-smoke trace-smoke load-smoke recover-smoke cluster-smoke bench
 
 all: install check examples

@@ -1,0 +1,184 @@
+"""PERF-14: the sharded cluster — directory leases and scaling.
+
+Drives the cluster plane's acceptance shapes and snapshots what they
+measure into ``BENCH_cluster.json`` at the repo root:
+
+* **sim sustain** — a closed-loop run of ``REQUESTS`` cluster ops
+  (invokes / peeks / lease refreshes / ring-mediated migrations)
+  through a 4-site sharded world must settle every request with no
+  lost updates, exactly one live owner per name, a converged directory,
+  and at least one stale-lease redirect actually exercised;
+* **sim scaling** — the same workload over 8 sites must deliver at
+  least ``SIM_SCALING_FLOOR``x the 4-site simulated throughput: the
+  ring spreads names, so independent sites serve in parallel;
+* **process scaling** — the real-OS-process driver (one process per
+  site, gateways over TCP, directory-mediated placement) must deliver
+  at least ``PROC_SCALING_FLOOR``x aggregate throughput going from
+  ``PROC_SITES_SMALL`` to ``PROC_SITES_LARGE`` sites, with closed-form
+  accounting intact (counters == acknowledged increments, exactly one
+  active placement per name) and the stale-lease rate reported.
+
+The simulated numbers are seeded and deterministic: a regression in
+them is a behavioural change, not measurement noise. The process pair
+is wall-clock but latency-bound by design (``service_sleep`` dwarfs
+per-op CPU), so the scaling ratio is stable on a loaded 1-core box.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.load import (
+    ClusterConfig,
+    ClusterProcsConfig,
+    run_cluster_procs,
+    run_cluster_scenario,
+)
+from repro.telemetry import Telemetry, enabled
+from repro.telemetry.exporters import write_bench_json
+
+from .series import emit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: enforced floors (the PR's acceptance criteria)
+SIM_SCALING_FLOOR = 1.6    # 8-site / 4-site simulated throughput
+PROC_SCALING_FLOOR = 3.0   # 16-site / 4-site real-process throughput
+MAX_STALE_RATE = 0.20      # stale redirects per ok op, process runs
+
+REQUESTS = 1_600
+PROC_SITES_SMALL = 4
+PROC_SITES_LARGE = 16
+#: the process recipe: per-op service dwell dominates per-op CPU, so
+#: aggregate throughput measures parallel service lanes, not the
+#: (shared, single-core) interpreter; 6s amortizes lease warm-up
+PROC_DURATION = 6.0
+PROC_SERVICE_SLEEP = 0.08
+
+
+def _proc_config(sites: int) -> ClusterProcsConfig:
+    return ClusterProcsConfig(
+        sites=sites, duration=PROC_DURATION, keys_per_site=4,
+        service_sleep=PROC_SERVICE_SLEEP, client_procs=2,
+        moves=max(2, sites // 2), seed=0,
+    )
+
+
+@pytest.mark.skipif(
+    sys.platform == "win32", reason="fork-based multi-process driver"
+)
+def test_perf14_cluster(benchmark):
+    # -- sim: sustain at 4 sites, scale to 8 ----------------------------
+    with enabled(Telemetry()) as tel:
+        small = run_cluster_scenario(ClusterConfig(
+            sites=4, clients=8, requests=REQUESTS, seed=0,
+            service_delay=0.002,
+        ))
+        large = run_cluster_scenario(ClusterConfig(
+            sites=8, clients=16, requests=REQUESTS, seed=0,
+            service_delay=0.002,
+        ))
+    sim_ratio = large.throughput / small.throughput
+
+    # -- processes: 4 vs 16 real sites over TCP gateways ----------------
+    proc_small = run_cluster_procs(_proc_config(PROC_SITES_SMALL))
+    proc_large = run_cluster_procs(_proc_config(PROC_SITES_LARGE))
+    proc_ratio = proc_large["throughput"] / proc_small["throughput"]
+
+    emit(
+        "perf14_cluster",
+        f"PERF-14: sharded cluster scaling ({REQUESTS} sim requests; "
+        f"{PROC_DURATION:.0f}s process runs at "
+        f"{PROC_SERVICE_SLEEP * 1e3:.0f}ms service dwell)",
+        ["metric", "value", "floor/ceiling"],
+        [
+            ("sim 4-site ok", small.ok, f"== {REQUESTS}"),
+            ("sim 4-site throughput", small.throughput, "-"),
+            ("sim 8-site throughput", large.throughput, "-"),
+            ("sim scaling 8/4", sim_ratio, f">= {SIM_SCALING_FLOOR}"),
+            ("sim stale redirects", small.stale_client, ">= 1"),
+            ("sim migrations", small.migrations, ">= 1"),
+            ("proc 4-site ops/s", proc_small["throughput"], "-"),
+            ("proc 16-site ops/s", proc_large["throughput"], "-"),
+            ("proc scaling 16/4", proc_ratio, f">= {PROC_SCALING_FLOOR}"),
+            ("proc 16-site stale rate", proc_large["stale_rate"],
+             f"<= {MAX_STALE_RATE}"),
+            ("proc failed (both)", proc_small["failed"] + proc_large["failed"],
+             "== 0"),
+        ],
+    )
+    write_bench_json(
+        REPO_ROOT / "BENCH_cluster.json",
+        tel.metrics,
+        name="perf14_cluster",
+        extra={
+            "requests": REQUESTS,
+            "sim_throughput_4": round(small.throughput, 2),
+            "sim_throughput_8": round(large.throughput, 2),
+            "sim_scaling": round(sim_ratio, 3),
+            "sim_scaling_floor": SIM_SCALING_FLOOR,
+            "sim_stale_redirects": small.stale_client,
+            "sim_migrations": small.migrations,
+            "proc_sites": [PROC_SITES_SMALL, PROC_SITES_LARGE],
+            "proc_duration_s": PROC_DURATION,
+            "proc_service_sleep_s": PROC_SERVICE_SLEEP,
+            "proc_ok_4": proc_small["ok"],
+            "proc_ok_16": proc_large["ok"],
+            "proc_throughput_4": round(proc_small["throughput"], 2),
+            "proc_throughput_16": round(proc_large["throughput"], 2),
+            "proc_scaling": round(proc_ratio, 3),
+            "proc_scaling_floor": PROC_SCALING_FLOOR,
+            "proc_stale_rate_4": round(proc_small["stale_rate"], 5),
+            "proc_stale_rate_16": round(proc_large["stale_rate"], 5),
+            "proc_moves_4": proc_small["moves"],
+            "proc_moves_16": proc_large["moves"],
+            "proc_consistent": proc_small["consistent"]
+            and proc_large["consistent"],
+            "proc_single_owner": proc_small["single_owner"]
+            and proc_large["single_owner"],
+        },
+    )
+
+    # sim floors: deterministic, so CI gates on them directly
+    for report, label in ((small, "4-site"), (large, "8-site")):
+        assert report.ok == REQUESTS and report.unresolved == 0, (
+            f"sim {label}: lost requests (ok={report.ok} "
+            f"unresolved={report.unresolved})"
+        )
+        assert report.consistent, f"sim {label}: lost updates"
+        assert report.single_owner and not report.owner_violations, (
+            f"sim {label}: a name had two live owners"
+        )
+        assert report.converged, f"sim {label}: directory did not converge"
+    assert small.stale_client >= 1, "no stale-lease redirect was exercised"
+    assert small.migrations >= 1, "no ring-mediated migration happened"
+    assert sim_ratio >= SIM_SCALING_FLOOR, (
+        f"sim scaling {sim_ratio:.2f}x (floor {SIM_SCALING_FLOOR}x)"
+    )
+
+    # process floors: accounting is exact even though timing is wall-clock
+    for report, label in ((proc_small, "4-site"), (proc_large, "16-site")):
+        assert report["consistent"], (
+            f"proc {label}: counters {report['counter_total']} != "
+            f"acknowledged increments {report['ok']}"
+        )
+        assert report["single_owner"], (
+            f"proc {label}: a name had two active placements"
+        )
+        assert report["failed"] == 0, (
+            f"proc {label}: {report['failed']} op(s) exhausted retries"
+        )
+        assert report["stale_rate"] <= MAX_STALE_RATE, (
+            f"proc {label}: stale rate {report['stale_rate']:.3f} "
+            f"(ceiling {MAX_STALE_RATE})"
+        )
+    assert proc_ratio >= PROC_SCALING_FLOOR, (
+        f"process scaling {proc_ratio:.2f}x going "
+        f"{PROC_SITES_SMALL} -> {PROC_SITES_LARGE} sites "
+        f"(floor {PROC_SCALING_FLOOR}x)"
+    )
+
+    benchmark(lambda: run_cluster_scenario(
+        ClusterConfig(sites=4, clients=8, requests=400, seed=0)
+    ))

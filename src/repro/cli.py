@@ -38,6 +38,17 @@ Commands:
   write-ahead log and ``--crash-cycles`` kills and WAL-recovers whole
   sites mid-run; ``--smoke`` runs the acceptance pair (sustain +
   overload) and exits non-zero on any violated invariant.
+* ``cluster [--sites N] [--clients N] [--requests N] [--keys N]
+  [--vnodes N] [--service-delay S] [--seed N] [--soak] [--json]
+  [--smoke]`` / ``cluster --procs [--sites N] [--duration S]
+  [--service-sleep S] [--client-procs N] [--moves N] [--json]`` —
+  drive the sharded multi-site cluster (consistent-hash ring +
+  partitioned naming directory with client-cached leases, see
+  ``docs/CLUSTER.md``); the default mode runs the deterministic
+  simulated scenario (``--soak`` layers the fault plane), ``--procs``
+  launches one real OS process per site and drives them over TCP
+  gateways, and ``--smoke`` runs the acceptance pair (clean sustain +
+  faulty soak) and exits non-zero on any violated invariant.
 * ``recover --selftest [--seed N]`` / ``recover --root DIR
   [--backend file|sqlite] [--json]`` — durability tooling (see
   ``docs/DURABILITY.md``): ``--selftest`` runs the seeded
@@ -548,6 +559,129 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def _cluster_problems(report, label: str, soak: bool) -> list[str]:
+    """Closed-form cluster invariants; returns human-readable violations."""
+    problems: list[str] = []
+    if report.unresolved:
+        problems.append(f"{label}: {report.unresolved} request(s) never settled")
+    if not report.consistent:
+        problems.append(
+            f"{label}: lost updates (counters {report.counter_total} != "
+            f"ok increments {report.invoke_ok})"
+        )
+    if not report.single_owner or report.owner_violations:
+        problems.append(
+            f"{label}: a name had two live owners ({report.owner_violations})"
+        )
+    if not report.converged:
+        problems.append(f"{label}: directory never converged after the run")
+    if not soak and report.failed:
+        problems.append(
+            f"{label}: clean run failed {report.failed} request(s) "
+            f"({report.errors})"
+        )
+    if soak:
+        typed = report.errors.get("StaleLeaseError", 0)
+        untyped = report.failed - typed
+        if untyped:
+            problems.append(
+                f"{label}: {untyped} failure(s) not typed StaleLeaseError "
+                f"({report.errors})"
+            )
+    return problems
+
+
+def _cluster_smoke(args) -> int:
+    """The acceptance pair: a clean sustain pass (every request settles,
+    stale redirects converge, one live owner per name) and a faulty soak
+    (drops/dups/jitter on every wire; the only admissible terminal
+    failure is a typed stale lease whose redirect budget ran out)."""
+    from .load import ClusterConfig, run_cluster_scenario, run_cluster_soak
+
+    problems: list[str] = []
+    sustain = run_cluster_scenario(ClusterConfig(
+        sites=max(4, args.sites), clients=max(8, args.clients),
+        requests=max(1_200, args.requests), seed=args.seed,
+        service_delay=0.002,
+    ))
+    print("--- sustain pass ---")
+    for line in sustain.to_lines():
+        print(line)
+    problems += _cluster_problems(sustain, "sustain", soak=False)
+    if sustain.stale_client < 1:
+        problems.append("sustain: no stale-lease redirect was exercised")
+    if sustain.migrations < 1:
+        problems.append("sustain: no ring-mediated migration happened")
+
+    soak = run_cluster_soak(ClusterConfig(
+        sites=max(4, args.sites), clients=max(8, args.clients),
+        requests=max(800, args.requests // 2), seed=args.seed,
+        service_delay=0.002,
+    ))
+    print("--- soak pass ---")
+    for line in soak.to_lines():
+        print(line)
+    problems += _cluster_problems(soak, "soak", soak=True)
+
+    print(f"cluster smoke: {'OK' if not problems else 'VIOLATED'}")
+    for problem in problems:
+        print(f"VIOLATION: {problem}")
+    return 1 if problems else 0
+
+
+def _cluster_procs(args) -> int:
+    import json
+
+    from .load import ClusterProcsConfig, run_cluster_procs
+
+    report = run_cluster_procs(ClusterProcsConfig(
+        sites=args.sites, duration=args.duration,
+        keys_per_site=args.keys, vnodes=args.vnodes, seed=args.seed,
+        service_sleep=args.service_sleep, client_procs=args.client_procs,
+        moves=args.moves,
+    ))
+    clean = (
+        report["consistent"] and report["single_owner"]
+        and not report["failed"]
+    )
+    if args.json:
+        # machine-readable mode stays pure JSON; the verdict is in the
+        # exit code and the consistent/single_owner/failed fields
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for key in ("sites", "threads", "keys", "moves", "ok", "stale",
+                    "shed", "failed", "counter_total", "stale_served",
+                    "throughput", "stale_rate"):
+            print(f"{key:<15} {report[key]}")
+        print(f"cluster procs: {'OK' if clean else 'VIOLATED'}")
+    return 0 if clean else 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from .load import ClusterConfig, run_cluster_scenario, run_cluster_soak
+
+    if args.smoke:
+        return _cluster_smoke(args)
+    if args.procs:
+        return _cluster_procs(args)
+    config = ClusterConfig(
+        sites=args.sites, clients=args.clients, requests=args.requests,
+        keys_per_site=args.keys, vnodes=args.vnodes, seed=args.seed,
+        service_delay=args.service_delay,
+    )
+    runner = run_cluster_soak if args.soak else run_cluster_scenario
+    report = runner(config)
+    if args.json:
+        print(json.dumps(report.to_mapping(), indent=2, sort_keys=True))
+    else:
+        for line in report.to_lines():
+            print(line)
+    problems = _cluster_problems(report, "cluster", soak=args.soak)
+    return 0 if not problems else 1
+
+
 def _recover_selftest(args) -> int:
     """The crash-recovery acceptance round: a durable soak with whole
     sites killed and WAL-recovered mid-run. Every closed-form invariant
@@ -907,6 +1041,61 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run the sustain+overload acceptance pair; "
                                   "non-zero exit on violation")
     load_parser.set_defaults(handler=_cmd_load)
+
+    cluster_parser = commands.add_parser(
+        "cluster",
+        help="drive the sharded multi-site cluster (ring + directory "
+             "leases)",
+        description=(
+            "Run a workload over the consistent-hash-sharded cluster: "
+            "names resolve through a partitioned directory, clients "
+            "cache leases, migrations bump placement generations and "
+            "stale leases fail fast with a typed redirect. The default "
+            "mode is the deterministic simulated scenario; --soak "
+            "layers the fault plane; --procs launches one real OS "
+            "process per site and drives them over TCP gateways; "
+            "--smoke runs the sustain+soak acceptance pair. Exit "
+            "codes: 0 clean, 1 violated invariant, 2 usage error."
+        ),
+    )
+    cluster_parser.add_argument("--sites", type=int, default=4,
+                                help="serving sites (ring members)")
+    cluster_parser.add_argument("--clients", type=int, default=8,
+                                help="sim mode: client sites")
+    cluster_parser.add_argument("--requests", type=int, default=1_600,
+                                help="sim mode: total logical requests")
+    cluster_parser.add_argument("--keys", type=int, default=4,
+                                metavar="N",
+                                help="published names per site (sites*N "
+                                     "total)")
+    cluster_parser.add_argument("--vnodes", type=int, default=64,
+                                help="virtual nodes per site on the ring")
+    cluster_parser.add_argument("--service-delay", type=float, default=0.002,
+                                help="sim mode: per-invoke service time")
+    cluster_parser.add_argument("--soak", action="store_true",
+                                help="sim mode: layer the fault plane "
+                                     "(drops, duplicates, jitter)")
+    cluster_parser.add_argument("--procs", action="store_true",
+                                help="one real OS process per site, driven "
+                                     "over TCP gateways")
+    cluster_parser.add_argument("--duration", type=float, default=2.0,
+                                help="procs mode: seconds of driven load")
+    cluster_parser.add_argument("--service-sleep", type=float, default=0.02,
+                                help="procs mode: per-invoke dwell at the "
+                                     "serving site")
+    cluster_parser.add_argument("--client-procs", type=int, default=2,
+                                help="procs mode: driver processes")
+    cluster_parser.add_argument("--moves", type=int, default=None,
+                                metavar="N",
+                                help="procs mode: mid-run directory "
+                                     "rebalances (default sites//2)")
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument("--json", action="store_true",
+                                help="machine-readable JSON report")
+    cluster_parser.add_argument("--smoke", action="store_true",
+                                help="run the sustain+soak acceptance pair; "
+                                     "non-zero exit on violation")
+    cluster_parser.set_defaults(handler=_cmd_cluster)
 
     recover_parser = commands.add_parser(
         "recover",

@@ -13,6 +13,8 @@ mechanism (Lookup -> Match -> Apply) and the surrounding substrates
 
 from __future__ import annotations
 
+import re
+
 
 class MROMError(Exception):
     """Base class of every error raised by the MROM library."""
@@ -201,6 +203,42 @@ class KindError(TypingError):
 
 class NamingError(MROMError):
     """Decentralized naming failure (unknown name, malformed address...)."""
+
+
+_GENERATION = re.compile(r"generation=(\d+)")
+
+
+class StaleLeaseError(NamingError):
+    """A client acted on a directory lease the cluster has moved past.
+
+    The serving site compares the lease's placement *generation* against
+    its own before touching the object — the MutationClock idiom from
+    the invocation cache applied to placement. A mismatch fails fast:
+    nothing ran, so the request is safe to re-issue once the client has
+    re-resolved. The error carries the refusing side's current
+    generation so the client knows how far behind it was; ``generation``
+    is embedded in the message text (``generation=N``) because wire
+    rebuilds (:func:`error_for_name`) only preserve the message.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        name: str = "",
+        generation: int | None = None,
+    ):
+        if not message:
+            message = (
+                f"stale lease for {name!r}: "
+                f"current generation={max(generation or 0, 0)}"
+            )
+        super().__init__(message)
+        self.name = name
+        if generation is None:
+            match = _GENERATION.search(message)
+            generation = int(match.group(1)) if match else 0
+        self.generation = generation
 
 
 class MarshalError(MROMError):

@@ -16,9 +16,16 @@ deterministic program, so a throughput or tail-latency regression is
 reproducible by seed.
 """
 
+from .cluster import (
+    ClusterConfig,
+    ClusterReport,
+    run_cluster_scenario,
+    run_cluster_soak,
+)
 from .drivers import ClosedLoopDriver, DriverStats, OpenLoopDriver
 from .latency import LOAD_BUCKETS, LatencyRecorder
-from .profile import DEFAULT_PROFILE, READ_HEAVY, OpProfile
+from .procs import ClusterProcsConfig, run_cluster_procs
+from .profile import CLUSTER_PROFILE, DEFAULT_PROFILE, READ_HEAVY, OpProfile
 from .scenario import (
     LoadConfig,
     LoadReport,
@@ -32,6 +39,7 @@ __all__ = [
     "OpProfile",
     "DEFAULT_PROFILE",
     "READ_HEAVY",
+    "CLUSTER_PROFILE",
     "DriverStats",
     "ClosedLoopDriver",
     "OpenLoopDriver",
@@ -39,4 +47,10 @@ __all__ = [
     "LoadReport",
     "run_load_scenario",
     "run_soak_scenario",
+    "ClusterConfig",
+    "ClusterReport",
+    "run_cluster_scenario",
+    "run_cluster_soak",
+    "ClusterProcsConfig",
+    "run_cluster_procs",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-__all__ = ["OpProfile", "DEFAULT_PROFILE", "READ_HEAVY"]
+__all__ = ["OpProfile", "DEFAULT_PROFILE", "READ_HEAVY", "CLUSTER_PROFILE"]
 
 _OPS = ("invoke", "get_data", "describe", "migrate")
 
@@ -76,3 +76,10 @@ DEFAULT_PROFILE = OpProfile()
 
 #: Mostly reads: the shape of a browsing/introspection workload.
 READ_HEAVY = OpProfile(invoke=0.15, get_data=0.65, describe=0.20, migrate=0.0)
+
+#: The sharded-cluster mix: mutations and reads through directory
+#: leases, ``describe`` repurposed as an unconditional lease refresh,
+#: and ``migrate`` as a ring-mediated placement hop — rare, as in the
+#: default mix, but frequent enough that every run exercises the
+#: stale-lease redirect path.
+CLUSTER_PROFILE = OpProfile(invoke=0.60, get_data=0.25, describe=0.10, migrate=0.05)

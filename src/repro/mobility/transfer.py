@@ -120,6 +120,13 @@ class MobilityManager:
         self._ledger: OrderedDict[str, dict] = OrderedDict()
         #: transfer_id -> {"guid", "dst", "mode"} for unresolved handoffs
         self.unresolved: dict[str, dict] = {}
+        #: observers of transfer verdicts, called as
+        #: ``hook(transfer_id, guid, dst, mode, outcome)`` with outcome
+        #: ``"committed"`` or ``"aborted"`` — at the COMMIT/ABORT point of
+        #: a handoff and when :meth:`reconcile` settles an ambiguous one.
+        #: The cluster directory hangs its placement/lease update here so
+        #: exactly-once transfer and lease invalidation land atomically.
+        self.resolution_hooks: list[Callable[[str, str, str, str, str], None]] = []
         #: let the site's journal snapshot transfer state at checkpoints
         site.mobility = self
         site.add_handler("transfer", self._handle_transfer)
@@ -171,6 +178,12 @@ class MobilityManager:
         from ..analysis.admission import analyze_object
 
         return analyze_object(obj, concurrency=concurrency)
+
+    def _notify(
+        self, transfer_id: str, guid: str, dst: str, mode: str, outcome: str
+    ) -> None:
+        for hook in list(self.resolution_hooks):
+            hook(transfer_id, guid, dst, mode, outcome)
 
     def _mint_transfer_id(self) -> str:
         """A package sequence number, unique across site incarnations."""
@@ -233,6 +246,7 @@ class MobilityManager:
                            sim_time=self.site.network.now)
                 tel.end_span(span, status="aborted")
                 tel.metrics.counter("transfers.refused").inc()
+            self._notify(transfer_id, obj.guid, dst, mode, "aborted")
             raise
         except RequestTimeoutError as exc:
             # ambiguous: the PREPARE may have settled; keep the original
@@ -255,6 +269,7 @@ class MobilityManager:
                 span.event("ABORT", reason="send-failure",
                            sim_time=self.site.network.now)
                 tel.end_span(span, status="error")
+            self._notify(transfer_id, obj.guid, dst, mode, "aborted")
             raise
         if not isinstance(report, Mapping):
             if span is not None:
@@ -265,6 +280,10 @@ class MobilityManager:
             self.site.unregister_object(obj.guid)
         if journal is not None:
             journal.note_resolved(transfer_id, "committed")
+        # the COMMIT point: the original is gone, the destination's copy
+        # is the object — observers (the cluster directory) update
+        # placements and leases here, inside the same verdict
+        self._notify(transfer_id, obj.guid, dst, mode, "committed")
         self.departures += 1
         if span is not None:
             span.event("COMMIT", transfer_id=transfer_id,
@@ -322,8 +341,12 @@ class MobilityManager:
                         self.site.unregister_object(entry["guid"])
                     self.departures += 1
                     outcomes[transfer_id] = "settled"
+                    self._notify(transfer_id, entry["guid"], entry["dst"],
+                                 entry["mode"], "committed")
                 else:
                     outcomes[transfer_id] = "aborted"
+                    self._notify(transfer_id, entry["guid"], entry["dst"],
+                                 entry["mode"], "aborted")
                 if span is not None:
                     span.event("reconcile.outcome", transfer_id=transfer_id,
                                outcome=outcomes[transfer_id])

@@ -1,7 +1,9 @@
 """Decentralized identity and naming (requirement 6 of the paper)."""
 
+from .directory import ClusterManager, DirectoryClient, DirectoryShard, Lease
 from .guid import Guid, GuidFactory, is_guid_text, parse_guid
 from .namespace import NameService, join_path, split_path
+from .ring import HashRing
 
 __all__ = [
     "Guid",
@@ -11,4 +13,9 @@ __all__ = [
     "NameService",
     "split_path",
     "join_path",
+    "HashRing",
+    "Lease",
+    "DirectoryShard",
+    "DirectoryClient",
+    "ClusterManager",
 ]

@@ -1,0 +1,117 @@
+"""Consistent hashing: the partitioning half of the cluster directory.
+
+The object namespace is sharded across N sites by a hash ring with
+virtual nodes: every site projects ``vnodes`` points onto a 64-bit
+circle, and a name belongs to the site owning the first point at or
+after the name's own hash (wrapping at the top). Virtual nodes smooth
+the load (the per-site share of K keys concentrates around K/N as
+``vnodes`` grows), and consistency gives the minimal-disruption
+property mobility needs: adding a site steals keys *only for itself*,
+and removing one reassigns *only its own* keys — roughly K/N either
+way, never a global reshuffle.
+
+Hashing is a keyed blake2b digest — never Python's ``hash()``, whose
+per-process salt would give every interpreter a different ring. The
+``seed`` keys the digest, so a ring is a pure function of
+``(sites, vnodes, seed)``: every process of a multi-process cluster
+rebuilds the identical ring from configuration alone, which is what
+lets the directory clients and shards agree on ownership without any
+coordination traffic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+from ..core.errors import NamingError
+
+__all__ = ["HashRing"]
+
+
+class HashRing:
+    """A seeded consistent-hash ring mapping names to site ids."""
+
+    def __init__(
+        self,
+        sites: Iterable[str] = (),
+        vnodes: int = 128,
+        seed: int = 0,
+    ):
+        if vnodes < 1:
+            raise NamingError(f"a ring needs at least one vnode, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self.seed = int(seed)
+        #: sorted (point, site_id) pairs — ties break on the site id, so
+        #: ring order is a pure function of membership, not insertion order
+        self._ring: list[tuple[int, str]] = []
+        self._sites: set[str] = set()
+        for site_id in sites:
+            self.add_site(site_id)
+
+    # -- membership ----------------------------------------------------------
+
+    def add_site(self, site_id: str) -> None:
+        if not site_id:
+            raise NamingError("a ring site needs a non-empty id")
+        if site_id in self._sites:
+            raise NamingError(f"site {site_id!r} is already on the ring")
+        self._sites.add(site_id)
+        for index in range(self.vnodes):
+            bisect.insort(
+                self._ring, (self._point(f"site|{site_id}#{index}"), site_id)
+            )
+
+    def remove_site(self, site_id: str) -> None:
+        if site_id not in self._sites:
+            raise NamingError(f"site {site_id!r} is not on the ring")
+        self._sites.discard(site_id)
+        self._ring = [pair for pair in self._ring if pair[1] != site_id]
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        return tuple(sorted(self._sites))
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __contains__(self, site_id: str) -> bool:
+        return site_id in self._sites
+
+    # -- resolution ----------------------------------------------------------
+
+    def owner(self, name: str) -> str:
+        """The site owning *name*: first ring point at or after its hash."""
+        if not self._ring:
+            raise NamingError("the hash ring has no sites")
+        at = bisect.bisect_left(self._ring, (self._point(f"name|{name}"), ""))
+        if at == len(self._ring):
+            at = 0  # wrap past the top of the circle
+        return self._ring[at][1]
+
+    def spread(self, names: Iterable[str]) -> dict[str, int]:
+        """Keys per site — the balance a property test asserts on."""
+        counts = dict.fromkeys(self.sites, 0)
+        for name in names:
+            counts[self.owner(name)] += 1
+        return counts
+
+    def _point(self, label: str) -> int:
+        digest = hashlib.blake2b(
+            f"{self.seed}|{label}".encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def to_mapping(self) -> dict:
+        return {
+            "vnodes": self.vnodes,
+            "seed": self.seed,
+            "sites": list(self.sites),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HashRing({len(self._sites)} sites x {self.vnodes} vnodes, "
+            f"seed={self.seed})"
+        )

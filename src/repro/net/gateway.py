@@ -160,6 +160,11 @@ class TcpGateway:
             return {"site": self.site.site_id, "time": self.site.network.now}
         if kind == "resolve":
             return self.site.names.resolve(str(payload.get("path", "")))
+        if kind not in ("describe", "get_data", "invoke"):
+            # anything else the site itself serves (``dir.resolve``,
+            # ``cluster.invoke``, ...) is reachable over TCP too — the
+            # multi-process cluster driver runs entirely on this path
+            return self._dispatch_handler(kind, payload)
         caller = self._external_caller(payload)
         target = str(payload.get("target", ""))
         obj = self.site.local_object(target)
@@ -170,7 +175,21 @@ class TcpGateway:
         if kind == "invoke":
             args = self.site.import_value(payload.get("args", []))
             return obj.invoke(str(payload.get("method", "")), args, caller=caller)
-        raise NetworkError(f"gateway does not serve kind {kind!r}")
+        raise NetworkError(f"gateway does not serve kind {kind!r}")  # pragma: no cover
+
+    def _dispatch_handler(self, kind: str, payload: Any) -> Any:
+        """Serve a registered site handler (``dir.*`` / ``cluster.*`` …)
+        for a TCP-borne request, as if it arrived on the simulated wire."""
+        from .transport import Message
+
+        handler = self.site._handlers.get(kind)
+        if handler is None:
+            raise NetworkError(f"gateway does not serve kind {kind!r}")
+        message = Message(
+            kind=kind, src="tcp", dst=self.site.site_id,
+            payload=payload, msg_id=0, reply_to=None, lamport=0, size=0,
+        )
+        return handler(message)
 
     @staticmethod
     def _external_caller(payload: Any) -> Principal:
@@ -201,6 +220,11 @@ class TcpGatewayClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def call(self, kind: str, payload: dict | None = None) -> Any:
+        """Issue any gateway request by kind — the generic face the
+        cluster driver uses for ``dir.*`` and ``cluster.*`` traffic."""
+        return self._call(kind, payload or {})
 
     def _call(self, kind: str, payload: dict) -> Any:
         _send_frame(self._sock, {"kind": kind, "payload": payload})

@@ -34,6 +34,7 @@ from ..core.errors import (
     OverloadError,
     RemoteInvocationError,
     RequestTimeoutError,
+    StaleLeaseError,
 )
 from ..core.introspection import describe as describe_object
 from ..core.items import ItemHandle
@@ -87,6 +88,15 @@ class Site:
         self._async_calls: dict[int, AsyncCall] = {}
         self._served: OrderedDict[str, Any] = OrderedDict()
         self._served_cap = 1024
+        #: request ids admitted but not yet replied to — the in-flight
+        #: half of at-most-once. The served ledger only covers completed
+        #: requests; with ``service_delay`` > 0 a duplicate can arrive
+        #: inside the service window and would re-execute the handler
+        #: (a double-applied increment). Such duplicates are swallowed:
+        #: the original's reply is still on its way, and a retry landing
+        #: after completion hits the ledger as usual.
+        self._in_progress: set[str] = set()
+        self.inflight_duplicates = 0
         self._request_seq = itertools.count(1)
         #: admission window: max requests admitted and not yet replied
         #: to (None = unbounded); beyond it, requests are shed with a
@@ -236,6 +246,14 @@ class Site:
                 )
             self._send_reply(message, self._served[message.request_id])
             return
+        if message.request_id and message.request_id in self._in_progress:
+            # a duplicate of a request still in its service window: the
+            # handler ran (or will run) exactly once for the original,
+            # whose reply is already on its way — answer with silence
+            self.inflight_duplicates += 1
+            if tel is not None:
+                tel.metrics.counter("rmi.inflight_dups").inc()
+            return
         handler = self._handlers.get(message.kind)
         if handler is None:
             self._reply_error(message, NetworkError(f"unknown kind {message.kind!r}"))
@@ -243,6 +261,8 @@ class Site:
         if not self.try_admit(message.kind, src=message.src):
             self._shed(message)
             return
+        if message.request_id:
+            self._in_progress.add(message.request_id)
         if self.service_delay > 0:
             self.network.simulator.schedule(
                 self.service_delay,
@@ -356,6 +376,8 @@ class Site:
                 tel.end_span(span, status=status)
             if san is not None:
                 san.end_serve(message.msg_id, hb_task)
+            if message.request_id:
+                self._in_progress.discard(message.request_id)
             self.release()
 
     def _reply(self, request: Message, payload: Any) -> None:
@@ -668,6 +690,12 @@ class Site:
                 # a shed is a structured refusal, not a remote crash:
                 # surface it under its own type so callers can back off
                 raise OverloadError(body.get("message", "remote overloaded"))
+            if body.get("error") == "StaleLeaseError":
+                # a stale directory lease is likewise a pre-execution
+                # refusal; the typed error carries the current placement
+                # generation (embedded in the message) so the caller can
+                # re-resolve and retry safely
+                raise StaleLeaseError(body.get("message", "stale directory lease"))
             raise RemoteInvocationError(
                 body.get("message", "remote failure"),
                 remote_type=body.get("error", ""),

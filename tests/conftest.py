@@ -81,4 +81,44 @@ def grant_invoke(acl_description: dict) -> dict:
     return acl_description
 
 
-__all__ = ["build_counter"]
+def make_site_world(
+    seed: int = 0,
+    names: tuple[str, ...] = ("a", "b"),
+    domain: str = "dom.{name}",
+    topology: str = "mesh",
+):
+    """The site factory shared by the load, recovery and cluster suites.
+
+    Builds ``Network(Simulator(seed))`` plus one :class:`Site` per name
+    (sites self-register, which creates their topology nodes) and wires
+    them with LAN links — a full ``mesh`` or a linear ``chain``.
+    Returns ``(network, sites)`` with ``sites`` keyed by site id.
+    """
+    from repro.net import LAN, Network, Site
+    from repro.sim import Simulator
+
+    network = Network(Simulator(seed))
+    sites = {
+        name: Site(network, name, domain.format(name=name)) for name in names
+    }
+    if topology == "mesh":
+        pairs = [
+            (left, right)
+            for left in names for right in names if left < right
+        ]
+    elif topology == "chain":
+        pairs = list(zip(names, names[1:]))
+    else:
+        raise ValueError(f"unknown topology {topology!r}")
+    for left, right in pairs:
+        network.topology.connect(left, right, *LAN)
+    return network, sites
+
+
+@pytest.fixture
+def site_world():
+    """Factory fixture over :func:`make_site_world`."""
+    return make_site_world
+
+
+__all__ = ["build_counter", "make_site_world"]

@@ -37,10 +37,8 @@ def make_recorders(
 def make_sites(
     seed: int = 0, names: tuple[str, ...] = ("a", "b")
 ) -> tuple[Network, dict[str, Site]]:
-    """A network of real sites on a LAN chain (sites self-register, which
-    adds their topology nodes; links are wired afterwards)."""
-    network = Network(Simulator(seed))
-    sites = {name: Site(network, name, f"dom.{name}") for name in names}
-    for left, right in zip(names, names[1:]):
-        network.topology.connect(left, right, *LAN)
-    return network, sites
+    """A network of real sites on a LAN chain — the shared site factory
+    from :mod:`tests.conftest`, pinned to this suite's chain topology."""
+    from tests.conftest import make_site_world
+
+    return make_site_world(seed=seed, names=names, topology="chain")

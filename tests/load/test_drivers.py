@@ -14,8 +14,7 @@ from repro.load import (
     OpenLoopDriver,
     OpProfile,
 )
-from repro.net import LAN, Network, Site
-from repro.sim import Simulator
+from tests.conftest import make_site_world
 
 pytestmark = pytest.mark.load
 
@@ -54,10 +53,9 @@ class TestOpProfile:
 
 
 def two_site_world():
-    network = Network(Simulator(0))
-    client = Site(network, "client")
-    server = Site(network, "server")
-    network.topology.connect("client", "server", *LAN)
+    network, sites = make_site_world(seed=0, names=("client", "server"),
+                                     domain="")
+    client, server = sites["client"], sites["server"]
     counter = server.create_object(display_name="counter")
     counter.define_fixed_data("count", 0)
     counter.define_fixed_method(

@@ -1,0 +1,165 @@
+"""Property tests for the consistent-hash ring (docs/CLUSTER.md §ring).
+
+The ring's whole value is two statistical properties — balance (each
+site's share of K keys concentrates around K/N) and minimal disruption
+(membership changes relocate ~K/N keys, never a global reshuffle) —
+plus one exact property: determinism across processes. Each is driven
+over 200+ randomized seeds/topologies; the tolerances were measured
+empirically (worst observed: 1.60x / 0.55x share, 1.51x relocation)
+and gated with real headroom so a hashing regression trips them.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import NamingError
+from repro.naming import HashRing
+
+pytestmark = pytest.mark.cluster
+
+#: gating tolerances — generous vs. the measured worst case, tight
+#: enough that a broken vnode projection or non-seeded hash fails
+MAX_SHARE = 2.0   # x the fair share K/N, per site
+MIN_SHARE = 0.35  # x the fair share K/N, per site
+MAX_MOVED = 2.0   # x the expected relocation K/(N+1) (add) or K/N (remove)
+
+SEEDS = range(210)
+KEYS = [f"apps/k{index}" for index in range(600)]
+
+
+def _ring_for(seed: int) -> tuple[HashRing, int]:
+    rng = random.Random(seed)
+    n_sites = rng.randint(3, 10)
+    ring = HashRing(
+        [f"s{index}" for index in range(n_sites)], vnodes=64, seed=seed
+    )
+    return ring, n_sites
+
+
+# -- balance ---------------------------------------------------------------
+
+
+def test_ring_balance_within_tolerance_across_seeds():
+    for seed in SEEDS:
+        ring, n_sites = _ring_for(seed)
+        spread = ring.spread(KEYS)
+        assert sum(spread.values()) == len(KEYS)
+        fair = len(KEYS) / n_sites
+        for site_id, share in spread.items():
+            assert share <= MAX_SHARE * fair, (
+                f"seed {seed}: {site_id} owns {share} keys "
+                f"(fair {fair:.0f}, ceiling {MAX_SHARE}x)"
+            )
+            assert share >= MIN_SHARE * fair, (
+                f"seed {seed}: {site_id} owns only {share} keys "
+                f"(fair {fair:.0f}, floor {MIN_SHARE}x)"
+            )
+
+
+def test_more_vnodes_tighten_the_spread():
+    # the smoothing claim, on one seed: variance shrinks as vnodes grow
+    def imbalance(vnodes: int) -> float:
+        ring = HashRing([f"s{i}" for i in range(8)], vnodes=vnodes, seed=7)
+        spread = ring.spread(KEYS)
+        fair = len(KEYS) / 8
+        return max(abs(count - fair) for count in spread.values()) / fair
+
+    assert imbalance(256) < imbalance(4)
+
+
+# -- minimal disruption ----------------------------------------------------
+
+
+def test_adding_a_site_relocates_only_toward_it_across_seeds():
+    for seed in SEEDS:
+        ring, n_sites = _ring_for(seed)
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.add_site("joined")
+        moved = [key for key in KEYS if ring.owner(key) != before[key]]
+        # every relocated key lands on the new site — nothing reshuffles
+        # between the incumbents
+        for key in moved:
+            assert ring.owner(key) == "joined", (
+                f"seed {seed}: {key} moved between incumbents "
+                f"({before[key]} -> {ring.owner(key)})"
+            )
+        expected = len(KEYS) / (n_sites + 1)
+        assert len(moved) <= MAX_MOVED * expected, (
+            f"seed {seed}: {len(moved)} keys relocated "
+            f"(expected ~{expected:.0f}, ceiling {MAX_MOVED}x)"
+        )
+
+
+def test_removing_a_site_relocates_only_its_own_keys_across_seeds():
+    for seed in SEEDS:
+        ring, n_sites = _ring_for(seed)
+        victim = f"s{random.Random(seed ^ 0x5EED).randrange(n_sites)}"
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.remove_site(victim)
+        for key in KEYS:
+            if before[key] == victim:
+                assert ring.owner(key) != victim
+            else:
+                # survivors keep every key they already owned
+                assert ring.owner(key) == before[key], (
+                    f"seed {seed}: {key} moved off surviving "
+                    f"{before[key]} when {victim} left"
+                )
+        orphaned = sum(1 for key in KEYS if before[key] == victim)
+        assert orphaned <= MAX_MOVED * (len(KEYS) / n_sites)
+
+
+def test_add_then_remove_round_trips_ownership():
+    ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=64, seed=3)
+    before = {key: ring.owner(key) for key in KEYS}
+    ring.add_site("transient")
+    ring.remove_site("transient")
+    assert {key: ring.owner(key) for key in KEYS} == before
+
+
+# -- determinism -----------------------------------------------------------
+
+
+def test_ring_is_a_pure_function_of_membership_and_seed():
+    sites = [f"s{index}" for index in range(6)]
+    forward = HashRing(sites, vnodes=64, seed=11)
+    shuffled = list(sites)
+    random.Random(99).shuffle(shuffled)
+    backward = HashRing(shuffled, vnodes=64, seed=11)
+    # insertion order must not matter: two processes building the ring
+    # from differently-ordered configuration agree on every owner
+    assert all(forward.owner(key) == backward.owner(key) for key in KEYS)
+    assert forward.sites == backward.sites
+
+
+def test_seed_and_vnodes_change_the_ring():
+    sites = ["s0", "s1", "s2", "s3", "s4"]
+    base = HashRing(sites, vnodes=64, seed=0)
+    reseeded = HashRing(sites, vnodes=64, seed=1)
+    assert any(base.owner(key) != reseeded.owner(key) for key in KEYS)
+
+
+def test_single_site_owns_everything():
+    ring = HashRing(["only"], vnodes=8, seed=0)
+    assert ring.spread(KEYS) == {"only": len(KEYS)}
+
+
+# -- the error surface -----------------------------------------------------
+
+
+def test_ring_error_cases():
+    with pytest.raises(NamingError):
+        HashRing(vnodes=0)
+    with pytest.raises(NamingError):
+        HashRing([""])
+    ring = HashRing(["s0"])
+    with pytest.raises(NamingError):
+        ring.add_site("s0")
+    with pytest.raises(NamingError):
+        ring.remove_site("ghost")
+    empty = HashRing()
+    with pytest.raises(NamingError):
+        empty.owner("apps/k0")
+    assert len(empty) == 0 and "s0" in ring and "s9" not in ring
+    assert ring.to_mapping() == {"vnodes": 128, "seed": 0, "sites": ["s0"]}

@@ -1,0 +1,64 @@
+"""At-most-once must also cover the service window.
+
+The served ledger replays completed requests; but with
+``service_delay`` > 0 a duplicated request can arrive while the
+original is still between admission and reply. Those duplicates must
+be swallowed — never re-execute the handler — or a duplicated
+increment lands twice while the client acknowledges it once, breaking
+every closed-form ``counter_total == invoke_ok`` invariant downstream.
+"""
+
+from __future__ import annotations
+
+from repro.faults import DuplicateInjector, FaultPlane
+from repro.net import RetryPolicy
+
+from tests.conftest import build_counter, make_site_world
+
+#: request ids (the dedup key) are only minted for retry-managed calls
+RETRY = RetryPolicy(attempts=4, timeout=1.0, backoff=0.05, multiplier=2.0)
+
+
+def test_duplicate_inside_the_service_window_executes_once():
+    network, sites = make_site_world(seed=0, names=("client", "server"))
+    client, server = sites["client"], sites["server"]
+    # every service takes longer than any duplicate's trailing gap, so
+    # each duplicate is guaranteed to land mid-service
+    server.service_delay = 0.2
+    counter = build_counter()
+    server.register_object(counter)
+    plane = FaultPlane(network, seed=7, scenario="inflight-dup")
+    plane.add(DuplicateInjector(rate=1.0, spread=0.05))
+
+    results = [
+        client.remote_invoke("server", counter.guid, "increment",
+                             policy=RETRY)
+        for _ in range(10)
+    ]
+
+    assert results == list(range(1, 11))
+    assert counter.get_data("count", caller=counter.owner) == 10
+    assert server.inflight_duplicates >= 1
+    # duplicates arriving after completion keep hitting the ledger path
+    assert server.inflight_duplicates + server.replayed_requests >= 1
+
+
+def test_duplicate_after_completion_still_replays_the_ledger():
+    network, sites = make_site_world(seed=1, names=("client", "server"))
+    client, server = sites["client"], sites["server"]
+    # instantaneous service: the duplicate always trails the execution,
+    # so the served ledger (not the in-flight set) must absorb it
+    counter = build_counter()
+    server.register_object(counter)
+    plane = FaultPlane(network, seed=11, scenario="late-dup")
+    plane.add(DuplicateInjector(rate=1.0, spread=0.05))
+
+    for expected in range(1, 6):
+        assert client.remote_invoke(
+            "server", counter.guid, "increment", policy=RETRY
+        ) == expected
+    network.run()
+
+    assert counter.get_data("count", caller=counter.owner) == 5
+    assert server.replayed_requests >= 1
+    assert server.inflight_duplicates == 0

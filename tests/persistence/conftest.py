@@ -5,14 +5,15 @@ recovered from their write-ahead logs."""
 from __future__ import annotations
 
 from repro.mobility import MobilityManager
-from repro.net import LAN, Network, RetryPolicy, Site
+from repro.net import RetryPolicy
 from repro.persistence import (
     MemoryStore,
     WriteAheadLog,
     attach_journal,
     recover_site,
 )
-from repro.sim import Simulator
+
+from tests.conftest import make_site_world
 
 FAST = RetryPolicy(attempts=4, timeout=0.5, backoff=0.05, multiplier=2.0)
 
@@ -21,23 +22,16 @@ class DurableWorld:
     """A full mesh of journaled sites plus crash/recover verbs."""
 
     def __init__(self, seed: int = 0, names: tuple[str, ...] = ("a", "b")):
-        self.network = Network(Simulator(seed))
+        self.network, self.sites = make_site_world(seed=seed, names=names)
         self.names = names
-        self.sites: dict[str, Site] = {}
         self.managers: dict[str, MobilityManager] = {}
         self.wals: dict[str, WriteAheadLog] = {}
         self.journals: dict = {}
-        for name in names:
-            site = Site(self.network, name, f"dom.{name}")
-            self.sites[name] = site
+        for name, site in self.sites.items():
             self.managers[name] = MobilityManager(site, retry_policy=FAST)
             wal = WriteAheadLog(MemoryStore())
             self.wals[name] = wal
             self.journals[name] = attach_journal(site, wal)
-        for left in names:
-            for right in names:
-                if left < right:
-                    self.network.topology.connect(left, right, *LAN)
 
     def crash(self, name: str) -> None:
         """Fail-stop *name*: the journal goes silent, the endpoint dies."""

@@ -441,3 +441,241 @@ CrashRecoveryMachine.TestCase.settings = settings(
 )
 TestCrashRecovery = CrashRecoveryMachine.TestCase
 
+
+# ---------------------------------------------------------------------------
+# directory-lease rules (the cluster layer, repro.naming.directory)
+# ---------------------------------------------------------------------------
+
+
+class DirectoryLeaseMachine(RuleBasedStateMachine):
+    """Model the lease protocol of the partitioned naming directory.
+
+    Rules interleave resolution (cached and forced), lease-following
+    invocations, migrations, client-side lease invalidation and whole
+    cache amnesia, and directory-shard crashes (``forget`` + republish),
+    while a plain-Python mirror tracks each name's true home, placement
+    generation and counter value. The protocol's promise, checked
+    continuously:
+
+    * exactly one site ever holds an *active* placement per name;
+    * the ring-designated shard agrees with the true placement;
+    * counters read back what the mirror predicts (stale redirects
+      never double-apply or drop an increment);
+    * a client holding a dead lease is refused with a *typed*
+      :class:`StaleLeaseError` — never served a wrong-site success —
+      and converges after re-resolving.
+    """
+
+    WORLD_SEED = 0
+    SERVERS = ("s0", "s1", "s2")
+    NAMES = ("apps/k0", "apps/k1", "apps/k2", "apps/k3")
+
+    def __init__(self):
+        super().__init__()
+        from repro.naming import ClusterManager, DirectoryClient, HashRing
+
+        from .conftest import make_site_world
+
+        names = self.SERVERS + ("c0",)
+        self.network, self.sites = make_site_world(
+            seed=self.WORLD_SEED, names=names, domain="cluster.{name}"
+        )
+        self.ring = HashRing(
+            list(self.SERVERS), vnodes=32, seed=self.WORLD_SEED
+        )
+        self.managers = {
+            site_id: ClusterManager(self.sites[site_id], self.ring)
+            for site_id in self.SERVERS
+        }
+        self.client = DirectoryClient(self.sites["c0"], self.ring)
+        self.counts: dict[str, int] = {}
+        self.home: dict[str, str] = {}
+        self.generation: dict[str, int] = {}
+        self.guids: dict[str, str] = {}
+        for name in self.NAMES:
+            owner = self.ring.owner(name)
+            manager = self.managers[owner]
+            counter = manager.site.create_object(
+                display_name=f"counter:{name}"
+            )
+            counter.define_fixed_data("count", 0)
+            counter.define_fixed_method(
+                "increment",
+                "step = args[0] if args else 1\n"
+                "self.set('count', self.get('count') + step)\n"
+                "return self.get('count')",
+            )
+            counter.define_fixed_method("peek", "return self.get('count')")
+            counter.seal()
+            manager.publish(counter, name)
+            self.counts[name] = 0
+            self.home[name] = owner
+            self.generation[name] = 1
+            self.guids[name] = counter.guid
+        self.network.run()
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(index=st.integers(min_value=0, max_value=3), fresh=st.booleans())
+    def resolve(self, index, fresh):
+        name = self.NAMES[index]
+        lease = self.client.lease_for(name, refresh=fresh)
+        if fresh:
+            # a forced resolve must return the true placement
+            assert lease.site == self.home[name]
+            assert lease.generation == self.generation[name]
+            assert lease.guid == self.guids[name]
+        # a cached lease may be stale — that is the protocol's whole
+        # design — but it can never be *ahead* of the true placement
+        assert lease.generation <= self.generation[name]
+
+    @rule(
+        index=st.integers(min_value=0, max_value=3),
+        step=st.integers(min_value=1, max_value=5),
+    )
+    def invoke(self, index, step):
+        name = self.NAMES[index]
+        result = self.client.invoke(name, "increment", [step])
+        self.counts[name] += step
+        assert result == self.counts[name], (
+            f"{name} acked {result}, mirror says {self.counts[name]}"
+        )
+
+    @rule(
+        index=st.integers(min_value=0, max_value=3),
+        pick=st.integers(min_value=0, max_value=1),
+    )
+    def migrate(self, index, pick):
+        name = self.NAMES[index]
+        choices = [s for s in self.SERVERS if s != self.home[name]]
+        dst = choices[pick % len(choices)]
+        self.managers[self.home[name]].migrate(name, dst)
+        self.network.run()
+        self.home[name] = dst
+        self.generation[name] += 1
+
+    @rule(
+        index=st.integers(min_value=0, max_value=3),
+        pick=st.integers(min_value=0, max_value=1),
+    )
+    def stale_direct(self, index, pick):
+        """The heart of the contract: a client holding a lease across a
+        migration is refused *typed* at the old site — never handed a
+        wrong-site success — and its next protocol invoke converges."""
+        from repro.core.errors import StaleLeaseError
+
+        name = self.NAMES[index]
+        lease = self.client.lease_for(name, refresh=True)
+        choices = [s for s in self.SERVERS if s != self.home[name]]
+        dst = choices[pick % len(choices)]
+        self.managers[self.home[name]].migrate(name, dst)
+        self.network.run()
+        self.home[name] = dst
+        self.generation[name] += 1
+        # the lease is now dead; presenting it raw must be refused typed
+        try:
+            self.sites["c0"].request(
+                lease.site,
+                "cluster.invoke",
+                {
+                    "name": name,
+                    "generation": lease.generation,
+                    "method": "increment",
+                    "args": [1],
+                    "caller": None,
+                },
+            )
+        except StaleLeaseError as exc:
+            assert exc.generation != lease.generation
+        else:
+            raise AssertionError(
+                f"stale lease for {name} was served silently at "
+                f"{lease.site} — wrong-site success"
+            )
+        # the refused increment must NOT have been applied...
+        stale_before = self.client.stale
+        assert self.client.invoke(name, "peek") == self.counts[name]
+        # ...and the client converged through the typed redirect path
+        assert self.client.stale > stale_before
+        assert self.client.leases[name].generation == self.generation[name]
+
+    @rule(index=st.integers(min_value=0, max_value=3))
+    def invalidate(self, index):
+        self.client.invalidate(self.NAMES[index])
+
+    @rule()
+    def client_amnesia(self):
+        self.client.leases.clear()
+
+    @rule(shard_index=st.integers(min_value=0, max_value=2))
+    def shard_crash(self, shard_index):
+        """Drop a shard's (soft) entries; every manager republishes —
+        the directory must rebuild to the authoritative placements."""
+        self.managers[self.SERVERS[shard_index]].shard.forget()
+        for manager in self.managers.values():
+            manager.republish()
+        self.network.run()
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def exactly_one_active_placement_per_name(self):
+        for name in self.NAMES:
+            holders = [
+                site_id
+                for site_id, manager in self.managers.items()
+                if manager.placements.get(name, {}).get("state") == "active"
+            ]
+            assert holders == [self.home[name]], (
+                f"{name} active at {holders}, mirror says {self.home[name]}"
+            )
+            entry = self.managers[self.home[name]].placements[name]
+            assert entry["generation"] == self.generation[name]
+            assert entry["guid"] == self.guids[name]
+
+    @invariant()
+    def shard_agrees_with_the_true_placement(self):
+        for name in self.NAMES:
+            shard = self.managers[self.ring.owner(name)].shard
+            entry = shard.entries.get(name)
+            assert entry is not None, f"directory lost {name}"
+            assert entry["site"] == self.home[name]
+            assert entry["generation"] == self.generation[name]
+
+    @invariant()
+    def counters_match_mirror(self):
+        for name in self.NAMES:
+            obj = self.sites[self.home[name]].local_object(self.guids[name])
+            assert obj.get_data("count", caller=obj.owner) == (
+                self.counts[name]
+            ), f"{name} lost or double-applied an increment"
+
+    @invariant()
+    def managers_are_quiescent(self):
+        for site_id, manager in self.managers.items():
+            assert manager.quiescent, f"{site_id} has unresolved moves"
+
+
+DirectoryLeaseMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=15, deadline=None
+)
+TestDirectoryLease = DirectoryLeaseMachine.TestCase
+
+
+class DirectoryLeaseMachineSeed1(DirectoryLeaseMachine):
+    WORLD_SEED = 1
+
+
+class DirectoryLeaseMachineSeed2(DirectoryLeaseMachine):
+    WORLD_SEED = 2
+
+
+DirectoryLeaseMachineSeed1.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=15, deadline=None
+)
+DirectoryLeaseMachineSeed2.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=15, deadline=None
+)
+TestDirectoryLeaseSeed1 = DirectoryLeaseMachineSeed1.TestCase
+TestDirectoryLeaseSeed2 = DirectoryLeaseMachineSeed2.TestCase
+
