@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath load-smoke load-tests recover-smoke recovery-tests bench-recovery cluster-smoke cluster-tests bench-cluster examples series check all trace-smoke analyze sanitize-smoke bench-analysis
+.PHONY: install test chaos lint lint-tests bench bench-fastpath fastpath bench-compile compile-tests load-smoke load-tests recover-smoke recovery-tests bench-recovery cluster-smoke cluster-tests bench-cluster examples series check all trace-smoke analyze sanitize-smoke bench-analysis
 
 install:
 	$(PYTHON) setup.py develop || pip install -e .
@@ -57,6 +57,16 @@ bench-fastpath:
 # Only the invocation-cache / batched-RMI test suite (marker: fastpath).
 fastpath:
 	$(PYTHON) -m pytest -m fastpath tests/
+
+# The compile-tier acceptance bench: compiled-invocation speedup over
+# the memo tables, compile-off overhead, zero-copy migration scaling.
+# Writes BENCH_compile.json.
+bench-compile:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_perf15_compile.py --benchmark-only -q
+
+# Only the compiled-invocation / zero-copy marshal suite (marker: compile).
+compile-tests:
+	$(PYTHON) -m pytest -m compile tests/
 
 # Load acceptance: the sustain + overload pair (>= 10k requests through
 # >= 4 sites, zero unresolved; constrained window sheds structured

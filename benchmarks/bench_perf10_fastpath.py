@@ -59,6 +59,10 @@ def build_worker(fastpath: bool, acl_entries: int = ACL_ENTRIES) -> MROMObject:
         display_name="worker",
         fastpath=fastpath,
     )
+    if fastpath:
+        # this benchmark measures the *memo-table* tier: the compiled
+        # tier sits above it and has its own suite (bench_perf15_compile)
+        obj.enable_fastpath(True, compiled=False)
     acl = AccessControlList()
     for index in range(acl_entries):
         acl.grant(f"mrom://perf10/member{index}", Permission.INVOKE)

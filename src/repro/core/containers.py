@@ -199,6 +199,14 @@ class ContainerSet:
         containers — the invalidation signal of the invocation cache."""
         return self._clock.value
 
+    @property
+    def clock(self) -> MutationClock:
+        """The shared mutation clock itself. Compiled invocation
+        closures pin this object and read ``.value`` directly, so their
+        generation guard costs one attribute load instead of a property
+        chain through the container set."""
+        return self._clock
+
     # -- sealing ------------------------------------------------------------
 
     def seal_fixed(self) -> None:

@@ -36,6 +36,7 @@ from .errors import (
     PostProcedureError,
     PreProcedureVeto,
 )
+from .fastpath import COMPILED_STALE
 from .items import MROMMethod
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -186,7 +187,29 @@ class Invoker:
     ) -> Any:
         """Invoke *method_name* with MROM semantics, entering the tower at
         its top level (or directly at level 0 when no tower exists)."""
-        chain = self.obj.meta_invoke_chain()
+        obj = self.obj
+        # Compiled tier: a warm (caller, method) pair may have been
+        # specialized into a closure that inlines the whole pipeline.
+        # Dispatch is gated on an empty meta tower — installing a
+        # meta-invoke level does not move the mutation clock, so the
+        # generation pin alone could not keep a closure from bypassing a
+        # freshly stacked level — and the closure re-checks its own pins,
+        # answering COMPILED_STALE when any moved.
+        cache = obj._fastpath
+        if cache is not None and not obj._meta_invokes:
+            table = cache.compiled
+            if table:
+                key = (caller.guid, caller.domain, method_name)
+                fn = table.get(key)
+                if fn is not None:
+                    result = fn(caller, args)
+                    if result is not COMPILED_STALE:
+                        return result
+                    cache.discard_compiled(key)
+                    tel = _telemetry.ACTIVE
+                    if tel is not None:
+                        tel.metrics.counter("fastpath.compiled.discards").inc()
+        chain = obj.meta_invoke_chain()
         if len(chain) > MAX_META_LEVELS:
             raise InvocationDepthError(
                 f"meta-invoke tower of depth {len(chain)} exceeds "
@@ -295,6 +318,7 @@ class Invoker:
             record = InvocationRecord(method=method_name, caller=caller.guid)
         obj = self.obj
         cache = obj._fastpath
+        warm = False
         # Phase 1: Lookup — locate and fetch the method's handle.
         if cache is None:
             method, section = obj.containers.lookup_method(method_name)
@@ -310,6 +334,7 @@ class Invoker:
             else:
                 cache.lookup_hits += 1
                 method, section = entry
+                warm = True
             tel = _telemetry.ACTIVE
             if tel is not None:
                 metrics = tel.metrics
@@ -321,7 +346,10 @@ class Invoker:
                 ).inc()
         record.log(0, Phase.LOOKUP, method_name, section)
         ctx = InvocationContext(self, caller, method_name, args, 0, record)
-        return self._apply_with_match(method, caller, list(args), ctx, 0, cache)
+        return self._apply_with_match(
+            method, caller, list(args), ctx, 0, cache,
+            section=section, warm=warm,
+        )
 
     def _apply_with_match(
         self,
@@ -331,6 +359,8 @@ class Invoker:
         ctx: InvocationContext,
         level: int,
         cache=None,
+        section: str = "",
+        warm: bool = False,
     ) -> Any:
         record = ctx.record
         # Phase 2: Match — match security information. An object always
@@ -357,6 +387,11 @@ class Invoker:
                     cache.match_hits += 1
                     hit = True
                     note_match(caller, method.name, Permission.INVOKE, True)
+                    # a repeated, pinned-valid ALLOW is the promotion
+                    # signal: this (caller, method) pair is warm enough
+                    # to be worth a specialized closure
+                    if cache.compile_enabled:
+                        self._maybe_compile(method, section, caller, ctx, cache)
                 else:
                     cache.match_misses += 1
                     hit = False
@@ -371,9 +406,18 @@ class Invoker:
                     ).inc()
             record.log(level, Phase.MATCH, method.name, "checked")
         else:
+            # self-calls bypass Match; a warm Lookup plays the same
+            # promotion role the match hit plays for foreign callers
+            if cache is not None and warm and cache.compile_enabled:
+                self._maybe_compile(method, section, caller, ctx, cache)
             record.log(level, Phase.MATCH, method.name, "self")
 
         self_view = self.obj.self_view()
+
+        # Phases 3.1-3.3 must stay in lockstep with the compiled mirror
+        # in repro.lang.compiler.compile_invocation: any change to the
+        # events, errors or telemetry here is an observable and must be
+        # replicated there (the differential harness will catch a drift).
 
         # Phase 3.1: Pre-proc.
         if method.pre is not None:
@@ -394,3 +438,37 @@ class Invoker:
                 raise PostProcedureError(method.name, result=result)
 
         return result
+
+    # -- the compile tier ---------------------------------------------------
+
+    def _maybe_compile(
+        self,
+        method: MROMMethod,
+        section: str,
+        caller: Principal,
+        ctx: InvocationContext,
+        cache,
+    ) -> None:
+        """Promote a warm (caller, method) pair to a compiled closure.
+
+        Compilation happens at the Match phase, *after* the verdict is
+        known to be ALLOW under pins that currently hold — a closure can
+        therefore pin the verdict without ever being able to convert a
+        denial into access. Meta-methods are declined (the emitter
+        returns None): their bodies are the reflective machinery itself
+        and must stay interpreted.
+        """
+        key = (caller.guid, caller.domain, ctx.method_name)
+        if key in cache.compiled:
+            return
+        # local import: lang.compiler imports this module for the trace
+        # vocabulary, so the dependency must stay one-way at import time
+        from ..lang.compiler import compile_invocation
+
+        fn = compile_invocation(self, method, section, caller, cache)
+        if fn is None:
+            return
+        cache.store_compiled(key, fn)
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.metrics.counter("fastpath.compiled.compiles").inc()

@@ -28,7 +28,7 @@ from typing import Any, Mapping
 from .acl import AccessControlList, Permission, Principal, allow_all
 from .code import CodeRole, MethodCode, as_code, code_from_description
 from .errors import KindError, StaleHandleError
-from .values import Kind, coerce, conforms
+from .values import Kind, LazyCell, coerce, conforms
 
 __all__ = [
     "DataItem",
@@ -160,6 +160,13 @@ class DataItem(_Item):
         self._value = self._admit(value)
 
     def _admit(self, value: Any) -> Any:
+        if isinstance(value, LazyCell):
+            # a lazily-unmarshalled wire slice: fully untyped items keep
+            # the cell (decode on first read); a concrete declared kind
+            # needs the value now to coerce it
+            if self.kind is Kind.ANY:
+                return value
+            value = value.materialize()
         if self.kind is Kind.ANY or conforms(value, self.kind):
             return value
         return coerce(value, self.kind)
@@ -168,7 +175,7 @@ class DataItem(_Item):
 
     def get_value(self, caller: Principal) -> Any:
         self.check(caller, Permission.GET)
-        return self._value
+        return self.peek()
 
     def set_value(self, caller: Principal, value: Any) -> None:
         self.check(caller, Permission.SET)
@@ -176,7 +183,10 @@ class DataItem(_Item):
 
     def peek(self) -> Any:
         """Unchecked read, for the object's own runtime only."""
-        return self._value
+        value = self._value
+        if isinstance(value, LazyCell):
+            value = self._value = value.materialize()
+        return value
 
     def poke(self, value: Any) -> None:
         """Unchecked write, for the object's own runtime only.

@@ -263,20 +263,29 @@ class MROMObject:
         """The object's invocation cache, or None when caching is off."""
         return self._fastpath
 
-    def enable_fastpath(self, enabled: bool = True) -> None:
+    def enable_fastpath(
+        self, enabled: bool = True, *, compiled: bool | None = None
+    ) -> None:
         """Attach or detach the invocation cache at run time.
 
-        Re-enabling always starts cold; disabling drops the cache and its
-        counters with it.
+        Re-enabling always starts cold; disabling drops the cache — and
+        with it every compiled closure — and its counters. *compiled*
+        pins the compile tier explicitly (None follows
+        :data:`repro.core.fastpath.COMPILE_DEFAULT` for a new cache, or
+        leaves an existing cache's setting alone); the differential
+        harness uses it to run a cached-but-interpreted tier.
         """
         if enabled:
             if self._fastpath is None:
-                self._fastpath = InvocationCache()
+                self._fastpath = InvocationCache(compile_enabled=compiled)
+            elif compiled is not None:
+                self._fastpath.set_compiled(compiled)
         else:
             self._fastpath = None
 
     def fastpath_reset(self) -> None:
-        """Drop cached entries (e.g. after a migration install)."""
+        """Drop cached entries on every tier, compiled closures included
+        (e.g. after a migration install — caches always arrive cold)."""
         if self._fastpath is not None:
             self._fastpath.reset()
 

@@ -33,7 +33,28 @@ __all__ = [
     "conforms",
     "strip_html",
     "HtmlText",
+    "LazyCell",
 ]
+
+
+class LazyCell:
+    """A deferred value: decoded from its wire bytes on first touch.
+
+    The zero-copy unmarshal path (:func:`repro.net.marshal.
+    unmarshal_lazy`) hands untouched payload items around as cells
+    backed by slices of the original message; a
+    :class:`~repro.core.items.DataItem` stores the cell as-is and
+    materializes it the first time anything reads the value. The base
+    class lives here, below both :mod:`repro.net` and
+    :mod:`repro.core.items`, so the item layer can recognize cells
+    without depending on the wire format.
+    """
+
+    __slots__ = ()
+
+    def materialize(self):
+        """Decode and return the value (idempotent)."""
+        raise NotImplementedError
 
 
 class Kind(enum.Enum):

@@ -25,12 +25,21 @@ from ..core.errors import MobilityError, NotPortableError
 from ..core.items import DataItem, MROMMethod
 from ..core.mobject import MROMObject
 from ..core.values import Kind
-from ..net.marshal import marshal, unmarshal
+from ..net.marshal import (
+    LazyMapping,
+    MarshalFrame,
+    marshal,
+    marshal_frame,
+    materialize_deep,
+    unmarshal,
+    unmarshal_lazy,
+)
 
 __all__ = [
     "FORMAT",
     "pack",
     "pack_bytes",
+    "pack_frame",
     "unpack",
     "unpack_bytes",
     "portability_report",
@@ -190,21 +199,35 @@ def pack_bytes(
 
 
 def _unpack_data(raw: Mapping) -> DataItem:
+    if isinstance(raw, LazyMapping) and "value" in raw:
+        # zero-copy unpack: hand the item its value as an undecoded wire
+        # slice — DataItem materializes it on first read, so an item the
+        # receiving site never touches is never decoded
+        value = raw.lazy("value")
+    else:
+        value = raw.get("value")
+    # everything except the value is structure: materialized now, so no
+    # lazy container can leak into ACLs or metadata (they must survive a
+    # later re-pack as plain data)
     return DataItem(
         str(raw["name"]),
-        raw.get("value"),
+        value,
         kind=Kind(raw.get("kind", "any")),
-        acl=AccessControlList.from_description(dict(raw.get("acl", {}))),
-        metadata=dict(raw.get("metadata", {})),
+        acl=AccessControlList.from_description(
+            dict(materialize_deep(raw.get("acl", {})))
+        ),
+        metadata=dict(materialize_deep(raw.get("metadata", {}))),
     )
 
 
 def _unpack_method(raw: Mapping) -> MROMMethod:
     return MROMMethod.from_packed(
         str(raw["name"]),
-        dict(raw["components"]),
-        acl=AccessControlList.from_description(dict(raw.get("acl", {}))),
-        metadata=dict(raw.get("metadata", {})),
+        dict(materialize_deep(raw["components"])),
+        acl=AccessControlList.from_description(
+            dict(materialize_deep(raw.get("acl", {})))
+        ),
+        metadata=dict(materialize_deep(raw.get("metadata", {}))),
     )
 
 
@@ -232,9 +255,9 @@ def unpack(package: Mapping) -> MROMObject:
         owner=owner,
         extensible_meta=bool(package.get("extensible_meta", False)),
         meta_acl=AccessControlList.from_description(
-            dict(package.get("meta_acl", {}))
+            dict(materialize_deep(package.get("meta_acl", {})))
         ),
-        environment=dict(package.get("environment", {})),
+        environment=dict(materialize_deep(package.get("environment", {}))),
     )
     for raw in package.get("fixed_data", []):
         obj.containers.add_fixed(_unpack_data(raw))
@@ -250,8 +273,41 @@ def unpack(package: Mapping) -> MROMObject:
     return obj
 
 
-def unpack_bytes(wire: bytes) -> MROMObject:
-    package = unmarshal(wire)
+def pack_frame(
+    obj: MROMObject,
+    include_environment: bool = True,
+    strip_native_wrappers: bool = False,
+    trace: Mapping | None = None,
+) -> MarshalFrame:
+    """The wire form as a zero-copy frame over a pooled buffer.
+
+    Byte-identical to :func:`pack_bytes`; the caller owns the frame and
+    must release it (context manager or :meth:`~repro.net.marshal.
+    MarshalFrame.release`) once the view has been consumed.
+    """
+    return marshal_frame(
+        pack(
+            obj,
+            include_environment=include_environment,
+            strip_native_wrappers=strip_native_wrappers,
+            trace=trace,
+        )
+    )
+
+
+def unpack_bytes(wire: bytes, lazy: bool = True) -> MROMObject:
+    """Rebuild an object from its wire form.
+
+    With *lazy* (the default), the package is decoded by the skip-scan
+    path: structure (names, kinds, ACLs, code) is materialized — the
+    object must be whole and its code verifiable — but untouched data
+    *values* stay as undecoded slices of the message until first read,
+    so unpack cost scales with the state the receiver actually touches.
+    Framing is validated identically either way, and a fully-touched
+    lazy object is value-identical to an eager one (the package tests
+    hold both paths to the same bytes and the same values).
+    """
+    package = unmarshal_lazy(wire) if lazy else unmarshal(wire)
     if not isinstance(package, Mapping):
         raise MobilityError("wire message is not an object package")
     return unpack(package)

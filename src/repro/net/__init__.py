@@ -1,7 +1,17 @@
 """The simulated internetwork: topology, transport, marshal, sites, RMI."""
 
 from .gateway import TcpGateway, TcpGatewayClient
-from .marshal import MAGIC, Reference, marshal, marshalled_size, unmarshal
+from .marshal import (
+    MAGIC,
+    MarshalFrame,
+    Reference,
+    marshal,
+    marshal_frame,
+    marshalled_size,
+    materialize_deep,
+    unmarshal,
+    unmarshal_lazy,
+)
 from .rmi import (
     AsyncCall,
     BatchFuture,
@@ -17,7 +27,11 @@ from .transport import Message, Network
 
 __all__ = [
     "marshal",
+    "marshal_frame",
+    "MarshalFrame",
     "unmarshal",
+    "unmarshal_lazy",
+    "materialize_deep",
     "marshalled_size",
     "Reference",
     "MAGIC",

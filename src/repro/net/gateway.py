@@ -29,7 +29,7 @@ from typing import Any
 from ..core.acl import Principal
 from ..core.errors import MROMError, NetworkError, error_for_name
 from ..core.introspection import describe as describe_object
-from .marshal import marshal, unmarshal
+from .marshal import marshal_frame, unmarshal
 from .site import Site
 
 __all__ = ["TcpGateway", "TcpGatewayClient"]
@@ -39,8 +39,18 @@ MAX_FRAME = 16 * 1024 * 1024
 
 
 def _send_frame(sock: socket.socket, value: Any) -> None:
-    body = marshal(value)
-    sock.sendall(_LENGTH.pack(len(body)) + body)
+    # zero-copy: header and body leave in one scatter-gather syscall,
+    # the body as a memoryview over the pooled buffer — no concatenated
+    # bytes object, and no Nagle stall from a split write
+    with marshal_frame(value) as frame:
+        buffers = [memoryview(_LENGTH.pack(len(frame))), frame.view]
+        while buffers:
+            sent = sock.sendmsg(buffers)
+            while buffers and sent >= len(buffers[0]):
+                sent -= len(buffers[0])
+                buffers.pop(0)
+            if sent:
+                buffers[0] = buffers[0][sent:]
 
 
 def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:

@@ -34,14 +34,22 @@ decoder misbehave, only fail.
 from __future__ import annotations
 
 import struct
-from typing import Any
+import threading
+from typing import Any, Iterator, Mapping, Sequence
 
 from ..core.errors import MarshalError
-from ..core.values import HtmlText
+from ..core.values import HtmlText, LazyCell
 
 __all__ = [
     "marshal",
+    "marshal_frame",
+    "MarshalFrame",
     "unmarshal",
+    "unmarshal_lazy",
+    "materialize_deep",
+    "LazyValue",
+    "LazyList",
+    "LazyMapping",
     "marshalled_size",
     "Reference",
     "MAGIC",
@@ -113,11 +121,60 @@ MAX_COLLECTION = 1_000_000
 #   so the same method name decoded a thousand times is one str object.
 # ---------------------------------------------------------------------------
 
-_BUFFER_POOL: list[bytearray] = []
+#: pooled buffers as (weight, buffer) pairs — the weight is the frame
+#: size the buffer last held, a proxy for the capacity it may still pin
+_BUFFER_POOL: list[tuple[int, bytearray]] = []
 _BUFFER_POOL_CAP = 8
 #: buffers that grew beyond this are not pooled (one giant migration
 #: package must not pin its footprint forever)
 _BUFFER_RETAIN = 1 << 16
+#: total weight the pool may retain across all buffers — the count cap
+#: alone would let eight maximum-size frames pin 8x64KiB indefinitely
+_BUFFER_POOL_BYTES = 1 << 18
+
+#: serializes the (rare) eviction pass; pop/append stay lockless
+_POOL_LOCK = threading.Lock()
+
+
+def _release_buffer(buf: bytearray) -> None:
+    """Return a checked-out buffer to the pool, keeping the pool bounded.
+
+    Oversized frames are never retained; within the size bound, the pool
+    is held to both a buffer count and a total retained weight, evicting
+    the *largest* buffers first — small hot-path frames are the ones
+    worth keeping, and one burst of irregular large frames must not
+    displace them or pin their capacity.
+    """
+    weight = len(buf)
+    if weight > _BUFFER_RETAIN:
+        return
+    buf.clear()
+    pool = _BUFFER_POOL
+    pool.append((weight, buf))  # atomic: safe under gateway threads
+    if len(pool) > _BUFFER_POOL_CAP or sum(w for w, _ in pool) > _BUFFER_POOL_BYTES:
+        with _POOL_LOCK:
+            try:
+                while pool and (
+                    len(pool) > _BUFFER_POOL_CAP
+                    or sum(w for w, _ in pool) > _BUFFER_POOL_BYTES
+                ):
+                    largest = max(range(len(pool)), key=lambda i: pool[i][0])
+                    pool.pop(largest)
+            except (IndexError, ValueError):  # pragma: no cover - races
+                pass  # a concurrent pop shrank the pool under us: bounded anyway
+
+
+def _checkout_buffer() -> bytearray:
+    try:
+        return _BUFFER_POOL.pop()[1]  # atomic: safe under gateway threads
+    except IndexError:
+        return bytearray()
+
+
+def _pool_snapshot() -> tuple[int, int]:
+    """(buffer count, total retained weight) — for the regression tests."""
+    entries = list(_BUFFER_POOL)
+    return len(entries), sum(weight for weight, _ in entries)
 
 _INTERN_MAX_CHARS = 64
 _INTERN_CAP = 4096
@@ -307,18 +364,65 @@ def _encode(out: bytearray, value: Any, depth: int) -> None:
 
 def marshal(value: Any) -> bytes:
     """Encode one weakly-typed value as a complete wire message."""
-    try:
-        out = _BUFFER_POOL.pop()  # atomic: safe under gateway threads
-    except IndexError:
-        out = bytearray()
+    out = _checkout_buffer()
     try:
         out += MAGIC
         _encode(out, value, 0)
         return bytes(out)
     finally:
-        if len(out) <= _BUFFER_RETAIN and len(_BUFFER_POOL) < _BUFFER_POOL_CAP:
-            out.clear()
-            _BUFFER_POOL.append(out)
+        _release_buffer(out)
+
+
+class MarshalFrame:
+    """A complete wire message exposed as a memoryview over a pooled
+    buffer — the zero-copy sibling of :func:`marshal`.
+
+    ``frame.view`` is byte-identical to ``marshal(value)`` but involves
+    no ``bytes`` copy; a consumer that can write a memoryview (socket
+    ``sendall``, file ``write``) ships the pooled buffer directly.
+    The buffer stays checked out of the pool until :meth:`release`
+    (or context-manager exit) — releasing invalidates the view, so a
+    consumer that needs the bytes past the frame's lifetime must
+    :meth:`tobytes` first.
+    """
+
+    __slots__ = ("view", "_buf")
+
+    def __init__(self, buf: bytearray):
+        self._buf = buf
+        self.view: memoryview = memoryview(buf)
+
+    def __len__(self) -> int:
+        return len(self._buf) if self._buf is not None else 0
+
+    def tobytes(self) -> bytes:
+        return bytes(self.view)
+
+    def release(self) -> None:
+        """Return the buffer to the pool (idempotent)."""
+        buf, self._buf = self._buf, None
+        if buf is None:
+            return
+        self.view.release()  # a live export would block the pool's clear()
+        _release_buffer(buf)
+
+    def __enter__(self) -> "MarshalFrame":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+def marshal_frame(value: Any) -> MarshalFrame:
+    """Encode *value* into a pooled buffer without the final copy."""
+    out = _checkout_buffer()
+    try:
+        out += MAGIC
+        _encode(out, value, 0)
+    except BaseException:
+        _release_buffer(out)
+        raise
+    return MarshalFrame(out)
 
 
 def marshalled_size(value: Any) -> int:
@@ -359,6 +463,8 @@ def _decode(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
         offset += length
         if tag == _TAG_BINARY:
             return bytes(raw), offset
+        if type(raw) is not bytes:  # memoryview input (zero-copy frames)
+            raw = bytes(raw)
         if tag == _TAG_TEXT and length <= _INTERN_MAX_CHARS:
             interned = _DECODE_INTERN.get(raw)
             if interned is not None:
@@ -405,11 +511,247 @@ def _decode(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
     raise MarshalError(f"unknown tag byte 0x{tag:02x}")
 
 
-def unmarshal(message: bytes) -> Any:
-    """Decode a complete wire message; strict about framing."""
-    if not message.startswith(MAGIC):
+def unmarshal(message: bytes | bytearray | memoryview) -> Any:
+    """Decode a complete wire message; strict about framing.
+
+    Accepts a :class:`memoryview` (e.g. a :class:`MarshalFrame` view)
+    as well as bytes, so zero-copy producers feed the decoder without
+    an intermediate copy.
+    """
+    if bytes(message[: len(MAGIC)]) != MAGIC:
         raise MarshalError("bad magic: not an MRM1 message")
     value, offset = _decode(message, len(MAGIC), 0)
     if offset != len(message):
         raise MarshalError(f"{len(message) - offset} bytes of trailing garbage")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# lazy decoding: skip-scan framing, decode on first touch
+# ---------------------------------------------------------------------------
+#
+# A migration package is a mapping of sections of items, and a receiving
+# site typically touches a handful of them before the object's first
+# call (or none: a checkpoint restore that is never read again). The
+# lazy path decodes structure on demand: containers become LazyList/
+# LazyMapping wrappers that know only the *offsets* of their children
+# (computed by a skip-scan that validates framing without building
+# objects), and an untouched item value stays a LazyValue slice of the
+# original message until something reads it. Unmarshal cost then scales
+# with the state actually touched, not the object's size — while the
+# wire bytes, and the values eventually produced, are identical to the
+# eager path.
+
+
+def _skip(data, offset: int, depth: int) -> int:
+    """Advance past one encoded value, validating bounds only."""
+    if depth > 64:
+        raise MarshalError("value nesting exceeds 64 levels")
+    if offset >= len(data):
+        raise MarshalError("truncated message")
+    tag = data[offset]
+    offset += 1
+    if tag in (_TAG_NULL, _TAG_TRUE, _TAG_FALSE):
+        return offset
+    if tag == _TAG_INT:
+        _, offset = _read_varint(data, offset)
+        return offset
+    if tag == _TAG_REAL:
+        if offset + 8 > len(data):
+            raise MarshalError("truncated real")
+        return offset + 8
+    if tag in (_TAG_TEXT, _TAG_HTML, _TAG_BINARY, _TAG_REFERENCE):
+        length, offset = _read_varint(data, offset)
+        if offset + length > len(data):
+            raise MarshalError("truncated payload")
+        return offset + length
+    if tag == _TAG_LIST:
+        count, offset = _read_varint(data, offset)
+        if count > MAX_COLLECTION:
+            raise MarshalError(f"list length {count} exceeds limit")
+        for _ in range(count):
+            offset = _skip(data, offset, depth + 1)
+        return offset
+    if tag == _TAG_MAPPING:
+        count, offset = _read_varint(data, offset)
+        if count > MAX_COLLECTION:
+            raise MarshalError(f"mapping length {count} exceeds limit")
+        for _ in range(count):
+            offset = _skip(data, offset, depth + 1)
+            offset = _skip(data, offset, depth + 1)
+        return offset
+    raise MarshalError(f"unknown tag byte 0x{tag:02x}")
+
+
+class LazyValue(LazyCell):
+    """One deferred value: a (message, offset) slice decoded on demand."""
+
+    __slots__ = ("_data", "_offset", "_value", "_materialized")
+
+    def __init__(self, data: bytes, offset: int):
+        self._data = data
+        self._offset = offset
+        self._value: Any = None
+        self._materialized = False
+
+    def materialize(self) -> Any:
+        if not self._materialized:
+            self._value, _ = _decode(self._data, self._offset, 0)
+            self._materialized = True
+            self._data = b""  # drop the message reference once decoded
+        return self._value
+
+    def __repr__(self) -> str:
+        if self._materialized:
+            return f"LazyValue({self._value!r})"
+        return f"LazyValue(<wire @{self._offset}>)"
+
+
+def _lazy_view(data: bytes, offset: int) -> Any:
+    """The value at *offset*: containers wrapped lazily, scalars decoded.
+
+    Building a container view skip-scans exactly its own subtree (so a
+    corrupt subtree raises here, not at first touch), recording where
+    each element starts; elements decode only when accessed.
+    """
+    tag = data[offset] if offset < len(data) else None
+    if tag == _TAG_LIST:
+        count, cursor = _read_varint(data, offset + 1)
+        if count > MAX_COLLECTION:
+            raise MarshalError(f"list length {count} exceeds limit")
+        offsets = []
+        for _ in range(count):
+            offsets.append(cursor)
+            cursor = _skip(data, cursor, 1)
+        return LazyList(data, offset, cursor, offsets)
+    if tag == _TAG_MAPPING:
+        count, cursor = _read_varint(data, offset + 1)
+        if count > MAX_COLLECTION:
+            raise MarshalError(f"mapping length {count} exceeds limit")
+        slots: dict[Any, int] = {}
+        for _ in range(count):
+            key, cursor = _decode(data, cursor, 1)  # keys decode eagerly
+            try:
+                slots[key] = cursor  # duplicate keys: later wins, as eager
+            except TypeError as exc:
+                raise MarshalError(f"unhashable mapping key {key!r}") from exc
+            cursor = _skip(data, cursor, 1)
+        return LazyMapping(data, offset, cursor, slots)
+    value, _ = _decode(data, offset, 0)
+    return value
+
+
+class LazyList(Sequence):
+    """A wire list whose elements decode on first access."""
+
+    __slots__ = ("_data", "_start", "_end", "_offsets", "_cache")
+
+    def __init__(self, data: bytes, start: int, end: int, offsets: list[int]):
+        self._data = data
+        self._start = start
+        self._end = end
+        self._offsets = offsets
+        self._cache: dict[int, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self._offsets)
+        if index in self._cache:
+            return self._cache[index]
+        value = _lazy_view(self._data, self._offsets[index])
+        self._cache[index] = value
+        return value
+
+    def __repr__(self) -> str:
+        return f"LazyList({len(self._offsets)} elements)"
+
+
+class LazyMapping(Mapping):
+    """A wire mapping: keys eager (they index), values decode on touch.
+
+    ``lazy(key)`` hands out the value as a :class:`LazyValue` cell
+    without decoding it at all — the hook the mobility layer uses to
+    keep untouched item values as undisturbed wire slices.
+    """
+
+    __slots__ = ("_data", "_start", "_end", "_slots", "_cache")
+
+    def __init__(self, data: bytes, start: int, end: int, slots: dict[Any, int]):
+        self._data = data
+        self._start = start
+        self._end = end
+        self._slots = slots
+        self._cache: dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._slots)
+
+    def __getitem__(self, key):
+        if key in self._cache:
+            return self._cache[key]
+        value = _lazy_view(self._data, self._slots[key])
+        self._cache[key] = value
+        return value
+
+    def __contains__(self, key) -> bool:
+        # the Mapping default probes __getitem__, which would *decode*
+        # the value — membership must stay a pure slot lookup
+        return key in self._slots
+
+    def lazy(self, key) -> LazyValue:
+        """The value under *key* as an undecoded cell."""
+        return LazyValue(self._data, self._slots[key])
+
+    def __repr__(self) -> str:
+        return f"LazyMapping({list(self._slots)!r})"
+
+
+def unmarshal_lazy(message: bytes | bytearray | memoryview) -> Any:
+    """Decode a wire message lazily: framing validated now (same bounds
+    checks as the eager decoder, via the skip-scan), values on demand.
+
+    The message is snapshotted to immutable bytes if it arrived as a
+    mutable buffer — lazy slices must outlive any pooled buffer they
+    were read from.
+    """
+    if not isinstance(message, bytes):
+        message = bytes(message)
+    if not message.startswith(MAGIC):
+        raise MarshalError("bad magic: not an MRM1 message")
+    start = len(MAGIC)
+    if start >= len(message):
+        raise MarshalError("truncated message")
+    # one pass only: building a container view skip-validates its whole
+    # subtree, so the top-level view's end doubles as the framing check
+    if message[start] in (_TAG_LIST, _TAG_MAPPING):
+        view = _lazy_view(message, start)
+        end = view._end
+    else:
+        view, end = _decode(message, start, 0)
+    if end != len(message):
+        raise MarshalError(f"{len(message) - end} bytes of trailing garbage")
+    return view
+
+
+def materialize_deep(value: Any) -> Any:
+    """Recursively force a (possibly lazy) decoded value to plain data."""
+    if isinstance(value, LazyCell):
+        return materialize_deep(value.materialize())
+    if isinstance(value, (LazyMapping, LazyList)):
+        # decode the whole subtree straight off the wire — one tight
+        # eager pass instead of element-by-element lazy dispatch
+        plain, _ = _decode(value._data, value._start, 0)
+        return plain
+    if isinstance(value, dict):
+        return {key: materialize_deep(val) for key, val in value.items()}
+    if isinstance(value, list):
+        return [materialize_deep(element) for element in value]
     return value

@@ -1,0 +1,157 @@
+"""Regression tests for :class:`InvocationCache` accounting.
+
+Two bugs fixed in the compile-tier PR are pinned here:
+
+* ``sync()`` used to count the *cold* sync — aligning a fresh (or
+  freshly migrated) cache with the live generation — as an
+  invalidation, so every object was born with ``invalidations == 1``
+  and the ``fastpath.invalidations`` telemetry overcounted by one per
+  cache lifetime.
+* ``reset()`` dropped the tables without counting anything, so
+  migration-install resets were invisible in :meth:`stats`.
+
+Both now funnel through one accounting helper: an invalidation is
+counted exactly when non-empty tables were actually dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MROMObject, Principal, allow_all
+from repro.core.fastpath import InvocationCache
+
+pytestmark = [pytest.mark.fastpath, pytest.mark.compile]
+
+OWNER = Principal("mrom://cache/owner", "cache", "owner")
+
+
+def warm(cache: InvocationCache) -> None:
+    cache.lookup_table["m"] = (object(), "fixed")
+    cache.match_table[("g", "d", "m")] = (object(), 1, object(), 1)
+
+
+class TestSyncAccounting:
+    def test_cold_sync_is_not_an_invalidation(self):
+        cache = InvocationCache()
+        assert not cache.sync(7), "cold sync drops nothing"
+        assert cache.invalidations == 0
+        assert cache.generation == 7
+
+    def test_sync_same_generation_is_a_noop(self):
+        cache = InvocationCache()
+        cache.sync(3)
+        warm(cache)
+        assert not cache.sync(3)
+        assert cache.entries == 2
+        assert cache.invalidations == 0
+
+    def test_sync_counts_only_drops_of_nonempty_tables(self):
+        cache = InvocationCache()
+        cache.sync(1)
+        warm(cache)
+        assert cache.sync(2), "a warm cache crossing a generation drops"
+        assert cache.invalidations == 1
+        assert cache.entries == 0
+        # the generation moving again over empty tables is silent
+        assert not cache.sync(3)
+        assert cache.invalidations == 1
+
+    def test_sync_drop_counts_compiled_discards(self):
+        cache = InvocationCache()
+        cache.sync(1)
+        warm(cache)
+        cache.store_compiled(("g", "d", "m"), lambda caller, args: None)
+        cache.sync(2)
+        assert cache.compiled_entries == 0
+        assert cache.compiled_discards == 1
+        assert cache.invalidations == 1
+
+
+class TestResetAccounting:
+    def test_reset_counts_exactly_like_sync(self):
+        cache = InvocationCache()
+        cache.sync(1)
+        warm(cache)
+        assert cache.reset(), "a warm reset drops and counts"
+        assert cache.invalidations == 1
+        assert cache.generation == InvocationCache._COLD
+        assert not cache.reset(), "a cold reset is silent"
+        assert cache.invalidations == 1
+
+    def test_reset_discards_compiled_closures(self):
+        cache = InvocationCache()
+        cache.sync(1)
+        cache.store_compiled(("g", "d", "m"), lambda caller, args: None)
+        assert cache.reset()
+        assert cache.compiled_entries == 0
+        assert cache.compiled_discards == 1
+
+
+class TestCompiledTableBounds:
+    def test_store_evicts_oldest_at_cap(self):
+        cache = InvocationCache()
+        for index in range(cache.COMPILED_CAP + 3):
+            cache.store_compiled(("g", "d", f"m{index}"), lambda c, a: index)
+        assert cache.compiled_entries == cache.COMPILED_CAP
+        assert cache.compiled_discards == 3
+        assert ("g", "d", "m0") not in cache.compiled, "oldest evicted first"
+        assert ("g", "d", f"m{cache.COMPILED_CAP + 2}") in cache.compiled
+
+    def test_discard_is_idempotent(self):
+        cache = InvocationCache()
+        cache.store_compiled(("g", "d", "m"), lambda c, a: None)
+        cache.discard_compiled(("g", "d", "m"))
+        cache.discard_compiled(("g", "d", "m"))
+        assert cache.compiled_discards == 1
+
+    def test_disable_discards_and_counts(self):
+        cache = InvocationCache()
+        cache.store_compiled(("g", "d", "m"), lambda c, a: None)
+        cache.set_compiled(False)
+        assert not cache.compile_enabled
+        assert cache.compiled_entries == 0
+        assert cache.compiled_discards == 1
+
+    def test_accounting_stays_closed(self):
+        """Every closure ever stored is live or counted discarded."""
+        cache = InvocationCache()
+        for index in range(10):
+            cache.store_compiled(("g", "d", f"m{index}"), lambda c, a: None)
+        cache.discard_compiled(("g", "d", "m4"))
+        cache.sync(1)  # aligns cold; tables hold closures -> drop
+        assert cache.compiled_entries == cache.compiles - cache.compiled_discards
+
+
+def build_subject() -> MROMObject:
+    obj = MROMObject(
+        display_name="subject", owner=OWNER, meta_acl=allow_all(),
+    )
+    obj.define_fixed_data("base", 10)
+    obj.define_fixed_method("get_base", "return self.get('base')")
+    obj.seal()
+    return obj
+
+
+class TestLiveObjectAccounting:
+    def test_fresh_object_first_invoke_counts_no_invalidation(self):
+        """The headline regression: invoking a fresh object cold-syncs
+        the cache, which must not register as an invalidation."""
+        obj = build_subject()
+        assert obj.invoke("get_base", caller=OWNER) == 10
+        assert obj.fastpath.invalidations == 0
+
+    def test_mutation_counts_exactly_one_invalidation(self):
+        obj = build_subject()
+        obj.invoke("get_base", caller=OWNER)  # warm
+        obj.invoke("addDataItem", ["scratch", 1], caller=OWNER)
+        obj.invoke("get_base", caller=OWNER)  # drops at sync
+        assert obj.fastpath.invalidations == 1
+
+    def test_fastpath_reset_counts_when_warm_only(self):
+        obj = build_subject()
+        obj.fastpath_reset()  # cold: nothing to drop
+        assert obj.fastpath.invalidations == 0
+        obj.invoke("get_base", caller=OWNER)
+        obj.fastpath_reset()
+        assert obj.fastpath.invalidations == 1

@@ -1,10 +1,12 @@
-"""Differential proof that the invocation cache changes cost, never
+"""Differential proof that the invocation fast paths change cost, never
 observables.
 
 Randomized op sequences — invoke / mutate items / edit ACLs in place /
-specialize / migrate — run against two structurally identical subjects,
-one with the fast-path cache and one without. After **every** op, every
-observable must be identical:
+specialize / migrate — run against three structurally identical
+subjects, one per execution tier: *interpreted* (no cache at all),
+*cached* (the memo tables, compile tier off), and *compiled* (memo
+tables plus specialized closures). After **every** op, every observable
+must be identical across all three:
 
 * returned values (canonicalized: live handles compare by target, not
   identity);
@@ -14,9 +16,10 @@ observable must be identical:
   checked by a dedicated scripted test since span ids are mint-order
   dependent.
 
-The Hypothesis settings guarantee at least 200 distinct randomized
-sequences across the two machine-driven tests (acceptance criterion of
-the fast-path PR).
+The Hypothesis settings guarantee at least 250 distinct randomized
+sequences across the two machine-driven tests, each run against all
+three tiers (acceptance criterion of the compile-tier PR; supersedes
+the two-way 200-sequence criterion of the fast-path PR).
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ from repro.core.items import ItemHandle
 from repro.mobility import pack, unpack
 from repro.telemetry import Telemetry, enabled
 
-pytestmark = pytest.mark.fastpath
+pytestmark = [pytest.mark.fastpath, pytest.mark.compile]
 
 OWNER = Principal("mrom://diff/owner", "diff", "owner")
 FRIEND = Principal("mrom://diff/friend", "diff.lab", "friend")
@@ -93,54 +96,78 @@ def record_stream(obj: MROMObject):
     ]
 
 
-class Pair:
-    """The cached and uncached subjects, stepped in lockstep."""
+TIERS = ("interpreted", "cached", "compiled")
+
+
+def apply_tier(obj: MROMObject, tier: str) -> MROMObject:
+    """Pin *obj* to one execution tier (returns obj for chaining)."""
+    if tier == "interpreted":
+        obj.enable_fastpath(False)
+    else:
+        obj.enable_fastpath(True, compiled=(tier == "compiled"))
+    return obj
+
+
+def build_tier(tier: str) -> MROMObject:
+    return apply_tier(build_subject(tier != "interpreted"), tier)
+
+
+class Trio:
+    """One subject per execution tier, stepped in lockstep."""
 
     def __init__(self):
-        self.cached = build_subject(True)
-        self.uncached = build_subject(False)
-        for obj in (self.cached, self.uncached):
+        self.interpreted = build_tier("interpreted")
+        self.cached = build_tier("cached")
+        self.compiled = build_tier("compiled")
+        for obj in self.subjects:
             obj.enable_tracing(True)
+
+    @property
+    def subjects(self):
+        return (self.interpreted, self.cached, self.compiled)
 
     def step(self, op):
         outcomes = []
-        for obj in (self.cached, self.uncached):
+        for obj in self.subjects:
             try:
                 outcomes.append(("ok", canon(op(obj))))
             except MROMError as exc:
                 outcomes.append(("err", type(exc).__name__, str(exc)))
-        assert outcomes[0] == outcomes[1], (
-            f"cached and uncached outcomes diverged: "
-            f"{outcomes[0]!r} != {outcomes[1]!r}"
+        assert outcomes[0] == outcomes[1] == outcomes[2], (
+            f"tier outcomes diverged: "
+            f"{dict(zip(TIERS, map(repr, outcomes)))}"
         )
-        assert record_stream(self.cached) == record_stream(self.uncached), (
-            "InvocationRecord streams diverged"
+        streams = [record_stream(obj) for obj in self.subjects]
+        assert streams[0] == streams[1] == streams[2], (
+            "InvocationRecord streams diverged across tiers"
         )
 
     def migrate(self):
-        """pack -> unpack both subjects (caches must arrive cold)."""
-        migrated = []
-        for obj, use_cache in ((self.cached, True), (self.uncached, False)):
-            copy = unpack(pack(obj))
-            copy.enable_fastpath(use_cache)
-            copy.enable_tracing(True)
-            migrated.append(copy)
-        self.cached, self.uncached = migrated
-        if self.cached.fastpath is not None:
-            assert self.cached.fastpath.entries == 0, (
-                "migrated object's cache must arrive cold"
-            )
+        """pack -> unpack every subject (all caches must arrive cold)."""
+        migrated = [
+            apply_tier(unpack(pack(obj)), tier)
+            for obj, tier in zip(self.subjects, TIERS)
+        ]
+        for obj in migrated:
+            obj.enable_tracing(True)
+        self.interpreted, self.cached, self.compiled = migrated
+        assert self.cached.fastpath.entries == 0, (
+            "migrated object's cache must arrive cold"
+        )
+        assert self.compiled.fastpath.compiled_entries == 0, (
+            "compiled closures must never survive migration"
+        )
 
     def specialize(self):
-        """Clone both subjects under one fresh (but equal) identity."""
+        """Clone every subject under one fresh (but equal) identity."""
         guid = f"{SUBJECT_GUID}:spec"
-        clones = []
-        for obj, use_cache in ((self.cached, True), (self.uncached, False)):
-            copy = clone(obj, guid=guid, display_name="subject")
-            copy.enable_fastpath(use_cache)
-            copy.enable_tracing(True)
-            clones.append(copy)
-        self.cached, self.uncached = clones
+        clones = [
+            apply_tier(clone(obj, guid=guid, display_name="subject"), tier)
+            for obj, tier in zip(self.subjects, TIERS)
+        ]
+        for obj in clones:
+            obj.enable_tracing(True)
+        self.interpreted, self.cached, self.compiled = clones
 
 
 # ---------------------------------------------------------------------------
@@ -194,23 +221,23 @@ def ops(draw):
     return (kind,)
 
 
-def apply_op(pair: Pair, op) -> None:
+def apply_op(trio: Trio, op) -> None:
     kind = op[0]
     if kind == "invoke":
         _, name, arg, caller = op
         args = [arg] if name == "double" else []
-        pair.step(lambda obj: obj.invoke(name, args, caller=caller))
+        trio.step(lambda obj: obj.invoke(name, args, caller=caller))
     elif kind == "invoke_unknown":
-        pair.step(lambda obj: obj.invoke(op[1], [], caller=OWNER))
+        trio.step(lambda obj: obj.invoke(op[1], [], caller=OWNER))
     elif kind == "invoke_denied":
-        pair.step(lambda obj: obj.invoke("guarded", [], caller=op[1]))
+        trio.step(lambda obj: obj.invoke("guarded", [], caller=op[1]))
     elif kind == "add_data":
-        pair.step(lambda obj: obj.invoke("addDataItem", [op[1], op[2]], caller=OWNER))
+        trio.step(lambda obj: obj.invoke("addDataItem", [op[1], op[2]], caller=OWNER))
     elif kind == "delete_data":
-        pair.step(lambda obj: obj.invoke("deleteDataItem", [op[1]], caller=OWNER))
+        trio.step(lambda obj: obj.invoke("deleteDataItem", [op[1]], caller=OWNER))
     elif kind == "add_method":
         source = f"return {op[2]}"
-        pair.step(
+        trio.step(
             lambda obj: obj.invoke(
                 "addMethod",
                 [op[1], source, {"acl": allow_all().describe()}],
@@ -218,19 +245,19 @@ def apply_op(pair: Pair, op) -> None:
             )
         )
     elif kind == "delete_method":
-        pair.step(lambda obj: obj.invoke("deleteMethod", [op[1]], caller=OWNER))
+        trio.step(lambda obj: obj.invoke("deleteMethod", [op[1]], caller=OWNER))
     elif kind == "acl_grant":
         def grant(obj):
             method, _ = obj.containers.lookup_method("guarded")
             method.acl.grant(op[1].guid, Permission.INVOKE)
             return "granted"
-        pair.step(grant)
+        trio.step(grant)
     elif kind == "acl_revoke":
         def revoke(obj):
             method, _ = obj.containers.lookup_method("guarded")
             method.acl.revoke(op[1].guid, Permission.INVOKE)
             return "revoked"
-        pair.step(revoke)
+        trio.step(revoke)
     elif kind == "set_method_acl":
         open_it = op[1]
         def swap(obj):
@@ -240,11 +267,11 @@ def apply_op(pair: Pair, op) -> None:
             )
             method.set_acl(acl)
             return "swapped"
-        pair.step(swap)
+        trio.step(swap)
     elif kind == "migrate":
-        pair.migrate()
+        trio.migrate()
     elif kind == "specialize":
-        pair.specialize()
+        trio.specialize()
 
 
 # ---------------------------------------------------------------------------
@@ -256,12 +283,13 @@ class TestDifferential:
     @given(st.lists(ops(), min_size=1, max_size=25))
     @settings(max_examples=150, deadline=None)
     def test_randomized_sequences_observably_identical(self, sequence):
-        pair = Pair()
+        trio = Trio()
         for op in sequence:
-            apply_op(pair, op)
-        # and the hot paths actually got exercised somewhere along the way
-        # (the cached subject carries a cache; the uncached one never does)
-        assert pair.uncached.fastpath is None
+            apply_op(trio, op)
+        # the tiers kept their shapes all along the way
+        assert trio.interpreted.fastpath is None
+        assert not trio.cached.fastpath.compile_enabled
+        assert trio.compiled.fastpath.compile_enabled
 
     @given(
         st.lists(
@@ -276,22 +304,40 @@ class TestDifferential:
     )
     @settings(max_examples=100, deadline=None)
     def test_pure_invocation_storms_hit_and_stay_identical(self, calls):
-        """Invocation-only sequences: the cache goes warm and must still
-        be observably silent."""
-        pair = Pair()
+        """Invocation-only sequences: the caches go warm, the compiled
+        tier starts serving calls, and all three must still be
+        observably silent."""
+        trio = Trio()
         for name, arg, caller in calls:
             args = [arg] if name == "double" else []
-            pair.step(lambda obj: obj.invoke(name, args, caller=caller))
-        cache = pair.cached.fastpath
+            trio.step(lambda obj: obj.invoke(name, args, caller=caller))
+        cache = trio.cached.fastpath
         assert cache is not None
         assert cache.lookup_hits + cache.lookup_misses > 0
+        assert cache.compiled_hits == 0, "compile tier must stay off here"
+        compiled = trio.compiled.fastpath
+        # any (method, caller) pair invoked twice successfully compiles;
+        # three times and the closure itself served a call
+        pairs = {}
+        served = False
+        for name, _arg, caller in calls:
+            allowed = name != "guarded" or caller is FRIEND
+            if not allowed:
+                continue
+            pairs[(name, caller.guid)] = pairs.get((name, caller.guid), 0) + 1
+            if pairs[(name, caller.guid)] >= 3:
+                served = True
+        if served:
+            assert compiled.compiled_hits > 0, (
+                "a thrice-invoked pair must have been served compiled"
+            )
 
 
 class TestScriptedEdges:
     def test_post_mutation_sequences(self):
         """add -> call -> delete -> call -> re-add, in lockstep."""
-        pair = Pair()
-        pair.step(lambda obj: obj.invoke("ping", [], caller=OWNER))
+        trio = Trio()
+        trio.step(lambda obj: obj.invoke("ping", [], caller=OWNER))
         for op in (
             ("add_method", "alpha", 7),
             ("invoke", "ping", 0, OWNER),
@@ -299,44 +345,46 @@ class TestScriptedEdges:
             ("add_method", "alpha", 9),
             ("invoke", "ping", 0, OWNER),
         ):
-            apply_op(pair, op)
+            apply_op(trio, op)
         # the extensible method behaves identically after re-add
-        pair.step(lambda obj: obj.invoke("alpha", [], caller=OWNER))
+        trio.step(lambda obj: obj.invoke("alpha", [], caller=OWNER))
 
     def test_denials_are_never_cached(self):
         """deny -> grant -> allow -> revoke -> deny, cached and uncached."""
-        pair = Pair()
-        apply_op(pair, ("invoke_denied", STRANGER))     # denied
-        apply_op(pair, ("acl_grant", STRANGER))         # in-place edit
-        apply_op(pair, ("invoke_denied", STRANGER))     # now allowed
-        apply_op(pair, ("acl_revoke", STRANGER))        # deny-overrides
-        apply_op(pair, ("invoke_denied", STRANGER))     # denied again
-        apply_op(pair, ("invoke_denied", STRANGER))     # still denied (no
+        trio = Trio()
+        apply_op(trio, ("invoke_denied", STRANGER))     # denied
+        apply_op(trio, ("acl_grant", STRANGER))         # in-place edit
+        apply_op(trio, ("invoke_denied", STRANGER))     # now allowed
+        apply_op(trio, ("acl_revoke", STRANGER))        # deny-overrides
+        apply_op(trio, ("invoke_denied", STRANGER))     # denied again
+        apply_op(trio, ("invoke_denied", STRANGER))     # still denied (no
         # negative caching could have flipped this)
 
     def test_migration_preserves_observables(self):
-        pair = Pair()
-        apply_op(pair, ("add_data", "alpha", 5))
-        apply_op(pair, ("invoke", "touch_base", 0, OWNER))
-        pair.migrate()
-        apply_op(pair, ("invoke", "touch_base", 0, OWNER))
-        pair.step(lambda obj: obj.get_data("alpha", caller=OWNER))
+        trio = Trio()
+        apply_op(trio, ("add_data", "alpha", 5))
+        apply_op(trio, ("invoke", "touch_base", 0, OWNER))
+        trio.migrate()
+        apply_op(trio, ("invoke", "touch_base", 0, OWNER))
+        trio.step(lambda obj: obj.get_data("alpha", caller=OWNER))
 
     def test_telemetry_observables_identical(self):
-        """Same scripted run, each under a fresh Telemetry: the acl.check
-        counters and span-event streams must match (a cache hit emits the
-        same audit evidence as a fresh Match)."""
+        """Same scripted run, each tier under a fresh Telemetry: the
+        acl.check counters and span-event streams must match (a cache or
+        compiled hit emits the same audit evidence as a fresh Match)."""
         script = [
             ("invoke", "ping", 0, FRIEND),
             ("invoke", "guarded", 0, FRIEND),
             ("invoke", "guarded", 0, FRIEND),     # warm Match hit
+            ("invoke", "guarded", 0, FRIEND),     # compiled hit
             ("invoke_denied", STRANGER),
             ("invoke", "double", 21, FRIEND),
             ("invoke", "double", 21, FRIEND),
+            ("invoke", "double", 21, FRIEND),     # compiled hit
         ]
         streams = []
-        for fastpath in (True, False):
-            obj = build_subject(fastpath)
+        for tier in TIERS:
+            obj = build_tier(tier)
             with enabled(Telemetry()) as tel:
                 with tel.span("harness"):
                     for op in script:
@@ -359,7 +407,13 @@ class TestScriptedEdges:
                     if event.name == "acl.check"
                 ]
                 assert tel.open_spans == 0
+            if tier == "compiled":
+                # the comparison is only meaningful if the compiled tier
+                # actually served calls in the measured window
+                assert obj.fastpath.compiled_hits >= 2, (
+                    "script must exercise the compiled tier"
+                )
             streams.append((checks, denials, events))
-        assert streams[0] == streams[1], (
-            f"telemetry observables diverged: {streams[0]!r} != {streams[1]!r}"
+        assert streams[0] == streams[1] == streams[2], (
+            f"telemetry observables diverged across tiers: {streams!r}"
         )

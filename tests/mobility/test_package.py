@@ -166,3 +166,69 @@ class TestPortability:
         hostile = unpack(package)
         with pytest.raises(SandboxViolation):
             hostile.invoke("hello", caller=owner)
+
+
+class TestZeroCopyPackage:
+    def test_pack_frame_bytes_identical_to_pack_bytes(self, owner):
+        from repro.mobility import pack_frame
+
+        original = make_portable(owner)
+        with pack_frame(original) as frame:
+            assert frame.tobytes() == pack_bytes(original)
+
+    def test_lazy_unpack_equals_eager_unpack(self, owner):
+        wire = pack_bytes(make_portable(owner))
+        lazy, eager = unpack_bytes(wire, lazy=True), unpack_bytes(wire, lazy=False)
+        assert lazy.guid == eager.guid
+        for name in ("balance", "notes", "label"):
+            assert lazy.get_data(name, caller=owner) == eager.get_data(
+                name, caller=owner
+            )
+        assert lazy.invoke("spend", [30], caller=owner) == eager.invoke(
+            "spend", [30], caller=owner
+        )
+
+    def test_lazy_unpack_repacks_to_identical_bytes(self, owner):
+        """A lazily unpacked object (touched or not) must re-pack: no
+        lazy container may leak into structure the encoder rejects."""
+        wire = pack_bytes(make_portable(owner))
+        untouched = unpack_bytes(wire, lazy=True)
+        assert pack_bytes(untouched) == pack_bytes(unpack_bytes(wire, lazy=False))
+
+    def test_untouched_values_stay_undecoded(self, owner):
+        from repro.core.values import LazyCell
+
+        wire = pack_bytes(make_portable(owner))
+        obj = unpack_bytes(wire, lazy=True)
+        # "notes" is fully untyped (Kind.ANY): its value arrives as an
+        # undecoded wire slice and stays one until somebody reads it
+        notes, _section = obj.containers.lookup_data("notes")
+        assert isinstance(notes._value, LazyCell)
+        assert obj.get_data("notes", caller=owner) == ["a", "b"]
+        assert not isinstance(notes._value, LazyCell), "reads materialize"
+        # "balance" declares INTEGER: coercion needs the value at admit
+        # time, so concretely-kinded items are never lazy
+        balance, _section = obj.containers.lookup_data("balance")
+        assert balance._value == 100
+
+    def test_compiled_state_never_travels(self, owner):
+        """Warm every tier on the sender; the wire image and the arrived
+        object must know nothing about it."""
+        original = make_portable(owner)
+        original.enable_fastpath(True, compiled=True)
+        for _ in range(3):
+            original.invoke("hello", caller=owner)
+        cache = original.fastpath
+        assert cache.compiled_entries > 0 and cache.compiled_hits > 0
+        wire = pack_bytes(original)
+        arrived = unpack_bytes(wire)
+        assert arrived.fastpath is not None
+        assert arrived.fastpath.entries == 0, "memo tables arrive cold"
+        assert arrived.fastpath.compiled_entries == 0, (
+            "compiled closures must never be packaged"
+        )
+        assert arrived.fastpath.invalidations == 0, (
+            "arriving cold is not an invalidation"
+        )
+        # and the cold wire image is byte-identical to a never-warmed one
+        assert wire == pack_bytes(make_portable(owner))

@@ -65,6 +65,11 @@ class TestMigrate:
         context = settled.environment["install_context"]
         assert context["site"] == "alpha"
         assert context["arrived_at"] >= WAN[0]
+        # the install-time fastpath_reset() hit a cold cache: under the
+        # unified accounting, dropping nothing is not an invalidation
+        assert settled.fastpath is not None
+        assert settled.fastpath.invalidations == 0
+        assert settled.fastpath.compiled_entries == 0
 
     def test_deploy_copy_keeps_original(self, world):
         _net, sites, managers = world

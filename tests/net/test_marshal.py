@@ -1,5 +1,6 @@
 """The wire format: round trips, strictness, hostile inputs."""
 
+import importlib
 import math
 
 import pytest
@@ -148,3 +149,159 @@ class TestSize:
 
     def test_varint_compactness(self):
         assert marshalled_size(1) < marshalled_size(2**40)
+
+
+# ---------------------------------------------------------------------------
+# zero-copy frames, the bounded buffer pool, lazy decoding
+# ---------------------------------------------------------------------------
+
+SHAPES = [
+    None,
+    True,
+    -12345,
+    2.5,
+    "shalom",
+    b"\x00\xff" * 40,
+    [1, [2, [3, "x"]], {"k": b"v"}],
+    {"a": [1, 2, 3], "b": {"c": None}, "d": "עברית"},
+]
+
+
+class TestMarshalFrame:
+    @pytest.mark.parametrize("value", SHAPES)
+    def test_frame_bytes_identical_to_eager_marshal(self, value):
+        from repro.net.marshal import marshal_frame
+
+        with marshal_frame(value) as frame:
+            assert frame.tobytes() == marshal(value)
+            assert len(frame) == len(marshal(value))
+            # the view itself decodes without a copy
+            assert unmarshal(frame.view) == unmarshal(marshal(value))
+
+    def test_release_is_idempotent_and_recycles(self):
+        from repro.net.marshal import (
+            _pool_snapshot,
+            _reset_fastpath_state,
+            marshal_frame,
+        )
+
+        _reset_fastpath_state()
+        frame = marshal_frame({"k": list(range(50))})
+        frame.release()
+        frame.release()  # second release must be a no-op
+        count, _weight = _pool_snapshot()
+        assert count == 1, "released buffer returns to the pool"
+        # and the recycled buffer produces identical bytes
+        assert marshal({"k": 1}) == marshal({"k": 1})
+
+    def test_encode_failure_does_not_leak_the_buffer(self):
+        from repro.net.marshal import (
+            _pool_snapshot,
+            _reset_fastpath_state,
+            marshal_frame,
+        )
+
+        _reset_fastpath_state()
+        with pytest.raises(MarshalError):
+            marshal_frame({"k": object()})
+        count, _weight = _pool_snapshot()
+        assert count == 1, "the buffer is returned even when encoding fails"
+
+
+class TestBufferPoolBounds:
+    def setup_method(self):
+        # repro.net re-exports the marshal *function*, which shadows the
+        # submodule as an attribute — import the module by full name
+        marshal_mod = importlib.import_module("repro.net.marshal")
+        marshal_mod._reset_fastpath_state()
+        self.mod = marshal_mod
+
+    def test_pool_count_is_capped(self):
+        frames = [self.mod.marshal_frame([i]) for i in range(20)]
+        for frame in frames:
+            frame.release()
+        count, weight = self.mod._pool_snapshot()
+        assert count <= self.mod._BUFFER_POOL_CAP
+        assert weight <= self.mod._BUFFER_POOL_BYTES
+
+    def test_total_retained_weight_is_capped(self):
+        # each buffer is individually retainable (< _BUFFER_RETAIN) but
+        # together they exceed the total-weight bound
+        size = self.mod._BUFFER_RETAIN - 1024
+        for _ in range(6):
+            self.mod._release_buffer(bytearray(size))
+        count, weight = self.mod._pool_snapshot()
+        assert weight <= self.mod._BUFFER_POOL_BYTES
+        assert count < 6, "some buffers must have been evicted"
+
+    def test_oversized_buffers_are_never_pooled(self):
+        self.mod._release_buffer(bytearray(self.mod._BUFFER_RETAIN + 1))
+        assert self.mod._pool_snapshot() == (0, 0)
+
+    def test_eviction_is_largest_first(self):
+        sizes = [100 * (i + 1) for i in range(self.mod._BUFFER_POOL_CAP)]
+        for size in sizes:
+            self.mod._release_buffer(bytearray(size))
+        # one more small buffer pushes the count past the cap: the
+        # *largest* resident must go, not the newcomer
+        self.mod._release_buffer(bytearray(50))
+        weights = sorted(w for w, _ in self.mod._BUFFER_POOL)
+        assert 50 in weights
+        assert max(sizes) not in weights
+        assert len(weights) == self.mod._BUFFER_POOL_CAP
+
+    def test_oversized_frame_does_not_grow_the_pool(self):
+        big = {"blob": b"x" * (self.mod._BUFFER_RETAIN + 100)}
+        with self.mod.marshal_frame(big) as frame:
+            assert unmarshal(frame.view) == big
+        assert self.mod._pool_snapshot() == (0, 0)
+
+
+class TestLazyDecoding:
+    @pytest.mark.parametrize("value", SHAPES)
+    def test_lazy_materializes_to_the_eager_value(self, value):
+        from repro.net.marshal import materialize_deep, unmarshal_lazy
+
+        wire = marshal(value)
+        assert materialize_deep(unmarshal_lazy(wire)) == unmarshal(wire)
+
+    def test_mapping_values_stay_undecoded_until_touched(self):
+        from repro.net.marshal import LazyMapping, LazyValue, unmarshal_lazy
+
+        wire = marshal({"hot": 1, "cold": [1, 2, 3]})
+        view = unmarshal_lazy(wire)
+        assert isinstance(view, LazyMapping)
+        assert set(view) == {"hot", "cold"}, "keys decode eagerly"
+        cell = view.lazy("cold")
+        assert isinstance(cell, LazyValue)
+        assert cell.materialize() == [1, 2, 3]
+        assert view["hot"] == 1
+
+    def test_lazy_list_indexing_and_slicing(self):
+        from repro.net.marshal import LazyList, unmarshal_lazy
+
+        wire = marshal([10, "twenty", [30]])
+        view = unmarshal_lazy(wire)
+        assert isinstance(view, LazyList)
+        assert len(view) == 3
+        assert view[1] == "twenty"
+        assert list(view[0:2]) == [10, "twenty"]
+
+    def test_lazy_validates_framing_up_front(self):
+        from repro.net.marshal import unmarshal_lazy
+
+        wire = marshal({"k": [1, 2]})
+        with pytest.raises(MarshalError):
+            unmarshal_lazy(wire + b"\x00")  # trailing garbage
+        with pytest.raises(MarshalError):
+            unmarshal_lazy(wire[:-1])  # truncated
+        with pytest.raises(MarshalError):
+            unmarshal_lazy(b"XXXX" + wire[4:])  # bad magic
+
+    def test_lazy_snapshots_mutable_input(self):
+        from repro.net.marshal import unmarshal_lazy
+
+        wire = bytearray(marshal({"k": "value"}))
+        view = unmarshal_lazy(wire)
+        wire[:] = b"\x00" * len(wire)  # corrupt the original afterwards
+        assert view["k"] == "value"

@@ -14,6 +14,7 @@ state. Invariants checked continuously:
 
 import string
 
+import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
@@ -208,16 +209,23 @@ class FastpathInvalidationMachine(RuleBasedStateMachine):
 
     def __init__(self):
         super().__init__()
+        from repro.core import fastpath as fastpath_mod
         from repro.telemetry import Telemetry, enable
 
+        # this machine models the memo tables; the compile tier has its
+        # own machine (CompiledInvalidationMachine) with its own rules
+        self._compile_default = fastpath_mod.set_compile_default(False)
         self.obj = build_subject()
         assert self.obj.fastpath is not None, "caching should default on"
+        self.obj.fastpath.set_compiled(False)
         self.serial = 0
         self.tel = enable(Telemetry())
 
     def teardown(self):
+        from repro.core import fastpath as fastpath_mod
         from repro.telemetry import disable
 
+        fastpath_mod.set_compile_default(self._compile_default)
         disable()
 
     # -- helpers -----------------------------------------------------------
@@ -315,6 +323,137 @@ FastpathInvalidationMachine.TestCase.settings = settings(
     max_examples=20, stateful_step_count=20, deadline=None
 )
 TestFastpathInvalidation = FastpathInvalidationMachine.TestCase
+
+
+class CompiledInvalidationMachine(RuleBasedStateMachine):
+    """Model the discard contract of the compiled invocation tier.
+
+    A (caller, method) pair is promoted to a compiled closure on its
+    first Match-table hit and is served compiled from the next call on.
+    Rules then invalidate it through each discard channel — structural
+    mutation, in-place ACL edit, migration install — and assert the
+    *ordering*: the stale closure is discarded at dispatch (its guard
+    fails) before the call falls back to the interpreted path, the
+    fallback call itself is never served compiled, and re-warming
+    recompiles. An invariant keeps the compile accounting closed:
+    every closure ever stored is either live or counted as discarded.
+    """
+
+    def __init__(self):
+        super().__init__()
+        from repro.telemetry import Telemetry, enable
+
+        self.obj = build_subject()
+        assert self.obj.fastpath is not None, "caching should default on"
+        self.obj.fastpath.set_compiled(True)
+        self.serial = 0
+        self.tel = enable(Telemetry())
+
+    def teardown(self):
+        from repro.telemetry import disable
+
+        disable()
+
+    # -- helpers -----------------------------------------------------------
+
+    def invoke(self) -> bool:
+        """One invocation; returns whether the compiled tier served it."""
+        cache = self.obj.fastpath
+        before = cache.compiled_hits
+        assert self.obj.invoke("get_base", caller=OWNER) == 10
+        return cache.compiled_hits > before
+
+    def warm_to_compiled(self) -> None:
+        """From any state, three calls reach the compiled tier: miss,
+        match-hit (which compiles), compiled hit."""
+        self.invoke()
+        self.invoke()
+        assert self.invoke(), "third consecutive call must be served compiled"
+
+    # -- rules -------------------------------------------------------------
+
+    @rule()
+    def repeated_calls_compile_then_hit(self):
+        self.warm_to_compiled()
+        assert self.invoke(), "a compiled pair stays compiled absent mutation"
+
+    @rule()
+    def mutation_discards_then_falls_back(self):
+        """Structural mutation: the generation pin fails, the closure is
+        discarded at dispatch, and the call takes the interpreted path."""
+        self.warm_to_compiled()
+        cache = self.obj.fastpath
+        self.serial += 1
+        self.obj.invoke(
+            "addDataItem", [f"cgen{self.serial}", self.serial], caller=OWNER
+        )
+        discards = cache.compiled_discards
+        assert not self.invoke(), "post-mutation call must not be compiled"
+        assert cache.compiled_discards > discards, (
+            "the stale closure must be discarded at dispatch, "
+            "before the interpreted fallback"
+        )
+        self.warm_to_compiled()  # and the pair recompiles cleanly
+
+    @rule()
+    def acl_edit_discards_then_falls_back(self):
+        """An in-place ACL edit moves the version pin: same ordering as a
+        mutation, without the container generation moving at all."""
+        self.warm_to_compiled()
+        cache = self.obj.fastpath
+        generation = self.obj.containers.generation
+        method, _ = self.obj.containers.lookup_method("get_base")
+        self.serial += 1
+        method.acl.grant(f"mrom://model/cguest{self.serial}", Permission.INVOKE)
+        assert self.obj.containers.generation == generation
+        discards = cache.compiled_discards
+        assert not self.invoke(), "post-ACL-edit call must not be compiled"
+        assert cache.compiled_discards > discards
+        self.warm_to_compiled()
+
+    @rule()
+    def migration_arrives_cold(self):
+        """pack -> unpack: compiled state is never packaged; the arrived
+        object compiles from scratch only after re-warming."""
+        self.warm_to_compiled()
+        assert self.obj.fastpath.compiled_entries > 0
+        self.obj = unpack(pack(self.obj))
+        cache = self.obj.fastpath
+        assert cache is not None, "unpacked objects default to caching"
+        cache.set_compiled(True)
+        assert cache.compiled_entries == 0, (
+            "migrated objects must arrive with no compiled state"
+        )
+        assert not self.invoke(), "first post-arrival call cannot be compiled"
+        self.warm_to_compiled()
+
+    @rule()
+    def disable_discards_everything(self):
+        self.warm_to_compiled()
+        cache = self.obj.fastpath
+        live = cache.compiled_entries
+        discards = cache.compiled_discards
+        cache.set_compiled(False)
+        assert cache.compiled_entries == 0
+        assert cache.compiled_discards == discards + live
+        assert not self.invoke(), "compile tier off: interpreted path only"
+        cache.set_compiled(True)
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def compile_accounting_balances(self):
+        cache = self.obj.fastpath
+        if cache is not None:
+            assert cache.compiled_entries == cache.compiles - cache.compiled_discards
+            assert cache.compiled_entries <= cache.COMPILED_CAP
+
+
+CompiledInvalidationMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None
+)
+TestCompiledInvalidation = CompiledInvalidationMachine.TestCase
+TestCompiledInvalidation.pytestmark = [pytest.mark.compile]
 
 
 # ---------------------------------------------------------------------------
